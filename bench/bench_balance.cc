@@ -1,0 +1,60 @@
+// Extension ablation: modulo vs LPT-balanced cell-to-reducer assignment
+// when reducers are scarcer than cells (R = 16 "machines", like the
+// paper's cluster). Addresses the Section 7.2.4 observation that clustered
+// data overburdens some reducers. The balanced partitioner uses the
+// Section 6.1 cost model |O_i|·|F_i| per cell.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "spq/engine.h"
+
+int main() {
+  using namespace spq;
+  Logger::SetMinLevel(LogLevel::kWarn);
+
+  auto dataset = datagen::MakeClusteredDataset(
+      {.num_objects = 800'000, .seed = 21, .num_clusters = 16});
+  if (!dataset.ok()) return 1;
+
+  std::printf("==== Extension: balanced cell->reducer assignment (CL, "
+              "R=16) ====\n\n");
+  std::printf("%-6s %-10s %14s %12s %16s %12s\n", "grid", "assign",
+              "max partition", "record skew", "straggler ratio", "time(s)");
+
+  for (uint32_t grid : {20u, 50u, 100u}) {
+    datagen::WorkloadSpec spec;
+    spec.num_keywords = 3;
+    spec.radius = datagen::RadiusFromCellFraction(0.10, 1.0, grid);
+    spec.k = 10;
+    spec.vocab_size = 1'000;
+    spec.seed = 2017;
+    const auto query = datagen::MakeQuery(spec, 0);
+    for (auto kind :
+         {core::PartitionerKind::kModulo, core::PartitionerKind::kBalanced}) {
+      core::EngineOptions options;
+      options.grid_size = grid;
+      options.num_reduce_tasks = 16;
+      options.num_workers = 16;
+      options.partitioner = kind;
+      core::SpqEngine engine(*dataset, options);
+      auto result = engine.Execute(query, core::Algorithm::kESPQLen);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      const auto& job = result->info.job;
+      std::printf("%-6u %-10s %14llu %12.2f %16.2f %12.4f\n", grid,
+                  kind == core::PartitionerKind::kModulo ? "modulo"
+                                                         : "balanced",
+                  static_cast<unsigned long long>(job.MaxReduceRecords()),
+                  job.ReduceSkew(), job.ReduceStragglerRatio(),
+                  job.total_seconds);
+    }
+  }
+  std::printf("\nExpected: balanced assignment cuts record skew and the "
+              "straggler ratio; identical query answers either way.\n");
+  return 0;
+}

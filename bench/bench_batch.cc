@@ -1,0 +1,67 @@
+// Extension ablation: batched multi-query jobs vs one job per query.
+// Batching shares the input scan and job overhead across the batch; the
+// shuffle still grows with the batch size (each query's groups need their
+// objects), so the win is in fixed costs — which dominate exactly in the
+// configurations where early termination has already shrunk reduce work.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "spq/engine.h"
+
+int main() {
+  using namespace spq;
+  Logger::SetMinLevel(LogLevel::kWarn);
+
+  auto dataset = datagen::MakeRealLikeDataset(
+      datagen::FlickrLikeSpec(200'000));
+  if (!dataset.ok()) return 1;
+  core::EngineOptions options;
+  options.grid_size = 50;
+  core::SpqEngine engine(*std::move(dataset), options);
+
+  datagen::WorkloadSpec spec;
+  spec.num_keywords = 3;
+  spec.radius = datagen::RadiusFromCellFraction(0.10, 1.0, 50);
+  spec.k = 10;
+  spec.term_zipf = 1.0;
+  spec.vocab_size = 34'716;
+  spec.seed = 2017;
+
+  std::printf("==== Extension: batched query execution (FL-like, eSPQsco) "
+              "====\n\n");
+  std::printf("%-8s %16s %16s %10s\n", "batch", "sequential (s)",
+              "batched (s)", "speedup");
+
+  for (std::size_t batch_size : {1u, 4u, 8u, 16u}) {
+    const auto queries = datagen::MakeQueries(spec, batch_size);
+
+    Stopwatch sequential_watch;
+    for (const auto& query : queries) {
+      auto result = engine.Execute(query, core::Algorithm::kESPQSco);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double sequential = sequential_watch.ElapsedSeconds();
+
+    Stopwatch batch_watch;
+    auto batch = engine.ExecuteBatch(queries, core::Algorithm::kESPQSco);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    const double batched = batch_watch.ElapsedSeconds();
+
+    std::printf("%-8zu %16.4f %16.4f %9.2fx\n", batch_size, sequential,
+                batched, sequential / batched);
+  }
+  std::printf("\nAnswers are identical to per-query execution "
+              "(verified in tests/spq/batch_test).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Section 6.2 ablation: measured duplication factor vs. the closed form
+// df = πr²/a² + 4r/a + 1, sweeping the r/a ratio. Measured two ways:
+// geometrically (uniform points in an interior cell, counting Lemma-1
+// targets) and end-to-end (an engine run's duplicate counter, which also
+// sees boundary cells — slightly lower, since edge cells have fewer
+// neighbors to duplicate into).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "geo/grid.h"
+#include "spq/duplication.h"
+#include "spq/engine.h"
+
+int main() {
+  using namespace spq;
+  Logger::SetMinLevel(LogLevel::kWarn);
+
+  std::printf("==== Section 6.2: duplication factor df(r/a) ====\n\n");
+
+  // --- geometric measurement on an interior cell -------------------------
+  auto grid_or = geo::UniformGrid::Make(geo::Rect{0, 0, 1, 1}, 10, 10);
+  if (!grid_or.ok()) return 1;
+  const geo::UniformGrid& grid = *grid_or;
+  const double a = grid.cell_width();
+  const geo::Rect cell = grid.CellRect(grid.CellAt(5, 5));
+
+  std::printf("%-8s %14s %14s %14s\n", "r/a", "analytic df",
+              "interior cell", "engine run");
+
+  Rng rng(7);
+  for (double frac : {0.05, 0.10, 0.15, 0.25, 0.40, 0.50}) {
+    const double r = frac * a;
+
+    // Interior-cell Monte Carlo.
+    uint64_t copies = 0;
+    const int samples = 100'000;
+    for (int i = 0; i < samples; ++i) {
+      geo::Point p{rng.NextDouble(cell.min_x, cell.max_x),
+                   rng.NextDouble(cell.min_y, cell.max_y)};
+      copies += 1 + grid.CellsWithinDist(p, r).size();
+    }
+    const double measured_interior = static_cast<double>(copies) / samples;
+
+    // End-to-end engine run (10x10 grid over the whole square).
+    auto dataset = datagen::MakeUniformDataset(
+        {.num_objects = 100'000, .seed = 42, .vocab_size = 4,
+         .min_keywords = 1, .max_keywords = 3});
+    if (!dataset.ok()) return 1;
+    core::EngineOptions options;
+    options.grid_size = 10;
+    core::SpqEngine engine(*std::move(dataset), options);
+    core::Query query;
+    query.k = 10;
+    query.radius = r;
+    query.keywords = text::KeywordSet({0, 1, 2, 3});  // keep all features
+    auto result = engine.Execute(query, core::Algorithm::kESPQSco);
+    if (!result.ok()) return 1;
+
+    std::printf("%-8.2f %14.4f %14.4f %14.4f\n", frac,
+                core::AnalyticDuplicationFactor(r, a), measured_interior,
+                result->info.MeasuredDuplicationFactor());
+  }
+
+  std::printf("\nworst-case analytic df at a = 2r: %.4f (= 3 + pi/4)\n\n",
+              core::MaxDuplicationFactor());
+
+  // --- zone probabilities (Figure 3) --------------------------------------
+  std::printf("Zone probabilities at r/a = 0.25 (analytic vs sampled):\n");
+  const double r = 0.25 * a;
+  core::CellAreas areas = core::ComputeCellAreas(r, a);
+  std::vector<uint64_t> zone_counts(4, 0);  // by duplicate count 3,2,1,0
+  const int samples = 200'000;
+  for (int i = 0; i < samples; ++i) {
+    geo::Point p{rng.NextDouble(cell.min_x, cell.max_x),
+                 rng.NextDouble(cell.min_y, cell.max_y)};
+    const std::size_t dups = grid.CellsWithinDist(p, r).size();
+    if (dups <= 3) ++zone_counts[3 - dups];
+  }
+  const double cell_area = a * a;
+  const char* names[] = {"A1 (3 dups)", "A2 (2 dups)", "A3 (1 dup)",
+                         "A4 (0 dups)"};
+  const double analytic[] = {areas.a1 / cell_area, areas.a2 / cell_area,
+                             areas.a3 / cell_area, areas.a4 / cell_area};
+  for (int z = 0; z < 4; ++z) {
+    std::printf("  %-12s analytic %.4f  sampled %.4f\n", names[z],
+                analytic[z],
+                static_cast<double>(zone_counts[z]) / samples);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Regenerates Figure 5 (a-d): the four parameter sweeps on the Flickr-like
+// dataset. Paper scale: 40M objects on 16 machines; default here: 200k
+// objects on one machine (SPQ_BENCH_SCALE multiplies).
+//
+// Expected shape (paper): eSPQsco < eSPQlen << pSPQ across all sweeps;
+// pSPQ grows with keywords and radius, the early-termination algorithms
+// stay nearly flat; all improve with more grid cells; k barely matters.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "datagen/generator.h"
+
+int main() {
+  using namespace spq;
+  auto dataset = datagen::MakeRealLikeDataset(
+      datagen::FlickrLikeSpec(bench::ScaledObjects(400'000)));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  bench::FigureConfig config;
+  config.title = "Figure 5: Flickr-like (FL) dataset";
+  config.dataset = *std::move(dataset);
+  config.vocab_size = 34'716;
+  config.term_zipf = 1.0;
+  bench::RunFigure(config);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Regenerates Figure 6 (a-d): the four parameter sweeps on the
+// Twitter-like dataset (2x the Flickr-like object count, larger
+// vocabulary, more keywords per object — matching the 80M-tweet dataset's
+// statistics at reduced scale).
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "datagen/generator.h"
+
+int main() {
+  using namespace spq;
+  auto dataset = datagen::MakeRealLikeDataset(
+      datagen::TwitterLikeSpec(bench::ScaledObjects(800'000)));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  bench::FigureConfig config;
+  config.title = "Figure 6: Twitter-like (TW) dataset";
+  config.dataset = *std::move(dataset);
+  config.vocab_size = 88'706;
+  config.term_zipf = 1.0;
+  bench::RunFigure(config);
+  return 0;
+}

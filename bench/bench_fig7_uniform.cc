@@ -1,0 +1,31 @@
+// Regenerates Figure 7 (a-d): the four parameter sweeps on the Uniform
+// (UN) synthetic dataset. Paper scale: 512M objects; default here: 400k
+// (SPQ_BENCH_SCALE multiplies). Grid sizes and the extra 5% radius point
+// follow the paper's UN/CL parameter table.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "datagen/generator.h"
+
+int main() {
+  using namespace spq;
+  auto dataset = datagen::MakeUniformDataset(
+      {.num_objects = bench::ScaledObjects(800'000), .seed = 42});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  bench::FigureConfig config;
+  config.title = "Figure 7: Uniform (UN) dataset";
+  config.dataset = *std::move(dataset);
+  config.vocab_size = 1'000;
+  config.term_zipf = 0.0;
+  // UN/CL parameter row of Table 3; default grid 10x10 so that cells carry
+  // enough objects for the per-reducer contrast to show at reduced scale.
+  config.default_grid = 10;
+  config.grid_sizes = {10, 15, 50, 100};
+  config.radius_pcts = {5, 10, 15, 50, 100};
+  bench::RunFigure(config);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates Figure 8: job time vs. dataset size on uniform data, all
+// three algorithms. Paper sweeps 64M -> 512M entries; this harness sweeps
+// 64k -> 512k at scale 1 (SPQ_BENCH_SCALE multiplies every point).
+//
+// Expected shape (paper): pSPQ grows linearly with dataset size; eSPQlen /
+// eSPQsco grow much more slowly, and their advantage widens as data grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "common/logging.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+
+int main() {
+  using namespace spq;
+  Logger::SetMinLevel(LogLevel::kWarn);
+
+  const std::vector<uint64_t> sizes = {
+      bench::ScaledObjects(128'000), bench::ScaledObjects(256'000),
+      bench::ScaledObjects(512'000), bench::ScaledObjects(1'024'000)};
+  const uint32_t grid = 10;
+  uint32_t queries_per_point = bench::QueriesPerPointOverride();
+  if (queries_per_point == 0) queries_per_point = 2;
+
+  std::printf("==== Figure 8: scalability with dataset size (UN) ====\n");
+  std::printf("grid=%u, |q.W|=3, r=10%% of cell, k=10, %u queries/point\n\n",
+              grid, queries_per_point);
+  std::printf("%-12s %12s %12s %12s\n", "objects", "pSPQ", "eSPQlen",
+              "eSPQsco");
+
+  datagen::WorkloadSpec workload;
+  workload.num_keywords = 3;
+  workload.radius = datagen::RadiusFromCellFraction(0.10, 1.0, grid);
+  workload.k = 10;
+  workload.vocab_size = 1'000;
+  workload.seed = 2017;
+  const auto queries = datagen::MakeQueries(workload, queries_per_point);
+
+  for (uint64_t n : sizes) {
+    auto dataset = datagen::MakeUniformDataset({.num_objects = n, .seed = 42});
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    core::EngineOptions options;
+    options.grid_size = grid;
+    core::SpqEngine engine(*std::move(dataset), options);
+    std::printf("%-12llu", static_cast<unsigned long long>(n));
+    for (core::Algorithm algo :
+         {core::Algorithm::kPSPQ, core::Algorithm::kESPQLen,
+          core::Algorithm::kESPQSco}) {
+      double total = 0.0;
+      for (const auto& query : queries) {
+        auto result = engine.Execute(query, algo);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+          return 1;
+        }
+        total += result->info.job.total_seconds;
+      }
+      std::printf(" %12.4f", total / queries.size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

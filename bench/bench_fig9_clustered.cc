@@ -1,0 +1,32 @@
+// Regenerates Figure 9 (a-d): the four parameter sweeps on the Clustered
+// (CL) synthetic dataset. As in the paper, pSPQ is excluded — on CL its
+// quadratic per-reducer cost explodes on the overloaded cells (the paper
+// measured ~48 hours for the default setup).
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+#include "datagen/generator.h"
+
+int main() {
+  using namespace spq;
+  auto dataset = datagen::MakeClusteredDataset(
+      {.num_objects = bench::ScaledObjects(800'000), .seed = 42,
+       .num_clusters = 16});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  bench::FigureConfig config;
+  config.title =
+      "Figure 9: Clustered (CL) dataset (pSPQ omitted, as in the paper)";
+  config.dataset = *std::move(dataset);
+  config.vocab_size = 1'000;
+  config.term_zipf = 0.0;
+  config.algorithms = {core::Algorithm::kESPQLen, core::Algorithm::kESPQSco};
+  config.default_grid = 10;
+  config.grid_sizes = {10, 15, 50, 100};
+  config.radius_pcts = {5, 10, 15, 50, 100};
+  bench::RunFigure(config);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks for the hot kernels under every figure:
+// Jaccard merges, grid cell math and duplication targets, top-k updates,
+// shuffle codec, and the k-way merge stream.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "geo/grid.h"
+#include "mapreduce/merge.h"
+#include "spq/shuffle_types.h"
+#include "spq/topk.h"
+#include "text/jaccard.h"
+
+namespace spq {
+namespace {
+
+std::vector<text::TermId> RandomTerms(Rng& rng, std::size_t n,
+                                      uint32_t vocab) {
+  std::vector<text::TermId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(rng.NextUint32(vocab));
+  return ids;
+}
+
+void BM_JaccardSorted(benchmark::State& state) {
+  Rng rng(1);
+  text::KeywordSet a(RandomTerms(rng, state.range(0), 1000));
+  text::KeywordSet b(RandomTerms(rng, state.range(0), 1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaccardSorted(a.ids(), b.ids()));
+  }
+}
+BENCHMARK(BM_JaccardSorted)->Arg(8)->Arg(55)->Arg(100);
+
+void BM_JaccardUpperBound(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaccardUpperBound(3, 57));
+  }
+}
+BENCHMARK(BM_JaccardUpperBound);
+
+void BM_GridCellOf(benchmark::State& state) {
+  auto grid = geo::UniformGrid::Make(geo::Rect{0, 0, 1, 1}, 50, 50);
+  Rng rng(2);
+  std::vector<geo::Point> points(1024);
+  for (auto& p : points) p = {rng.NextDouble(), rng.NextDouble()};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid->CellOf(points[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_GridCellOf);
+
+void BM_GridDuplicationTargets(benchmark::State& state) {
+  auto grid = geo::UniformGrid::Make(geo::Rect{0, 0, 1, 1}, 50, 50);
+  const double r = 0.02 * static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(3);
+  std::vector<geo::Point> points(1024);
+  for (auto& p : points) p = {rng.NextDouble(), rng.NextDouble()};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid->CellsWithinDist(points[i++ & 1023], r));
+  }
+}
+BENCHMARK(BM_GridDuplicationTargets)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_TopKUpdate(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::pair<core::ObjectId, double>> updates(4096);
+  for (auto& u : updates) {
+    u = {rng.NextUint64(500), rng.NextDouble()};
+  }
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::TopKList lk(k);
+    for (const auto& [id, score] : updates) lk.Update(id, score);
+    benchmark::DoNotOptimize(lk.Threshold());
+  }
+  state.SetItemsProcessed(state.iterations() * updates.size());
+}
+BENCHMARK(BM_TopKUpdate)->Arg(10)->Arg(100);
+
+void BM_ShuffleObjectCodec(benchmark::State& state) {
+  Rng rng(5);
+  core::ShuffleObject obj;
+  obj.kind = core::ShuffleObject::kFeature;
+  obj.id = 123456;
+  obj.pos = {0.5, 0.25};
+  obj.keywords = text::KeywordSet(RandomTerms(rng, 55, 1000)).ids();
+  for (auto _ : state) {
+    Buffer buf;
+    mapreduce::Codec<core::ShuffleObject>::Encode(obj, buf);
+    BufferReader reader(buf.data(), buf.size());
+    core::ShuffleObject out;
+    benchmark::DoNotOptimize(
+        mapreduce::Codec<core::ShuffleObject>::Decode(reader, &out));
+  }
+}
+BENCHMARK(BM_ShuffleObjectCodec);
+
+void BM_MergeStream(benchmark::State& state) {
+  // Merge 8 sorted segments of 1000 records each.
+  Rng rng(6);
+  std::vector<mapreduce::SortedSegment> segments(8);
+  for (auto& seg : segments) {
+    std::vector<std::pair<uint32_t, uint64_t>> records(1000);
+    for (auto& r : records) r = {rng.NextUint32(10000), rng.NextUint64()};
+    std::sort(records.begin(), records.end());
+    Buffer buf;
+    for (const auto& [k, v] : records) {
+      mapreduce::Codec<uint32_t>::Encode(k, buf);
+      mapreduce::Codec<uint64_t>::Encode(v, buf);
+    }
+    seg.num_records = records.size();
+    seg.bytes = buf.TakeBytes();
+  }
+  std::vector<const mapreduce::SortedSegment*> ptrs;
+  for (const auto& s : segments) ptrs.push_back(&s);
+  for (auto _ : state) {
+    mapreduce::MergeStream<uint32_t, uint64_t> stream(
+        ptrs, [](const uint32_t& a, const uint32_t& b) { return a < b; });
+    uint64_t sum = 0;
+    while (stream.Advance()) sum += stream.value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_MergeStream);
+
+}  // namespace
+}  // namespace spq
+
+BENCHMARK_MAIN();

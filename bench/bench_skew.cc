@@ -1,0 +1,62 @@
+// Backs the Section 7.2.4 discussion: clustered data makes it "hard to
+// fairly assign the objects to Reducers, thus typically some Reducers are
+// overburdened". Reports reduce-partition skew (max/mean records) and the
+// straggler ratio (max/mean reduce task time) for UN vs CL across grid
+// sizes — finer grids shrink the hottest partition.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "spq/engine.h"
+
+int main() {
+  using namespace spq;
+  Logger::SetMinLevel(LogLevel::kWarn);
+
+  std::vector<std::pair<std::string, core::Dataset>> datasets;
+  {
+    auto un = datagen::MakeUniformDataset({.num_objects = 400'000, .seed = 6});
+    auto cl = datagen::MakeClusteredDataset(
+        {.num_objects = 400'000, .seed = 6, .num_clusters = 16});
+    if (!un.ok() || !cl.ok()) return 1;
+    datasets.emplace_back("UN", *std::move(un));
+    datasets.emplace_back("CL", *std::move(cl));
+  }
+
+  std::printf("==== Section 7.2.4: reducer load imbalance, UN vs CL "
+              "(eSPQsco) ====\n\n");
+  std::printf("%-9s %-6s %16s %14s %16s %12s\n", "dataset", "grid",
+              "max partition", "record skew", "straggler ratio", "time(s)");
+
+  for (const auto& [name, dataset] : datasets) {
+    core::SpqEngine engine(dataset, core::EngineOptions{});
+    for (uint32_t grid : {10u, 15u, 50u, 100u}) {
+      datagen::WorkloadSpec spec;
+      spec.num_keywords = 3;
+      spec.radius = datagen::RadiusFromCellFraction(0.10, 1.0, grid);
+      spec.k = 10;
+      spec.vocab_size = 1'000;
+      spec.seed = 2017;
+      const auto query = datagen::MakeQuery(spec, 0);
+      auto result = engine.Execute(query, core::Algorithm::kESPQSco, grid);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      const auto& job = result->info.job;
+      std::printf("%-9s %-6u %16llu %14.2f %16.2f %12.4f\n", name.c_str(),
+                  grid,
+                  static_cast<unsigned long long>(job.MaxReduceRecords()),
+                  job.ReduceSkew(), job.ReduceStragglerRatio(),
+                  job.total_seconds);
+    }
+  }
+  std::printf("\nExpected: CL skew >> UN skew at every grid size; finer "
+              "grids reduce the absolute size of the hottest partition.\n");
+  return 0;
+}

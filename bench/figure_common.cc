@@ -1,0 +1,220 @@
+#include "bench/figure_common.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "datagen/workload.h"
+
+namespace spq::bench {
+
+namespace {
+
+struct PointResult {
+  double seconds = 0.0;
+  double examined_ratio = 0.0;  // features examined / shuffled
+};
+
+/// Mean job time over `queries` for one (algorithm, parameter) point.
+PointResult RunPoint(const core::SpqEngine& engine,
+                     const std::vector<core::Query>& queries,
+                     core::Algorithm algo, uint32_t grid_size) {
+  PointResult out;
+  double ratio_sum = 0.0;
+  for (const auto& query : queries) {
+    auto result = engine.Execute(query, algo, grid_size);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.seconds += result->info.job.total_seconds;
+    ratio_sum += result->info.FeatureExaminationRatio();
+  }
+  out.seconds /= queries.size();
+  out.examined_ratio = ratio_sum / queries.size();
+  return out;
+}
+
+std::vector<core::Query> MakeWorkload(const FigureConfig& config,
+                                      uint32_t num_keywords,
+                                      double radius_pct, uint32_t grid,
+                                      uint32_t k, uint32_t count) {
+  datagen::WorkloadSpec spec;
+  spec.num_keywords = num_keywords;
+  spec.radius = datagen::RadiusFromCellFraction(
+      radius_pct / 100.0, config.dataset.bounds.width(), grid);
+  spec.k = k;
+  spec.term_zipf = config.term_zipf;
+  spec.vocab_size = config.vocab_size;
+  spec.seed = config.workload_seed;
+  return datagen::MakeQueries(spec, count);
+}
+
+void PrintSeriesHeader(const FigureConfig& config, const char* x_name) {
+  std::printf("%-10s", x_name);
+  for (auto algo : config.algorithms) {
+    std::printf(" %12s", core::AlgorithmName(algo).c_str());
+  }
+  std::printf("   | examined%%:");
+  for (auto algo : config.algorithms) {
+    std::printf(" %8s", core::AlgorithmName(algo).c_str());
+  }
+  std::printf("\n");
+}
+
+/// Optional machine-readable output: when SPQ_BENCH_CSV names a directory,
+/// every sweep row is appended to <dir>/<figure-slug>.csv as
+///   sweep,x,algorithm,seconds,examined_ratio
+class CsvSink {
+ public:
+  CsvSink(const FigureConfig& config) : config_(&config) {
+    const char* dir = std::getenv("SPQ_BENCH_CSV");
+    if (dir == nullptr || *dir == '\0') return;
+    std::string slug;
+    for (char c : config.title) {
+      slug += std::isalnum(static_cast<unsigned char>(c))
+                  ? static_cast<char>(std::tolower(c))
+                  : '_';
+    }
+    out_.open(std::string(dir) + "/" + slug + ".csv");
+    if (out_) out_ << "sweep,x,algorithm,seconds,examined_ratio\n";
+  }
+
+  void Row(const char* sweep, const std::string& x,
+           const std::vector<PointResult>& points) {
+    if (!out_) return;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out_ << sweep << ',' << x << ','
+           << core::AlgorithmName(config_->algorithms[i]) << ','
+           << points[i].seconds << ',' << points[i].examined_ratio << '\n';
+    }
+  }
+
+ private:
+  const FigureConfig* config_;
+  std::ofstream out_;
+};
+
+template <typename X>
+std::string PrintRow(const FigureConfig& /*config*/, X x, const char* x_fmt,
+                     const std::vector<PointResult>& points) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), x_fmt, x);
+  std::printf("%-10s", buf);
+  for (const auto& p : points) std::printf(" %12.4f", p.seconds);
+  std::printf("   |           ");
+  for (const auto& p : points) {
+    std::printf(" %7.2f%%", 100.0 * p.examined_ratio);
+  }
+  std::printf("\n");
+  return buf;
+}
+
+}  // namespace
+
+uint64_t ScaledObjects(uint64_t base) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("SPQ_BENCH_SCALE")) {
+    scale = std::atof(env);
+    if (scale <= 0.0) scale = 1.0;
+  }
+  uint64_t n = static_cast<uint64_t>(static_cast<double>(base) * scale);
+  return n < 1000 ? 1000 : n;
+}
+
+uint32_t QueriesPerPointOverride() {
+  if (const char* env = std::getenv("SPQ_BENCH_QUERIES")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return 0;
+}
+
+void RunFigure(const FigureConfig& config) {
+  Logger::SetMinLevel(LogLevel::kWarn);
+  FigureConfig cfg = config;  // local copy for overrides
+  if (uint32_t q = QueriesPerPointOverride(); q > 0) {
+    cfg.queries_per_point = q;
+  }
+
+  std::printf("==== %s ====\n", cfg.title.c_str());
+  std::printf("dataset: |O|=%zu |F|=%zu, %u queries per point, "
+              "job time in seconds\n\n",
+              cfg.dataset.data.size(), cfg.dataset.features.size(),
+              cfg.queries_per_point);
+
+  core::EngineOptions options;
+  options.grid_size = cfg.default_grid;
+  core::SpqEngine engine(cfg.dataset, options);
+  CsvSink csv(cfg);
+
+  // (a) varying grid size
+  std::printf("--- (a) varying grid size (|q.W|=%u, r=%.0f%%, k=%u) ---\n",
+              cfg.default_keywords, cfg.default_radius_pct, cfg.default_k);
+  PrintSeriesHeader(cfg, "grid");
+  for (uint32_t grid : cfg.grid_sizes) {
+    auto queries = MakeWorkload(cfg, cfg.default_keywords,
+                                cfg.default_radius_pct, grid, cfg.default_k,
+                                cfg.queries_per_point);
+    std::vector<PointResult> points;
+    for (auto algo : cfg.algorithms) {
+      points.push_back(RunPoint(engine, queries, algo, grid));
+    }
+    csv.Row("grid", PrintRow(cfg, grid, "%u", points), points);
+  }
+
+  // (b) varying number of query keywords
+  std::printf("\n--- (b) varying query keywords (grid=%u, r=%.0f%%, k=%u) "
+              "---\n",
+              cfg.default_grid, cfg.default_radius_pct, cfg.default_k);
+  PrintSeriesHeader(cfg, "keywords");
+  for (uint32_t kw : cfg.keyword_counts) {
+    auto queries =
+        MakeWorkload(cfg, kw, cfg.default_radius_pct, cfg.default_grid,
+                     cfg.default_k, cfg.queries_per_point);
+    std::vector<PointResult> points;
+    for (auto algo : cfg.algorithms) {
+      points.push_back(RunPoint(engine, queries, algo, cfg.default_grid));
+    }
+    csv.Row("keywords", PrintRow(cfg, kw, "%u", points), points);
+  }
+
+  // (c) varying query radius
+  std::printf("\n--- (c) varying radius, %% of cell edge (grid=%u, "
+              "|q.W|=%u, k=%u) ---\n",
+              cfg.default_grid, cfg.default_keywords, cfg.default_k);
+  PrintSeriesHeader(cfg, "radius%");
+  for (double pct : cfg.radius_pcts) {
+    auto queries = MakeWorkload(cfg, cfg.default_keywords, pct,
+                                cfg.default_grid, cfg.default_k,
+                                cfg.queries_per_point);
+    std::vector<PointResult> points;
+    for (auto algo : cfg.algorithms) {
+      points.push_back(RunPoint(engine, queries, algo, cfg.default_grid));
+    }
+    csv.Row("radius_pct", PrintRow(cfg, pct, "%.0f", points), points);
+  }
+
+  // (d) varying k
+  std::printf("\n--- (d) varying top-k (grid=%u, |q.W|=%u, r=%.0f%%) ---\n",
+              cfg.default_grid, cfg.default_keywords,
+              cfg.default_radius_pct);
+  PrintSeriesHeader(cfg, "k");
+  for (uint32_t k : cfg.ks) {
+    auto queries =
+        MakeWorkload(cfg, cfg.default_keywords, cfg.default_radius_pct,
+                     cfg.default_grid, k, cfg.queries_per_point);
+    std::vector<PointResult> points;
+    for (auto algo : cfg.algorithms) {
+      points.push_back(RunPoint(engine, queries, algo, cfg.default_grid));
+    }
+    csv.Row("k", PrintRow(cfg, k, "%u", points), points);
+  }
+  std::printf("\n");
+}
+
+}  // namespace spq::bench

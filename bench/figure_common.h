@@ -1,0 +1,65 @@
+#ifndef SPQ_BENCH_FIGURE_COMMON_H_
+#define SPQ_BENCH_FIGURE_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spq/engine.h"
+#include "spq/types.h"
+
+namespace spq::bench {
+
+/// \brief One paper figure: a dataset plus the four parameter sweeps of
+/// the evaluation (grid size, query keywords, radius, k), each regenerated
+/// as a time series per algorithm.
+///
+/// Defaults follow Table 3 (bold values assumed: grid 50x50, |q.W|=3,
+/// r=10% of cell, k=10). Dataset sizes are scaled down from the paper's
+/// cluster-scale datasets; set SPQ_BENCH_SCALE to grow them.
+struct FigureConfig {
+  std::string title;
+
+  core::Dataset dataset;
+  /// Vocabulary/terms of the dataset, for workload generation.
+  uint32_t vocab_size = 1'000;
+  /// Zipf exponent of the dataset's term distribution (0 for UN/CL).
+  double term_zipf = 0.0;
+
+  std::vector<core::Algorithm> algorithms = {core::Algorithm::kPSPQ,
+                                             core::Algorithm::kESPQLen,
+                                             core::Algorithm::kESPQSco};
+
+  uint32_t default_grid = 50;
+  std::vector<uint32_t> grid_sizes = {35, 50, 75, 100};
+
+  uint32_t default_keywords = 3;
+  std::vector<uint32_t> keyword_counts = {1, 3, 5, 10};
+
+  /// Radius as a percentage of the cell edge (Table 3).
+  double default_radius_pct = 10.0;
+  std::vector<double> radius_pcts = {10, 25, 50, 100};
+
+  uint32_t default_k = 10;
+  std::vector<uint32_t> ks = {5, 10, 50, 100};
+
+  /// Queries averaged per data point (SPQ_BENCH_QUERIES overrides).
+  uint32_t queries_per_point = 2;
+  uint64_t workload_seed = 2017;
+};
+
+/// Applies the SPQ_BENCH_SCALE env multiplier (default 1.0) to a dataset
+/// size, keeping at least 1000 objects.
+uint64_t ScaledObjects(uint64_t base);
+
+/// SPQ_BENCH_QUERIES override (0 = keep the config's value).
+uint32_t QueriesPerPointOverride();
+
+/// Runs all four sweeps of the figure and prints paper-style series
+/// (x value vs. per-algorithm job time) plus the early-termination
+/// measurements that explain them.
+void RunFigure(const FigureConfig& config);
+
+}  // namespace spq::bench
+
+#endif  // SPQ_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,66 @@
+// City explorer: a Flickr-like skewed dataset (hotspot "cities", Zipf tag
+// frequencies) queried for photogenic spots near relevant tags — the
+// scenario the paper's introduction motivates. Compares the three
+// algorithms on the same queries and prints the early-termination effect.
+//
+//   ./build/examples/city_explorer [num_objects]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "spq/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace spq;
+
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+
+  std::printf("Generating Flickr-like dataset with %llu objects...\n",
+              static_cast<unsigned long long>(n));
+  auto dataset = datagen::MakeRealLikeDataset(datagen::FlickrLikeSpec(n));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  core::EngineOptions options;
+  options.grid_size = 50;
+  core::SpqEngine engine(*std::move(dataset), options);
+
+  datagen::WorkloadSpec workload;
+  workload.num_keywords = 3;
+  workload.radius = datagen::RadiusFromCellFraction(0.10, 1.0, 50);
+  workload.k = 10;
+  workload.term_zipf = 1.0;
+  workload.vocab_size = 34'716;
+  workload.seed = 2017;
+
+  const auto queries = datagen::MakeQueries(workload, 3);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    std::printf("\n=== query %zu (3 keywords, r=10%% of cell, k=10) ===\n",
+                qi + 1);
+    std::printf("%-8s %10s %14s %14s %12s\n", "algo", "time(s)",
+                "shuffled", "examined", "results");
+    for (core::Algorithm algo :
+         {core::Algorithm::kPSPQ, core::Algorithm::kESPQLen,
+          core::Algorithm::kESPQSco}) {
+      auto result = engine.Execute(queries[qi], algo);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      const auto& info = result->info;
+      std::printf("%-8s %10.3f %14llu %14llu %12zu\n",
+                  core::AlgorithmName(algo).c_str(), info.job.total_seconds,
+                  static_cast<unsigned long long>(info.features_kept +
+                                                  info.feature_duplicates),
+                  static_cast<unsigned long long>(info.features_examined),
+                  result->entries.size());
+    }
+  }
+  std::printf("\nNote: all three always return identical score lists; the "
+              "early-termination algorithms just read far less input.\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Command-line SPQ tool: load a TSV dataset (or generate one), run one
+// query, print the ranked results and job measurements. The adoption
+// surface a downstream user would script against.
+//
+// Usage:
+//   spq_cli --dataset file.tsv --keywords "italian gourmet" \
+//           [--k 10] [--radius 0.01] [--grid 50] [--algo eSPQsco]
+//   spq_cli --generate uniform|clustered|flickr|twitter --objects 100000 ...
+//
+// With --dataset, keyword tokens are vocabulary terms from the file; with
+// --generate, keywords are numeric term ids (e.g. --keywords "1 17 23").
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "datagen/generator.h"
+#include "datagen/stats.h"
+#include "io/dataset_io.h"
+#include "mapreduce/job.h"
+#include "spq/engine.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+struct CliArgs {
+  std::string dataset_path;
+  std::string generate;
+  uint64_t objects = 100'000;
+  std::string keywords;
+  uint32_t k = 10;
+  double radius = 0.0;  // 0 = default to 10% of a grid cell
+  uint32_t grid = 50;
+  std::string algo = "eSPQsco";
+  bool verbose = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--dataset <file.tsv> | --generate "
+               "uniform|clustered|flickr|twitter) [--objects N]\n"
+               "          --keywords \"<terms>\" [--k K] [--radius R] "
+               "[--grid G] [--algo pSPQ|eSPQlen|eSPQsco] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      const char* v = next("--dataset");
+      if (!v) return false;
+      args->dataset_path = v;
+    } else if (!std::strcmp(argv[i], "--generate")) {
+      const char* v = next("--generate");
+      if (!v) return false;
+      args->generate = v;
+    } else if (!std::strcmp(argv[i], "--objects")) {
+      const char* v = next("--objects");
+      if (!v) return false;
+      args->objects = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--keywords")) {
+      const char* v = next("--keywords");
+      if (!v) return false;
+      args->keywords = v;
+    } else if (!std::strcmp(argv[i], "--k")) {
+      const char* v = next("--k");
+      if (!v) return false;
+      args->k = static_cast<uint32_t>(std::atoi(v));
+    } else if (!std::strcmp(argv[i], "--radius")) {
+      const char* v = next("--radius");
+      if (!v) return false;
+      args->radius = std::atof(v);
+    } else if (!std::strcmp(argv[i], "--grid")) {
+      const char* v = next("--grid");
+      if (!v) return false;
+      args->grid = static_cast<uint32_t>(std::atoi(v));
+    } else if (!std::strcmp(argv[i], "--algo")) {
+      const char* v = next("--algo");
+      if (!v) return false;
+      args->algo = v;
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      args->verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spq;
+
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  if (args.dataset_path.empty() == args.generate.empty()) {
+    std::fprintf(stderr, "need exactly one of --dataset / --generate\n");
+    return Usage(argv[0]);
+  }
+  if (args.keywords.empty()) {
+    std::fprintf(stderr, "--keywords is required\n");
+    return Usage(argv[0]);
+  }
+
+  core::Algorithm algo;
+  if (args.algo == "pSPQ") {
+    algo = core::Algorithm::kPSPQ;
+  } else if (args.algo == "eSPQlen") {
+    algo = core::Algorithm::kESPQLen;
+  } else if (args.algo == "eSPQsco") {
+    algo = core::Algorithm::kESPQSco;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", args.algo.c_str());
+    return Usage(argv[0]);
+  }
+
+  // --- obtain the dataset + query keywords ---
+  core::Dataset dataset;
+  core::Query query;
+  text::Vocabulary vocab;
+  if (!args.dataset_path.empty()) {
+    auto loaded = io::LoadDatasetTsv(args.dataset_path, &vocab);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = *std::move(loaded);
+    query.keywords = text::TokenizeToSetReadOnly(args.keywords, vocab);
+  } else {
+    StatusOr<core::Dataset> generated = [&]() -> StatusOr<core::Dataset> {
+      if (args.generate == "uniform") {
+        return datagen::MakeUniformDataset({.num_objects = args.objects});
+      }
+      if (args.generate == "clustered") {
+        return datagen::MakeClusteredDataset({.num_objects = args.objects});
+      }
+      if (args.generate == "flickr") {
+        return datagen::MakeRealLikeDataset(
+            datagen::FlickrLikeSpec(args.objects));
+      }
+      if (args.generate == "twitter") {
+        return datagen::MakeRealLikeDataset(
+            datagen::TwitterLikeSpec(args.objects));
+      }
+      return Status::InvalidArgument("unknown --generate " + args.generate);
+    }();
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    dataset = *std::move(generated);
+    // Numeric term ids for synthetic data.
+    std::vector<text::TermId> ids;
+    for (const auto& token : text::Tokenize(args.keywords)) {
+      ids.push_back(static_cast<text::TermId>(std::strtoul(
+          token.c_str(), nullptr, 10)));
+    }
+    query.keywords = text::KeywordSet(std::move(ids));
+  }
+
+  query.k = args.k;
+  query.radius = args.radius > 0.0
+                     ? args.radius
+                     : 0.10 * dataset.bounds.width() / args.grid;
+
+  std::printf("dataset: %s\n",
+              datagen::ComputeStats(dataset).ToString().c_str());
+  std::printf("query: k=%u r=%.6g |q.W|=%zu, algorithm %s, grid %ux%u\n\n",
+              query.k, query.radius, query.keywords.size(),
+              args.algo.c_str(), args.grid, args.grid);
+
+  core::EngineOptions options;
+  options.grid_size = args.grid;
+  core::SpqEngine engine(std::move(dataset), options);
+  auto result = engine.Execute(query, algo);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (result->entries.empty()) {
+    std::printf("no data object has a matching feature within r\n");
+  }
+  for (std::size_t i = 0; i < result->entries.size(); ++i) {
+    std::printf("%2zu. object %-10llu score %.4f\n", i + 1,
+                static_cast<unsigned long long>(result->entries[i].id),
+                result->entries[i].score);
+  }
+  std::printf("\njob: %.3fs (%.1f%% of shuffled features examined)\n",
+              result->info.job.total_seconds,
+              100.0 * result->info.FeatureExaminationRatio());
+  if (args.verbose) {
+    std::printf("%s", mapreduce::FormatJobStats(result->info.job).c_str());
+  }
+  return 0;
+}

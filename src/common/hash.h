@@ -1,0 +1,27 @@
+#ifndef SPQ_COMMON_HASH_H_
+#define SPQ_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spq {
+
+/// 64-bit finalizer-grade mixer (MurmurHash3 fmix64). Used to spread cell
+/// ids over reduce partitions when R < number of cells.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// boost-style hash combiner.
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_HASH_H_

@@ -1,0 +1,70 @@
+#ifndef SPQ_COMMON_LOGGING_H_
+#define SPQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace spq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Minimal thread-safe logger writing to stderr.
+///
+/// Global minimum level is settable at runtime (e.g. benches silence kInfo).
+/// Messages are assembled in a per-statement stream and emitted atomically.
+class Logger {
+ public:
+  static LogLevel MinLevel();
+  static void SetMinLevel(LogLevel level);
+
+  /// Emits one formatted line: "[LEVEL] message\n".
+  static void Write(LogLevel level, const std::string& message);
+};
+
+namespace logging_internal {
+
+/// One log statement; flushes on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose level is below the minimum.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace logging_internal
+
+#define SPQ_LOG(level)                                              \
+  if (::spq::LogLevel::level < ::spq::Logger::MinLevel()) {         \
+  } else                                                            \
+    ::spq::logging_internal::LogMessage(::spq::LogLevel::level).stream()
+
+#define SPQ_LOG_DEBUG SPQ_LOG(kDebug)
+#define SPQ_LOG_INFO SPQ_LOG(kInfo)
+#define SPQ_LOG_WARN SPQ_LOG(kWarn)
+#define SPQ_LOG_ERROR SPQ_LOG(kError)
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_LOGGING_H_

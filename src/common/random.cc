@@ -1,0 +1,116 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spq {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t state = seed;
+  for (auto& s : s_) s = SplitMix64(state);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint32_t Rng::NextUint32(uint32_t bound) {
+  return static_cast<uint32_t>(NextUint64(bound));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian() {
+  // Box–Muller; discards the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+uint32_t Rng::NextPoisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's algorithm.
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint32_t count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= NextDouble();
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  double v = NextGaussian(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0u : static_cast<uint32_t>(std::lround(v));
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t state = NextUint64() ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return Rng(SplitMix64(state));
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) : n_(n), s_(s), cdf_(n) {
+  assert(n > 0);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (uint32_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace spq

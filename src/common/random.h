@@ -1,0 +1,79 @@
+#ifndef SPQ_COMMON_RANDOM_H_
+#define SPQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spq {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**) seeded via SplitMix64.
+///
+/// Every source of randomness in the library flows through this class so
+/// that datasets, workloads and fault injection are reproducible from a
+/// single seed. Not cryptographically secure; not thread-safe — use one
+/// instance per thread (Fork() derives independent streams).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint32_t NextUint32(uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above).
+  uint32_t NextPoisson(double mean);
+
+  /// Derives an independent generator (stream-split by re-seeding through
+  /// SplitMix64 of the current state and a salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf(s) sampler over ranks {0, ..., n-1} with exponent `s`.
+///
+/// Rank 0 is the most frequent. Uses the inverse-CDF method over a
+/// precomputed cumulative table — O(n) memory, O(log n) per sample; fine up
+/// to the ~100k-term vocabularies used by the generators.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (> 0)
+  /// \param s skew exponent (>= 0); s=0 degenerates to uniform
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint32_t Sample(Rng& rng) const;
+
+  uint32_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint32_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_RANDOM_H_

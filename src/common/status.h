@@ -1,0 +1,96 @@
+#ifndef SPQ_COMMON_STATUS_H_
+#define SPQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace spq {
+
+/// \brief Error-code based result of an operation, in the RocksDB/Arrow
+/// tradition: library code never throws; every fallible call returns a
+/// Status (or a StatusOr<T>, see statusor.h).
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus a human-readable message otherwise.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kIOError = 3,
+    kAborted = 4,
+    kOutOfRange = 5,
+    kInternal = 6,
+    kNotSupported = 7,
+  };
+
+  /// Creates an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Factory functions, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Evaluates an expression returning Status and propagates any error to the
+/// caller. Usage: SPQ_RETURN_NOT_OK(DoThing());
+#define SPQ_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::spq::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+#ifndef SPQ_COMMON_STATUSOR_H_
+#define SPQ_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace spq {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// The OK state always holds a value; the error state never does. Accessing
+/// the value of an error StatusOr aborts in debug builds (assert) — callers
+/// must check ok() first, mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK state).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a StatusOr expression, or assigns its value.
+/// Usage: SPQ_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define SPQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define SPQ_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SPQ_ASSIGN_OR_RETURN_NAME(a, b) SPQ_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SPQ_ASSIGN_OR_RETURN(lhs, expr) \
+  SPQ_ASSIGN_OR_RETURN_IMPL(            \
+      SPQ_ASSIGN_OR_RETURN_NAME(_statusor_, __LINE__), lhs, expr)
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_STATUSOR_H_

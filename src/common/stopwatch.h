@@ -1,0 +1,31 @@
+#ifndef SPQ_COMMON_STOPWATCH_H_
+#define SPQ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace spq {
+
+/// \brief Wall-clock stopwatch used for job/phase timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_STOPWATCH_H_

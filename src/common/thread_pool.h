@@ -1,0 +1,59 @@
+#ifndef SPQ_COMMON_THREAD_POOL_H_
+#define SPQ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spq {
+
+/// \brief Fixed-size worker pool.
+///
+/// Tasks are arbitrary std::function<void()>; submission is thread-safe.
+/// The pool is used by the MapReduce runtime to model a cluster of worker
+/// slots: the number of threads is the number of concurrently executing
+/// map/reduce tasks.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on `pool`, blocking until all complete.
+/// Work is divided into contiguous chunks, one per worker, to keep
+/// scheduling overhead low for fine-grained bodies.
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace spq
+
+#endif  // SPQ_COMMON_THREAD_POOL_H_

@@ -1,0 +1,167 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/point.h"
+#include "text/keyword_set.h"
+
+namespace spq::datagen {
+
+namespace {
+
+using core::DataObject;
+using core::Dataset;
+using core::FeatureObject;
+using core::ObjectId;
+
+geo::Rect UnitSquare() { return geo::Rect{0.0, 0.0, 1.0, 1.0}; }
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Splits `positions` half/half into data objects and feature objects;
+/// `make_keywords(i)` supplies the keyword set of the i-th feature.
+template <typename KeywordFn>
+Dataset AssembleDataset(const std::vector<geo::Point>& positions,
+                        KeywordFn&& make_keywords) {
+  Dataset dataset;
+  dataset.bounds = UnitSquare();
+  const std::size_t num_data = positions.size() / 2;
+  dataset.data.reserve(num_data);
+  dataset.features.reserve(positions.size() - num_data);
+  for (std::size_t i = 0; i < num_data; ++i) {
+    dataset.data.push_back(DataObject{static_cast<ObjectId>(i), positions[i]});
+  }
+  for (std::size_t i = num_data; i < positions.size(); ++i) {
+    FeatureObject f;
+    f.id = static_cast<ObjectId>(i);
+    f.pos = positions[i];
+    f.keywords = make_keywords(i - num_data);
+    dataset.features.push_back(std::move(f));
+  }
+  return dataset;
+}
+
+/// `count` keywords drawn uniformly (with replacement; dedup by KeywordSet).
+text::KeywordSet UniformKeywords(Rng& rng, uint32_t vocab_size,
+                                 uint32_t count) {
+  std::vector<text::TermId> ids;
+  ids.reserve(count);
+  for (uint32_t j = 0; j < count; ++j) ids.push_back(rng.NextUint32(vocab_size));
+  return text::KeywordSet(std::move(ids));
+}
+
+Status ValidateCommon(uint64_t num_objects, uint32_t vocab_size) {
+  if (num_objects < 2) {
+    return Status::InvalidArgument("need at least 2 objects (1 data + 1 feature)");
+  }
+  if (vocab_size == 0) {
+    return Status::InvalidArgument("vocab_size must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RealLikeSpec FlickrLikeSpec(uint64_t num_objects, uint64_t seed) {
+  RealLikeSpec spec;
+  spec.num_objects = num_objects;
+  spec.seed = seed;
+  spec.vocab_size = 34'716;
+  spec.mean_keywords = 7.9;
+  return spec;
+}
+
+RealLikeSpec TwitterLikeSpec(uint64_t num_objects, uint64_t seed) {
+  RealLikeSpec spec;
+  spec.num_objects = num_objects;
+  spec.seed = seed;
+  spec.vocab_size = 88'706;
+  spec.mean_keywords = 9.8;
+  return spec;
+}
+
+StatusOr<Dataset> MakeUniformDataset(const UniformSpec& spec) {
+  SPQ_RETURN_NOT_OK(ValidateCommon(spec.num_objects, spec.vocab_size));
+  if (spec.min_keywords == 0 || spec.min_keywords > spec.max_keywords) {
+    return Status::InvalidArgument("invalid keyword count range");
+  }
+  Rng rng(spec.seed);
+  std::vector<geo::Point> positions(spec.num_objects);
+  for (auto& p : positions) {
+    p = geo::Point{rng.NextDouble(), rng.NextDouble()};
+  }
+  const uint32_t span = spec.max_keywords - spec.min_keywords + 1;
+  return AssembleDataset(positions, [&](std::size_t) {
+    const uint32_t count = spec.min_keywords + rng.NextUint32(span);
+    return UniformKeywords(rng, spec.vocab_size, count);
+  });
+}
+
+StatusOr<Dataset> MakeClusteredDataset(const ClusteredSpec& spec) {
+  SPQ_RETURN_NOT_OK(ValidateCommon(spec.num_objects, spec.vocab_size));
+  if (spec.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (spec.min_keywords == 0 || spec.min_keywords > spec.max_keywords) {
+    return Status::InvalidArgument("invalid keyword count range");
+  }
+  Rng rng(spec.seed);
+  // Cluster centers chosen uniformly at random (Section 7.1).
+  std::vector<geo::Point> centers(spec.num_clusters);
+  for (auto& c : centers) {
+    c = geo::Point{rng.NextDouble(), rng.NextDouble()};
+  }
+  std::vector<geo::Point> positions(spec.num_objects);
+  for (auto& p : positions) {
+    const auto& c = centers[rng.NextUint32(spec.num_clusters)];
+    p = geo::Point{Clamp01(rng.NextGaussian(c.x, spec.cluster_sigma)),
+                   Clamp01(rng.NextGaussian(c.y, spec.cluster_sigma))};
+  }
+  const uint32_t span = spec.max_keywords - spec.min_keywords + 1;
+  return AssembleDataset(positions, [&](std::size_t) {
+    const uint32_t count = spec.min_keywords + rng.NextUint32(span);
+    return UniformKeywords(rng, spec.vocab_size, count);
+  });
+}
+
+StatusOr<Dataset> MakeRealLikeDataset(const RealLikeSpec& spec) {
+  SPQ_RETURN_NOT_OK(ValidateCommon(spec.num_objects, spec.vocab_size));
+  if (spec.mean_keywords <= 0.0) {
+    return Status::InvalidArgument("mean_keywords must be > 0");
+  }
+  if (spec.num_hotspots == 0) {
+    return Status::InvalidArgument("num_hotspots must be >= 1");
+  }
+  Rng rng(spec.seed);
+  // Hotspots with Zipf-distributed popularity: a few dense "cities" and a
+  // long tail — the shape of the paper's Figure 4(a)/(b) density maps.
+  std::vector<geo::Point> centers(spec.num_hotspots);
+  for (auto& c : centers) {
+    c = geo::Point{rng.NextDouble(), rng.NextDouble()};
+  }
+  ZipfSampler hotspot_sampler(spec.num_hotspots, spec.hotspot_zipf);
+  std::vector<geo::Point> positions(spec.num_objects);
+  for (auto& p : positions) {
+    if (rng.NextBool(spec.background_fraction)) {
+      p = geo::Point{rng.NextDouble(), rng.NextDouble()};
+    } else {
+      const auto& c = centers[hotspot_sampler.Sample(rng)];
+      p = geo::Point{Clamp01(rng.NextGaussian(c.x, spec.hotspot_sigma)),
+                     Clamp01(rng.NextGaussian(c.y, spec.hotspot_sigma))};
+    }
+  }
+  // Zipf term frequencies: term rank 0 is the most common, like natural
+  // language tags/hashtags.
+  ZipfSampler term_sampler(spec.vocab_size, spec.term_zipf);
+  return AssembleDataset(positions, [&](std::size_t) {
+    uint32_t count = std::max<uint32_t>(1, rng.NextPoisson(spec.mean_keywords));
+    std::vector<text::TermId> ids;
+    ids.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) ids.push_back(term_sampler.Sample(rng));
+    return text::KeywordSet(std::move(ids));
+  });
+}
+
+}  // namespace spq::datagen

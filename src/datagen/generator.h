@@ -1,0 +1,72 @@
+#ifndef SPQ_DATAGEN_GENERATOR_H_
+#define SPQ_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "spq/types.h"
+
+namespace spq::datagen {
+
+/// \brief Generators for the paper's four evaluation datasets (Section 7.1).
+///
+/// The real Twitter/Flickr datasets are not redistributable; the generators
+/// reproduce the statistics the experiments depend on — spatial skew,
+/// vocabulary size, keywords per object and term-frequency skew — as
+/// documented in DESIGN.md. All datasets span the unit square [0,1]² and
+/// split objects half/half into data and feature objects, exactly like the
+/// paper ("we randomly select half of the objects to act as data objects
+/// and the other half as feature objects").
+
+/// UN — uniform positions; per feature, a uniform number of keywords in
+/// [min_keywords, max_keywords] drawn from a small vocabulary.
+/// Paper: 512M objects, vocab 1,000, 10–100 keywords.
+struct UniformSpec {
+  uint64_t num_objects = 100'000;  ///< |O| + |F|
+  uint64_t seed = 42;
+  uint32_t vocab_size = 1'000;
+  uint32_t min_keywords = 10;
+  uint32_t max_keywords = 100;
+};
+
+/// CL — like UN but positions form `num_clusters` Gaussian clusters whose
+/// centers are uniform-random. Paper: 16 clusters, same keyword scheme.
+struct ClusteredSpec {
+  uint64_t num_objects = 100'000;
+  uint64_t seed = 43;
+  uint32_t vocab_size = 1'000;
+  uint32_t min_keywords = 10;
+  uint32_t max_keywords = 100;
+  uint32_t num_clusters = 16;
+  /// Std-dev of each cluster, as a fraction of the unit square.
+  double cluster_sigma = 0.02;
+};
+
+/// FL/TW-like — skewed "user-generated content" surrogate: a Zipf-weighted
+/// mixture of Gaussian hotspots (cities) over a uniform background, with
+/// Zipf term frequencies and Poisson keyword counts.
+struct RealLikeSpec {
+  uint64_t num_objects = 100'000;
+  uint64_t seed = 44;
+  uint32_t vocab_size = 34'716;    ///< Flickr's dictionary size
+  double mean_keywords = 7.9;      ///< Flickr's avg keywords per object
+  double term_zipf = 1.0;          ///< skew of term frequencies
+  uint32_t num_hotspots = 64;
+  double hotspot_zipf = 0.8;       ///< skew of hotspot popularity
+  double hotspot_sigma = 0.03;
+  double background_fraction = 0.1;  ///< objects placed uniformly
+};
+
+/// Flickr-like defaults (vocab 34,716; 7.9 keywords/object).
+RealLikeSpec FlickrLikeSpec(uint64_t num_objects, uint64_t seed = 44);
+
+/// Twitter-like defaults (vocab 88,706; 9.8 keywords/object).
+RealLikeSpec TwitterLikeSpec(uint64_t num_objects, uint64_t seed = 45);
+
+StatusOr<core::Dataset> MakeUniformDataset(const UniformSpec& spec);
+StatusOr<core::Dataset> MakeClusteredDataset(const ClusteredSpec& spec);
+StatusOr<core::Dataset> MakeRealLikeDataset(const RealLikeSpec& spec);
+
+}  // namespace spq::datagen
+
+#endif  // SPQ_DATAGEN_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "datagen/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+namespace spq::datagen {
+
+DatasetStats ComputeStats(const core::Dataset& dataset, uint32_t skew_grid) {
+  DatasetStats stats;
+  stats.num_data = dataset.data.size();
+  stats.num_features = dataset.features.size();
+
+  uint64_t total_keywords = 0;
+  std::unordered_set<text::TermId> terms;
+  bool first = true;
+  for (const auto& f : dataset.features) {
+    const uint32_t n = static_cast<uint32_t>(f.keywords.size());
+    total_keywords += n;
+    if (first) {
+      stats.min_keywords = stats.max_keywords = n;
+      first = false;
+    } else {
+      stats.min_keywords = std::min(stats.min_keywords, n);
+      stats.max_keywords = std::max(stats.max_keywords, n);
+    }
+    for (text::TermId id : f.keywords.ids()) terms.insert(id);
+  }
+  stats.distinct_terms = terms.size();
+  if (!dataset.features.empty()) {
+    stats.avg_keywords =
+        static_cast<double>(total_keywords) / dataset.features.size();
+  }
+
+  auto grid_or = geo::UniformGrid::Make(dataset.bounds, skew_grid, skew_grid);
+  if (grid_or.ok() && stats.num_data + stats.num_features > 0) {
+    std::vector<uint64_t> counts(grid_or->num_cells(), 0);
+    for (const auto& p : dataset.data) ++counts[grid_or->CellOf(p.pos)];
+    for (const auto& f : dataset.features) ++counts[grid_or->CellOf(f.pos)];
+    const uint64_t max_count = *std::max_element(counts.begin(), counts.end());
+    const double mean = static_cast<double>(stats.num_data +
+                                            stats.num_features) /
+                        counts.size();
+    stats.spatial_skew = mean > 0 ? static_cast<double>(max_count) / mean : 1.0;
+  }
+  return stats;
+}
+
+std::string DatasetStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|O|=%llu |F|=%llu, keywords/feature avg %.2f "
+                "[%u, %u], %llu distinct terms, spatial skew %.2f",
+                static_cast<unsigned long long>(num_data),
+                static_cast<unsigned long long>(num_features), avg_keywords,
+                min_keywords, max_keywords,
+                static_cast<unsigned long long>(distinct_terms),
+                spatial_skew);
+  return buf;
+}
+
+}  // namespace spq::datagen

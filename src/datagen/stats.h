@@ -1,0 +1,37 @@
+#ifndef SPQ_DATAGEN_STATS_H_
+#define SPQ_DATAGEN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/grid.h"
+#include "spq/types.h"
+
+namespace spq::datagen {
+
+/// \brief Summary statistics of a dataset — the numbers the paper reports
+/// per dataset in Section 7.1 (object counts, keywords per object,
+/// dictionary size) plus spatial-skew measures used to sanity-check the
+/// generators against their targets.
+struct DatasetStats {
+  uint64_t num_data = 0;
+  uint64_t num_features = 0;
+  double avg_keywords = 0.0;
+  uint32_t min_keywords = 0;
+  uint32_t max_keywords = 0;
+  /// Distinct terms actually used by the features.
+  uint64_t distinct_terms = 0;
+  /// Max/mean objects per cell of a `skew_grid` x `skew_grid` grid;
+  /// 1.0 = perfectly uniform.
+  double spatial_skew = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Computes stats; `skew_grid` controls the skew-measurement resolution.
+DatasetStats ComputeStats(const core::Dataset& dataset,
+                          uint32_t skew_grid = 16);
+
+}  // namespace spq::datagen
+
+#endif  // SPQ_DATAGEN_STATS_H_

@@ -1,0 +1,79 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "text/keyword_set.h"
+
+namespace spq::datagen {
+
+namespace {
+
+core::Query MakeOne(const WorkloadSpec& spec, Rng& rng,
+                    const ZipfSampler* zipf) {
+  std::vector<text::TermId> ids;
+  ids.reserve(spec.num_keywords);
+  switch (spec.selection) {
+    case KeywordSelection::kFrequencyWeighted:
+      while (ids.size() < spec.num_keywords &&
+             ids.size() < spec.vocab_size) {
+        const text::TermId id = zipf ? zipf->Sample(rng)
+                                     : rng.NextUint32(spec.vocab_size);
+        if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+          ids.push_back(id);
+        }
+      }
+      break;
+    case KeywordSelection::kUniformRandom:
+      while (ids.size() < spec.num_keywords &&
+             ids.size() < spec.vocab_size) {
+        const text::TermId id = rng.NextUint32(spec.vocab_size);
+        if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+          ids.push_back(id);
+        }
+      }
+      break;
+    case KeywordSelection::kMostFrequent:
+      for (uint32_t i = 0; i < spec.num_keywords && i < spec.vocab_size; ++i) {
+        ids.push_back(i);  // Zipf rank i = i-th most frequent term
+      }
+      break;
+    case KeywordSelection::kLeastFrequent:
+      for (uint32_t i = 0; i < spec.num_keywords && i < spec.vocab_size; ++i) {
+        ids.push_back(spec.vocab_size - 1 - i);
+      }
+      break;
+  }
+  core::Query query;
+  query.k = spec.k;
+  query.radius = spec.radius;
+  query.keywords = text::KeywordSet(std::move(ids));
+  return query;
+}
+
+}  // namespace
+
+double RadiusFromCellFraction(double fraction, double extent,
+                              uint32_t grid_size) {
+  return fraction * extent / static_cast<double>(grid_size);
+}
+
+std::vector<core::Query> MakeQueries(const WorkloadSpec& spec,
+                                     std::size_t count) {
+  Rng rng(spec.seed);
+  ZipfSampler zipf(spec.vocab_size, spec.term_zipf);
+  const bool weighted =
+      spec.selection == KeywordSelection::kFrequencyWeighted &&
+      spec.term_zipf > 0.0;
+  std::vector<core::Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queries.push_back(MakeOne(spec, rng, weighted ? &zipf : nullptr));
+  }
+  return queries;
+}
+
+core::Query MakeQuery(const WorkloadSpec& spec, std::size_t index) {
+  return MakeQueries(spec, index + 1).back();
+}
+
+}  // namespace spq::datagen

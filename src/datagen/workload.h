@@ -1,0 +1,57 @@
+#ifndef SPQ_DATAGEN_WORKLOAD_H_
+#define SPQ_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "spq/types.h"
+
+namespace spq::datagen {
+
+/// How query keywords are drawn from the vocabulary (Section 7.1 notes the
+/// authors tried random / most frequent / least frequent selections).
+enum class KeywordSelection {
+  /// Proportional to term frequency (Zipf-weighted for the real-like
+  /// datasets, uniform for UN/CL whose terms are uniform). Mirrors a user
+  /// typing words that actually occur in the data; the benches' default.
+  kFrequencyWeighted,
+  /// Uniform over the vocabulary.
+  kUniformRandom,
+  /// Always the most frequent terms (ranks 0..n-1).
+  kMostFrequent,
+  /// Always the least frequent terms.
+  kLeastFrequent,
+};
+
+/// \brief Recipe for generating query workloads over a dataset family.
+struct WorkloadSpec {
+  uint32_t num_keywords = 3;
+  /// Query radius as a fraction of the grid cell edge ("r = 10% of cell
+  /// size" in Table 3). Resolved against a concrete grid via
+  /// RadiusFromCellFraction.
+  double radius = 0.002;
+  uint32_t k = 10;
+  KeywordSelection selection = KeywordSelection::kFrequencyWeighted;
+  /// Zipf exponent of the dataset's term distribution (0 = uniform terms).
+  double term_zipf = 0.0;
+  uint32_t vocab_size = 1'000;
+  uint64_t seed = 4242;
+};
+
+/// Converts the paper's "radius as a percentage of cell size" to an
+/// absolute radius: fraction * (extent / grid_size).
+double RadiusFromCellFraction(double fraction, double extent,
+                              uint32_t grid_size);
+
+/// Generates `count` queries per the spec. Deterministic in spec.seed.
+std::vector<core::Query> MakeQueries(const WorkloadSpec& spec,
+                                     std::size_t count);
+
+/// Generates one query (the `index`-th of the stream, so callers can
+/// sample a specific one without materializing the rest).
+core::Query MakeQuery(const WorkloadSpec& spec, std::size_t index);
+
+}  // namespace spq::datagen
+
+#endif  // SPQ_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,31 @@
+#ifndef SPQ_DFS_BLOCK_H_
+#define SPQ_DFS_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spq::dfs {
+
+/// Identifier of a stored block, unique within a MiniDfs cluster.
+using BlockId = uint64_t;
+
+/// Identifier of a DataNode within a MiniDfs cluster: 0..num_datanodes-1.
+using NodeId = uint32_t;
+
+/// \brief Where one block of a file lives (HDFS block metadata):
+/// the block id, its byte length, and the replica nodes holding it.
+struct BlockLocation {
+  BlockId block = 0;
+  uint64_t length = 0;
+  std::vector<NodeId> replicas;
+};
+
+/// \brief NameNode-side description of a stored file.
+struct FileMetadata {
+  uint64_t size = 0;
+  std::vector<BlockLocation> blocks;
+};
+
+}  // namespace spq::dfs
+
+#endif  // SPQ_DFS_BLOCK_H_

@@ -1,0 +1,31 @@
+#include "dfs/datanode.h"
+
+namespace spq::dfs {
+
+Status DataNode::Put(BlockId block, std::vector<uint8_t> data) {
+  if (!alive_) {
+    return Status::IOError("datanode " + std::to_string(id_) + " is down");
+  }
+  if (blocks_.count(block) > 0) {
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " already stored on node " +
+                                   std::to_string(id_));
+  }
+  stored_bytes_ += data.size();
+  blocks_.emplace(block, std::move(data));
+  return Status::OK();
+}
+
+StatusOr<const std::vector<uint8_t>*> DataNode::Get(BlockId block) const {
+  if (!alive_) {
+    return Status::IOError("datanode " + std::to_string(id_) + " is down");
+  }
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " not on node " + std::to_string(id_));
+  }
+  return &it->second;
+}
+
+}  // namespace spq::dfs

@@ -1,0 +1,51 @@
+#ifndef SPQ_DFS_DATANODE_H_
+#define SPQ_DFS_DATANODE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "dfs/block.h"
+
+namespace spq::dfs {
+
+/// \brief One simulated storage node: an in-memory block store that can be
+/// killed and restarted to exercise replica failover.
+///
+/// A killed node keeps its blocks (the disk survives) but refuses reads
+/// and writes until Restart() — the HDFS behaviour a client sees when a
+/// DataNode is unreachable.
+class DataNode {
+ public:
+  explicit DataNode(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// Simulates node failure: subsequent Put/Get return IOError.
+  void Kill() { alive_ = false; }
+  /// Brings the node back with its blocks intact.
+  void Restart() { alive_ = true; }
+
+  /// Stores a replica of `block`.
+  Status Put(BlockId block, std::vector<uint8_t> data);
+
+  /// Reads a replica. IOError when dead, NotFound when never stored.
+  StatusOr<const std::vector<uint8_t>*> Get(BlockId block) const;
+
+  bool Holds(BlockId block) const { return blocks_.count(block) > 0; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  /// Total bytes stored on this node.
+  uint64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  NodeId id_;
+  bool alive_ = true;
+  uint64_t stored_bytes_ = 0;
+  std::unordered_map<BlockId, std::vector<uint8_t>> blocks_;
+};
+
+}  // namespace spq::dfs
+
+#endif  // SPQ_DFS_DATANODE_H_

@@ -1,0 +1,147 @@
+#include "dfs/mini_dfs.h"
+
+#include <algorithm>
+
+namespace spq::dfs {
+
+MiniDfs::MiniDfs(DfsOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options_.num_datanodes == 0) options_.num_datanodes = 1;
+  if (options_.block_size == 0) options_.block_size = 1;
+  if (options_.replication == 0) options_.replication = 1;
+  options_.replication =
+      std::min(options_.replication, options_.num_datanodes);
+  nodes_.reserve(options_.num_datanodes);
+  for (NodeId id = 0; id < options_.num_datanodes; ++id) {
+    nodes_.emplace_back(id);
+  }
+}
+
+uint32_t MiniDfs::alive_datanodes() const {
+  uint32_t alive = 0;
+  for (const auto& node : nodes_) {
+    if (node.alive()) ++alive;
+  }
+  return alive;
+}
+
+StatusOr<std::vector<NodeId>> MiniDfs::PlaceReplicas() {
+  // Candidates: live nodes, least loaded first; random tie-break via a
+  // per-candidate random salt sorted alongside.
+  struct Candidate {
+    uint64_t load;
+    uint64_t salt;
+    NodeId id;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& node : nodes_) {
+    if (node.alive()) {
+      candidates.push_back({node.stored_bytes(), rng_.NextUint64(), node.id()});
+    }
+  }
+  if (candidates.size() < options_.replication) {
+    return Status::IOError("not enough live datanodes for replication " +
+                           std::to_string(options_.replication));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.load != b.load) return a.load < b.load;
+              return a.salt < b.salt;
+            });
+  std::vector<NodeId> replicas;
+  for (uint32_t i = 0; i < options_.replication; ++i) {
+    replicas.push_back(candidates[i].id);
+  }
+  return replicas;
+}
+
+Status MiniDfs::WriteFile(const std::string& name,
+                          const std::vector<uint8_t>& data) {
+  if (files_.count(name) > 0) {
+    return Status::InvalidArgument("file exists (HDFS is write-once): " +
+                                   name);
+  }
+  FileMetadata meta;
+  meta.size = data.size();
+  // Split into blocks and replicate each; an empty file has one empty
+  // block so that readers and split builders need no special case.
+  std::size_t offset = 0;
+  do {
+    const std::size_t len = std::min<std::size_t>(
+        options_.block_size, data.size() - offset);
+    SPQ_ASSIGN_OR_RETURN(std::vector<NodeId> replicas, PlaceReplicas());
+    BlockLocation location;
+    location.block = next_block_++;
+    location.length = len;
+    location.replicas = replicas;
+    std::vector<uint8_t> bytes(data.begin() + offset,
+                               data.begin() + offset + len);
+    for (NodeId node : replicas) {
+      SPQ_RETURN_NOT_OK(nodes_[node].Put(location.block, bytes));
+    }
+    meta.blocks.push_back(std::move(location));
+    offset += len;
+  } while (offset < data.size());
+  files_.emplace(name, std::move(meta));
+  return Status::OK();
+}
+
+StatusOr<FileMetadata> MiniDfs::GetMetadata(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  return it->second;
+}
+
+StatusOr<std::vector<uint8_t>> MiniDfs::ReadBlock(
+    const std::string& name, std::size_t block_index) const {
+  SPQ_ASSIGN_OR_RETURN(FileMetadata meta, GetMetadata(name));
+  if (block_index >= meta.blocks.size()) {
+    return Status::OutOfRange("block index " + std::to_string(block_index) +
+                              " >= " + std::to_string(meta.blocks.size()));
+  }
+  const BlockLocation& location = meta.blocks[block_index];
+  // Replica failover: try each location until one serves the block.
+  Status last = Status::IOError("block has no replicas");
+  for (NodeId node : location.replicas) {
+    auto data = nodes_[node].Get(location.block);
+    if (data.ok()) return **data;
+    last = data.status();
+  }
+  return Status::IOError("all replicas unavailable for block " +
+                         std::to_string(location.block) + ": " +
+                         last.ToString());
+}
+
+StatusOr<std::vector<uint8_t>> MiniDfs::ReadFile(
+    const std::string& name) const {
+  SPQ_ASSIGN_OR_RETURN(FileMetadata meta, GetMetadata(name));
+  std::vector<uint8_t> data;
+  data.reserve(meta.size);
+  for (std::size_t i = 0; i < meta.blocks.size(); ++i) {
+    SPQ_ASSIGN_OR_RETURN(std::vector<uint8_t> block, ReadBlock(name, i));
+    data.insert(data.end(), block.begin(), block.end());
+  }
+  return data;
+}
+
+bool MiniDfs::FileExists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+std::vector<std::string> MiniDfs::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, meta] : files_) names.push_back(name);
+  return names;
+}
+
+Status MiniDfs::DeleteFile(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  // Note: block replicas stay on the nodes (like lazily-reclaimed HDFS
+  // blocks); the metadata removal makes them unreachable.
+  files_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace spq::dfs

@@ -1,0 +1,86 @@
+#ifndef SPQ_DFS_MINI_DFS_H_
+#define SPQ_DFS_MINI_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "dfs/block.h"
+#include "dfs/datanode.h"
+
+namespace spq::dfs {
+
+/// \brief Cluster configuration (the HDFS knobs of Section 2.1 / 7.1:
+/// block size and replication factor 3 in the paper's deployment).
+struct DfsOptions {
+  uint32_t num_datanodes = 16;
+  uint64_t block_size = 4 << 20;  // 4 MiB (scaled down from HDFS's 128 MB)
+  uint32_t replication = 3;
+  uint64_t seed = 1;  // replica placement randomness
+};
+
+/// \brief A single-process simulation of HDFS: files are split into
+/// blocks, blocks are replicated onto `replication` distinct DataNodes,
+/// and a NameNode-style metadata map tracks locations.
+///
+/// Write-once/read-many semantics like HDFS: files cannot be overwritten
+/// or appended. Reads fail over between replicas, so data survives up to
+/// replication-1 node failures. Used by the io module to host datasets and
+/// by tests to exercise the fault-tolerance story the paper's platform
+/// provides.
+class MiniDfs {
+ public:
+  explicit MiniDfs(DfsOptions options = {});
+
+  MiniDfs(const MiniDfs&) = delete;
+  MiniDfs& operator=(const MiniDfs&) = delete;
+
+  /// Writes a file (write-once). InvalidArgument if it exists, IOError if
+  /// fewer than `replication` nodes are alive.
+  Status WriteFile(const std::string& name, const std::vector<uint8_t>& data);
+
+  /// Reads a whole file back, failing over between replicas per block.
+  /// NotFound for unknown files, IOError when some block has no live
+  /// replica.
+  StatusOr<std::vector<uint8_t>> ReadFile(const std::string& name) const;
+
+  /// Reads one block of a file (the unit a map task consumes).
+  StatusOr<std::vector<uint8_t>> ReadBlock(const std::string& name,
+                                           std::size_t block_index) const;
+
+  /// File metadata (block boundaries + replica locations), as a MapReduce
+  /// scheduler would query it to build locality-aware splits.
+  StatusOr<FileMetadata> GetMetadata(const std::string& name) const;
+
+  bool FileExists(const std::string& name) const;
+  std::vector<std::string> ListFiles() const;
+  Status DeleteFile(const std::string& name);
+
+  uint32_t num_datanodes() const {
+    return static_cast<uint32_t>(nodes_.size());
+  }
+  DataNode& datanode(NodeId id) { return nodes_[id]; }
+  const DataNode& datanode(NodeId id) const { return nodes_[id]; }
+  const DfsOptions& options() const { return options_; }
+
+  /// Count of nodes currently alive.
+  uint32_t alive_datanodes() const;
+
+ private:
+  /// Picks `replication` distinct live nodes, least-loaded first with a
+  /// random tie-break (a simplification of HDFS placement).
+  StatusOr<std::vector<NodeId>> PlaceReplicas();
+
+  DfsOptions options_;
+  std::vector<DataNode> nodes_;
+  std::map<std::string, FileMetadata> files_;  // the "NameNode"
+  BlockId next_block_ = 1;
+  mutable Rng rng_;
+};
+
+}  // namespace spq::dfs
+
+#endif  // SPQ_DFS_MINI_DFS_H_

@@ -1,0 +1,33 @@
+#ifndef SPQ_GEO_POINT_H_
+#define SPQ_GEO_POINT_H_
+
+#include <cmath>
+
+namespace spq::geo {
+
+/// \brief A 2-D point. Plain data carrier (Google-style struct).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// Squared Euclidean distance — the cheap form used in range tests
+/// (d(p,f) <= r  ⇔  Distance2(p,f) <= r*r, avoiding the sqrt per pair).
+inline double Distance2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(Distance2(a, b));
+}
+
+}  // namespace spq::geo
+
+#endif  // SPQ_GEO_POINT_H_

@@ -1,0 +1,45 @@
+#ifndef SPQ_GEO_RECT_H_
+#define SPQ_GEO_RECT_H_
+
+#include <algorithm>
+
+#include "geo/point.h"
+
+namespace spq::geo {
+
+/// \brief Axis-aligned rectangle [min_x, max_x] × [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool operator==(const Rect& other) const {
+    return min_x == other.min_x && min_y == other.min_y &&
+           max_x == other.max_x && max_y == other.max_y;
+  }
+};
+
+/// Squared MINDIST between a point and a rectangle; 0 when the point lies
+/// inside. This is the MINDIST(f, C_i) of Lemma 1 (squared form).
+inline double MinDist2(const Point& p, const Rect& r) {
+  const double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  const double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return dx * dx + dy * dy;
+}
+
+/// MINDIST between a point and a rectangle.
+inline double MinDist(const Point& p, const Rect& r) {
+  return std::sqrt(MinDist2(p, r));
+}
+
+}  // namespace spq::geo
+
+#endif  // SPQ_GEO_RECT_H_

@@ -1,0 +1,157 @@
+#include "index/ar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spq::index {
+
+namespace {
+
+geo::Rect MbrOfEntries(const std::vector<ArTree::Entry>& entries,
+                       std::size_t first, std::size_t count) {
+  geo::Rect mbr{entries[first].pos.x, entries[first].pos.y,
+                entries[first].pos.x, entries[first].pos.y};
+  for (std::size_t i = first; i < first + count; ++i) {
+    mbr.min_x = std::min(mbr.min_x, entries[i].pos.x);
+    mbr.min_y = std::min(mbr.min_y, entries[i].pos.y);
+    mbr.max_x = std::max(mbr.max_x, entries[i].pos.x);
+    mbr.max_y = std::max(mbr.max_y, entries[i].pos.y);
+  }
+  return mbr;
+}
+
+}  // namespace
+
+ArTree ArTree::Build(std::vector<Entry> entries, uint32_t leaf_capacity,
+                     uint32_t fanout) {
+  leaf_capacity = std::max(2u, leaf_capacity);
+  fanout = std::max(2u, fanout);
+  ArTree tree;
+  if (entries.empty()) return tree;
+
+  // --- STR packing of the leaf level ---
+  const std::size_t n = entries.size();
+  const std::size_t num_leaves = (n + leaf_capacity - 1) / leaf_capacity;
+  const std::size_t num_slices = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t slice_size = num_slices == 0
+                                     ? n
+                                     : (n + num_slices - 1) / num_slices;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.pos.x != b.pos.x) return a.pos.x < b.pos.x;
+              return a.pos.y < b.pos.y;
+            });
+  for (std::size_t s = 0; s * slice_size < n; ++s) {
+    auto begin = entries.begin() + static_cast<std::ptrdiff_t>(s * slice_size);
+    auto end = entries.begin() +
+               static_cast<std::ptrdiff_t>(std::min(n, (s + 1) * slice_size));
+    std::sort(begin, end, [](const Entry& a, const Entry& b) {
+      if (a.pos.y != b.pos.y) return a.pos.y < b.pos.y;
+      return a.pos.x < b.pos.x;
+    });
+  }
+  tree.entries_ = std::move(entries);
+
+  // Leaf nodes over consecutive runs of leaf_capacity entries.
+  std::vector<uint32_t> level;  // node indices of the level being built
+  for (std::size_t first = 0; first < n; first += leaf_capacity) {
+    const std::size_t count = std::min<std::size_t>(leaf_capacity, n - first);
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<uint32_t>(first);
+    node.count = static_cast<uint32_t>(count);
+    node.mbr = MbrOfEntries(tree.entries_, first, count);
+    node.max_score = 0.0;
+    for (std::size_t i = first; i < first + count; ++i) {
+      node.max_score = std::max(node.max_score, tree.entries_[i].score);
+    }
+    level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(node);
+  }
+
+  // --- build internal levels bottom-up ---
+  // Children of a level are contiguous in nodes_, so grouping consecutive
+  // runs of `fanout` preserves the STR spatial clustering.
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    for (std::size_t first = 0; first < level.size(); first += fanout) {
+      const std::size_t count =
+          std::min<std::size_t>(fanout, level.size() - first);
+      Node node;
+      node.leaf = false;
+      node.first = level[first];
+      node.count = static_cast<uint32_t>(count);
+      node.mbr = tree.nodes_[level[first]].mbr;
+      node.max_score = 0.0;
+      for (std::size_t i = first; i < first + count; ++i) {
+        const Node& child = tree.nodes_[level[i]];
+        node.mbr.min_x = std::min(node.mbr.min_x, child.mbr.min_x);
+        node.mbr.min_y = std::min(node.mbr.min_y, child.mbr.min_y);
+        node.mbr.max_x = std::max(node.mbr.max_x, child.mbr.max_x);
+        node.mbr.max_y = std::max(node.mbr.max_y, child.mbr.max_y);
+        node.max_score = std::max(node.max_score, child.max_score);
+      }
+      parent_level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(node);
+    }
+    level = std::move(parent_level);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+double ArTree::MaxScoreWithin(const geo::Point& q, double r,
+                              double floor) const {
+  if (entries_.empty() || r < 0.0) return 0.0;
+  const double r2 = r * r;
+  double best = floor;
+  bool found = false;
+  // Explicit DFS stack; aggregate-score + MINDIST pruning.
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.max_score <= best || geo::MinDist2(q, node.mbr) > r2) continue;
+    if (node.leaf) {
+      for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+        const Entry& e = entries_[i];
+        if (e.score > best && geo::Distance2(q, e.pos) <= r2) {
+          best = e.score;
+          found = true;
+        }
+      }
+    } else {
+      for (uint32_t c = 0; c < node.count; ++c) {
+        stack.push_back(node.first + c);
+      }
+    }
+  }
+  return found || floor > 0.0 ? best : 0.0;
+}
+
+std::vector<uint64_t> ArTree::IdsWithin(const geo::Point& q, double r) const {
+  std::vector<uint64_t> out;
+  if (entries_.empty() || r < 0.0) return out;
+  const double r2 = r * r;
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (geo::MinDist2(q, node.mbr) > r2) continue;
+    if (node.leaf) {
+      for (uint32_t i = node.first; i < node.first + node.count; ++i) {
+        if (geo::Distance2(q, entries_[i].pos) <= r2) {
+          out.push_back(entries_[i].id);
+        }
+      }
+    } else {
+      for (uint32_t c = 0; c < node.count; ++c) {
+        stack.push_back(node.first + c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spq::index

@@ -1,0 +1,67 @@
+#ifndef SPQ_INDEX_AR_TREE_H_
+#define SPQ_INDEX_AR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace spq::index {
+
+/// \brief Static aggregate R-tree over scored points (an aR-tree).
+///
+/// Bulk-loaded with the Sort-Tile-Recursive (STR) packing. Every node
+/// stores its MBR and the *maximum score* of the entries underneath —
+/// the aggregate that makes spatial preference scoring sublinear: when
+/// ranking a data object, subtrees with MINDIST > r or max-score <= the
+/// best score found so far are pruned. This is the index family the
+/// centralized SPQ literature builds on (Yiu et al.'s top-k spatial
+/// preference processing); here it powers the centralized indexed
+/// baseline that the distributed algorithms are compared against.
+class ArTree {
+ public:
+  struct Entry {
+    geo::Point pos;
+    double score = 0.0;
+    uint64_t id = 0;
+  };
+
+  /// Bulk-loads the tree. `leaf_capacity`/`fanout` >= 2.
+  static ArTree Build(std::vector<Entry> entries, uint32_t leaf_capacity = 16,
+                      uint32_t fanout = 16);
+
+  /// Maximum entry score within distance `r` of `q`; 0.0 when no entry
+  /// qualifies (scores are assumed positive, matching Jaccard > 0).
+  /// `floor` seeds the pruning bound: subtrees that cannot beat it are
+  /// skipped (pass the current τ when scanning many objects).
+  double MaxScoreWithin(const geo::Point& q, double r,
+                        double floor = 0.0) const;
+
+  /// Entries (ids) within distance `r` of `q`, any order.
+  std::vector<uint64_t> IdsWithin(const geo::Point& q, double r) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Node {
+    geo::Rect mbr;
+    double max_score = 0.0;
+    // Children: [first, first+count) into nodes_ for internal nodes, or
+    // into entries_ for leaves.
+    uint32_t first = 0;
+    uint32_t count = 0;
+    bool leaf = true;
+  };
+
+  ArTree() = default;
+
+  std::vector<Entry> entries_;  // grouped by leaf
+  std::vector<Node> nodes_;     // nodes_[root_] is the root when non-empty
+  uint32_t root_ = 0;
+};
+
+}  // namespace spq::index
+
+#endif  // SPQ_INDEX_AR_TREE_H_

@@ -1,0 +1,54 @@
+#ifndef SPQ_INDEX_CENTRALIZED_H_
+#define SPQ_INDEX_CENTRALIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/ar_tree.h"
+#include "index/inverted_index.h"
+#include "spq/types.h"
+
+namespace spq::index {
+
+/// \brief Centralized, index-backed SPQ evaluation — the single-machine
+/// competitor the distributed algorithms are measured against.
+///
+/// Mirrors how the centralized literature the paper cites ([14, 16, 17])
+/// processes the query: an inverted index narrows F to the features
+/// sharing a term with q.W, a query-time aggregate R-tree over their
+/// (position, Jaccard score) pairs answers "best score within r of p" with
+/// MINDIST + max-score pruning, and a running top-k threshold seeds the
+/// pruning bound while the data objects are scanned.
+///
+/// Result contract matches the parallel engine and the brute-force oracle:
+/// up to k entries with τ(p) > 0. Among equal-score ties at the k-th rank
+/// the chosen ids may differ from the oracle's (threshold pruning skips
+/// ties) — scores always agree.
+class CentralizedSpqIndex {
+ public:
+  /// Builds the (query-independent) textual index. The dataset must
+  /// outlive this object; it is not copied.
+  explicit CentralizedSpqIndex(const core::Dataset* dataset);
+
+  CentralizedSpqIndex(const CentralizedSpqIndex&) = delete;
+  CentralizedSpqIndex& operator=(const CentralizedSpqIndex&) = delete;
+
+  /// Evaluates one query.
+  std::vector<core::ResultEntry> Execute(const core::Query& query) const;
+
+  /// Measurements of the last Execute (single-threaded use).
+  struct ExecStats {
+    std::size_t candidate_features = 0;  ///< postings union size
+    std::size_t scored_features = 0;     ///< candidates with Jaccard > 0
+  };
+  const ExecStats& last_stats() const { return last_stats_; }
+
+ private:
+  const core::Dataset* dataset_;
+  InvertedIndex inverted_;
+  mutable ExecStats last_stats_;
+};
+
+}  // namespace spq::index
+
+#endif  // SPQ_INDEX_CENTRALIZED_H_

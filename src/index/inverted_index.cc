@@ -1,0 +1,42 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace spq::index {
+
+namespace {
+const std::vector<uint32_t>& EmptyPostings() {
+  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
+  return *empty;
+}
+}  // namespace
+
+InvertedIndex::InvertedIndex(const std::vector<text::KeywordSet>& documents)
+    : num_documents_(documents.size()) {
+  for (std::size_t doc = 0; doc < documents.size(); ++doc) {
+    for (text::TermId term : documents[doc].ids()) {
+      postings_[term].push_back(static_cast<uint32_t>(doc));
+    }
+  }
+  // Documents are visited in ascending order, so postings are sorted.
+}
+
+std::vector<uint32_t> InvertedIndex::CandidatesFor(
+    const text::KeywordSet& terms) const {
+  std::vector<uint32_t> out;
+  for (text::TermId term : terms.ids()) {
+    const auto& postings = Postings(term);
+    out.insert(out.end(), postings.begin(), postings.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const std::vector<uint32_t>& InvertedIndex::Postings(
+    text::TermId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? EmptyPostings() : it->second;
+}
+
+}  // namespace spq::index

@@ -1,0 +1,43 @@
+#ifndef SPQ_INDEX_INVERTED_INDEX_H_
+#define SPQ_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace spq::index {
+
+/// \brief Term -> document-id postings over a corpus of keyword sets.
+///
+/// The textual half of a centralized spatio-textual index (the paper's
+/// related work [14, 16, 17] evaluates SPQ centrally over such indexes).
+/// Used by the indexed centralized baseline to enumerate only the feature
+/// objects that share at least one term with q.W, instead of scanning F.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds postings over `documents`; document ids are vector positions.
+  explicit InvertedIndex(const std::vector<text::KeywordSet>& documents);
+
+  /// Document ids sharing at least one term with `terms`, deduplicated,
+  /// ascending. Exactly the map-side prefilter's survivor set.
+  std::vector<uint32_t> CandidatesFor(const text::KeywordSet& terms) const;
+
+  /// Posting list of one term (empty when absent).
+  const std::vector<uint32_t>& Postings(text::TermId term) const;
+
+  std::size_t num_terms() const { return postings_.size(); }
+  std::size_t num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<text::TermId, std::vector<uint32_t>> postings_;
+  std::size_t num_documents_ = 0;
+};
+
+}  // namespace spq::index
+
+#endif  // SPQ_INDEX_INVERTED_INDEX_H_

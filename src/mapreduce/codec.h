@@ -1,0 +1,83 @@
+#ifndef SPQ_MAPREDUCE_CODEC_H_
+#define SPQ_MAPREDUCE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace spq::mapreduce {
+
+/// \brief Serialization trait for shuffle keys and values.
+///
+/// Every key/value type crossing the map→reduce boundary must specialize
+/// Codec<T> with:
+///   static void Encode(const T& v, Buffer& buf);
+///   static Status Decode(BufferReader& reader, T* out);
+///
+/// The runtime serializes every emitted record through its Codec — records
+/// never cross the simulated machine boundary as live objects, which keeps
+/// the shuffle byte accounting honest and catches non-serializable state.
+template <typename T>
+struct Codec;
+
+template <>
+struct Codec<uint32_t> {
+  static void Encode(const uint32_t& v, Buffer& buf) { buf.PutVarint(v); }
+  static Status Decode(BufferReader& reader, uint32_t* out) {
+    uint64_t v;
+    SPQ_RETURN_NOT_OK(reader.GetVarint(&v));
+    *out = static_cast<uint32_t>(v);
+    return Status::OK();
+  }
+};
+
+template <>
+struct Codec<uint64_t> {
+  static void Encode(const uint64_t& v, Buffer& buf) { buf.PutVarint(v); }
+  static Status Decode(BufferReader& reader, uint64_t* out) {
+    return reader.GetVarint(out);
+  }
+};
+
+template <>
+struct Codec<double> {
+  static void Encode(const double& v, Buffer& buf) { buf.PutDouble(v); }
+  static Status Decode(BufferReader& reader, double* out) {
+    return reader.GetDouble(out);
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static void Encode(const std::string& v, Buffer& buf) { buf.PutString(v); }
+  static Status Decode(BufferReader& reader, std::string* out) {
+    return reader.GetString(out);
+  }
+};
+
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void Encode(const std::vector<T>& v, Buffer& buf) {
+    buf.PutVarint(v.size());
+    for (const auto& item : v) Codec<T>::Encode(item, buf);
+  }
+  static Status Decode(BufferReader& reader, std::vector<T>* out) {
+    uint64_t n;
+    SPQ_RETURN_NOT_OK(reader.GetVarint(&n));
+    out->clear();
+    out->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      T item;
+      SPQ_RETURN_NOT_OK(Codec<T>::Decode(reader, &item));
+      out->push_back(std::move(item));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace spq::mapreduce
+
+#endif  // SPQ_MAPREDUCE_CODEC_H_

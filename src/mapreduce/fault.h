@@ -1,0 +1,47 @@
+#ifndef SPQ_MAPREDUCE_FAULT_H_
+#define SPQ_MAPREDUCE_FAULT_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace spq::mapreduce {
+
+/// \brief Deterministic fault-injection policy for task attempts.
+///
+/// Models the transient task failures a real cluster sees (lost node,
+/// preempted container): a task *attempt* may fail; the runtime re-executes
+/// it, exactly like Hadoop's speculative re-execution of failed attempts.
+/// Failures are a pure function of (task kind, task id, attempt, seed) so
+/// runs are reproducible and a retried attempt can be made to succeed.
+struct FaultSpec {
+  /// Probability that any given map task attempt fails mid-run.
+  double map_failure_prob = 0.0;
+  /// Probability that any given reduce task attempt fails mid-run.
+  double reduce_failure_prob = 0.0;
+  /// Salt for the failure hash.
+  uint64_t seed = 0;
+
+  bool enabled() const {
+    return map_failure_prob > 0.0 || reduce_failure_prob > 0.0;
+  }
+};
+
+/// Decides whether attempt `attempt` of task `task_id` fails.
+/// `kind` is 0 for map, 1 for reduce.
+inline bool AttemptFails(const FaultSpec& spec, int kind, uint32_t task_id,
+                         int attempt) {
+  const double p =
+      kind == 0 ? spec.map_failure_prob : spec.reduce_failure_prob;
+  if (p <= 0.0) return false;
+  uint64_t h = Mix64(spec.seed ^ Mix64((static_cast<uint64_t>(kind) << 48) ^
+                                       (static_cast<uint64_t>(task_id) << 16) ^
+                                       static_cast<uint64_t>(attempt)));
+  // Map the hash to [0,1) and compare.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+}  // namespace spq::mapreduce
+
+#endif  // SPQ_MAPREDUCE_FAULT_H_

@@ -1,0 +1,177 @@
+#ifndef SPQ_MAPREDUCE_MERGE_H_
+#define SPQ_MAPREDUCE_MERGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "mapreduce/codec.h"
+#include "mapreduce/spill.h"
+
+namespace spq::mapreduce {
+
+/// \brief One sorted run of serialized (K, V) records — the unit a map task
+/// ships to a reduce partition (a Hadoop map-output spill segment).
+/// Lives either in memory (`bytes`) or on disk (`spill_path`).
+struct SortedSegment {
+  std::vector<uint8_t> bytes;
+  uint64_t num_records = 0;
+  /// Non-empty when the segment was spilled to disk; `bytes` is then empty.
+  std::string spill_path;
+  /// Serialized size, regardless of where the segment lives.
+  uint64_t byte_size = 0;
+};
+
+namespace internal {
+
+/// Decodes records lazily off a SortedSegment, transparently reading
+/// spilled segments back from disk.
+template <typename K, typename V>
+class SegmentReader {
+ public:
+  explicit SegmentReader(const SortedSegment* segment)
+      : segment_(segment), reader_(nullptr, 0) {
+    if (!segment->spill_path.empty()) {
+      auto bytes = ReadSpillFile(segment->spill_path);
+      if (!bytes.ok()) {
+        status_ = bytes.status();
+        return;
+      }
+      owned_bytes_ = *std::move(bytes);
+      reader_ = BufferReader(owned_bytes_.data(), owned_bytes_.size());
+    } else {
+      reader_ = BufferReader(segment->bytes.data(), segment->bytes.size());
+    }
+  }
+
+  /// Decodes the next record into key()/value(). False at end-of-segment.
+  /// Decode errors are latched into status().
+  bool Next() {
+    if (!status_.ok() || read_ >= segment_->num_records) return false;
+    Status st = Codec<K>::Decode(reader_, &key_);
+    if (st.ok()) st = Codec<V>::Decode(reader_, &value_);
+    if (!st.ok()) {
+      status_ = st;
+      return false;
+    }
+    ++read_;
+    return true;
+  }
+
+  const K& key() const { return key_; }
+  const V& value() const { return value_; }
+  const Status& status() const { return status_; }
+
+ private:
+  const SortedSegment* segment_;
+  std::vector<uint8_t> owned_bytes_;  // backing store for spilled segments
+  BufferReader reader_;
+  uint64_t read_ = 0;
+  K key_{};
+  V value_{};
+  Status status_;
+};
+
+}  // namespace internal
+
+/// \brief K-way merge over the sorted segments a reduce partition received
+/// from all map tasks — the "merge" half of Hadoop's sort/merge shuffle.
+///
+/// Records come out in sort_less order; ties across segments break by
+/// segment index, so the merge is deterministic and stable with respect to
+/// map task order.
+template <typename K, typename V>
+class MergeStream {
+ public:
+  MergeStream(const std::vector<const SortedSegment*>& segments,
+              std::function<bool(const K&, const K&)> sort_less)
+      : sort_less_(std::move(sort_less)) {
+    readers_.reserve(segments.size());
+    for (const SortedSegment* seg : segments) {
+      readers_.push_back(
+          std::make_unique<internal::SegmentReader<K, V>>(seg));
+    }
+    // Prime every reader and build the initial heap of live readers.
+    for (std::size_t i = 0; i < readers_.size(); ++i) {
+      if (readers_[i]->Next()) {
+        heap_.push_back(i);
+      } else if (!readers_[i]->status().ok()) {
+        status_ = readers_[i]->status();
+      }
+    }
+    BuildHeap();
+  }
+
+  /// Loads the next record in global sorted order. False when exhausted or
+  /// after a decode error (check status()).
+  bool Advance() {
+    if (!status_.ok() || heap_.empty()) return false;
+    const std::size_t top = heap_.front();
+    key_ = readers_[top]->key();
+    value_ = readers_[top]->value();
+    // Refill the winning reader and restore the heap.
+    if (readers_[top]->Next()) {
+      SiftDown(0);
+    } else {
+      if (!readers_[top]->status().ok()) {
+        // The record copied above is still valid; surface the decode error
+        // on the *next* Advance so no shuffled record is silently dropped.
+        status_ = readers_[top]->status();
+        heap_.clear();
+        return true;
+      }
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+    }
+    return true;
+  }
+
+  const K& key() const { return key_; }
+  const V& value() const { return value_; }
+  const Status& status() const { return status_; }
+
+ private:
+  /// True when reader a's current record precedes reader b's.
+  bool ReaderLess(std::size_t a, std::size_t b) const {
+    const K& ka = readers_[a]->key();
+    const K& kb = readers_[b]->key();
+    if (sort_less_(ka, kb)) return true;
+    if (sort_less_(kb, ka)) return false;
+    return a < b;  // deterministic tie-break by map task index
+  }
+
+  void BuildHeap() {
+    if (heap_.empty()) return;
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && ReaderLess(heap_[l], heap_[smallest])) smallest = l;
+      if (r < n && ReaderLess(heap_[r], heap_[smallest])) smallest = r;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::function<bool(const K&, const K&)> sort_less_;
+  std::vector<std::unique_ptr<internal::SegmentReader<K, V>>> readers_;
+  std::vector<std::size_t> heap_;
+  K key_{};
+  V value_{};
+  Status status_;
+};
+
+}  // namespace spq::mapreduce
+
+#endif  // SPQ_MAPREDUCE_MERGE_H_

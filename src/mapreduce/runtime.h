@@ -1,0 +1,348 @@
+#ifndef SPQ_MAPREDUCE_RUNTIME_H_
+#define SPQ_MAPREDUCE_RUNTIME_H_
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/statusor.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "mapreduce/job.h"
+#include "mapreduce/merge.h"
+
+namespace spq::mapreduce {
+
+/// \brief Output of a successful job: the concatenated reducer emissions
+/// (in reduce-partition order, deterministic) plus the measured stats.
+template <typename Out>
+struct JobOutput {
+  std::vector<Out> records;
+  JobStats stats;
+};
+
+namespace internal {
+
+template <typename K, typename V>
+class MapContextImpl : public MapContext<K, V> {
+ public:
+  MapContextImpl(uint32_t num_partitions,
+                 const std::function<uint32_t(const K&, uint32_t)>* part)
+      : partitions_(num_partitions), partitioner_(part) {}
+
+  void Emit(const K& key, const V& value) override {
+    uint32_t p = (*partitioner_)(key, static_cast<uint32_t>(partitions_.size()));
+    partitions_[p].emplace_back(key, value);
+    ++emitted_;
+  }
+
+  Counters& counters() override { return counters_; }
+
+  std::vector<std::vector<std::pair<K, V>>>& partitions() {
+    return partitions_;
+  }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> partitions_;
+  const std::function<uint32_t(const K&, uint32_t)>* partitioner_;
+  Counters counters_;
+  uint64_t emitted_ = 0;
+};
+
+template <typename Out>
+class ReduceContextImpl : public ReduceContext<Out> {
+ public:
+  void Emit(const Out& record) override { records_.push_back(record); }
+  Counters& counters() override { return counters_; }
+  std::vector<Out>& records() { return records_; }
+  Counters& task_counters() { return counters_; }
+
+ private:
+  std::vector<Out> records_;
+  Counters counters_;
+};
+
+/// GroupValues over a MergeStream, bounded by the grouping comparator.
+/// The stream must have a record loaded (the group's first) at construction.
+template <typename K, typename V>
+class GroupCursor : public GroupValues<K, V> {
+ public:
+  GroupCursor(MergeStream<K, V>* stream, const K* group_key,
+              const std::function<bool(const K&, const K&)>* group_equal)
+      : stream_(stream), group_key_(group_key), group_equal_(group_equal) {}
+
+  bool Next() override {
+    if (done_) return false;
+    if (first_pending_) {
+      // The group's first record is already loaded in the stream.
+      first_pending_ = false;
+      return true;
+    }
+    if (!stream_->Advance()) {
+      done_ = true;
+      next_group_loaded_ = false;
+      return false;
+    }
+    if (!(*group_equal_)(*group_key_, stream_->key())) {
+      // Crossed a group boundary; the next group's first record is loaded.
+      done_ = true;
+      next_group_loaded_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const K& key() const override { return stream_->key(); }
+  const V& value() const override { return stream_->value(); }
+
+  /// Drains any values the reducer did not consume (early termination) and
+  /// reports whether the stream stopped on the first record of the next
+  /// group (true) or at end-of-stream (false).
+  bool FinishGroup() {
+    while (Next()) {
+    }
+    return next_group_loaded_;
+  }
+
+ private:
+  MergeStream<K, V>* stream_;
+  const K* group_key_;
+  const std::function<bool(const K&, const K&)>* group_equal_;
+  bool first_pending_ = true;
+  bool done_ = false;
+  bool next_group_loaded_ = false;
+};
+
+}  // namespace internal
+
+/// \brief Executes a MapReduce job on the simulated cluster.
+///
+/// Phases, mirroring Hadoop with an in-memory "network":
+///  1. The input is split into `num_map_tasks` contiguous splits.
+///  2. Map tasks run on `num_workers` threads. Each task partitions its
+///     emissions with the job's Partitioner, sorts each partition with the
+///     sort comparator (map-side spill sort) and serializes it into a
+///     SortedSegment through the key/value Codecs.
+///  3. Shuffle: each reduce partition collects its segment from every map
+///     task; segment bytes are the job's shuffle traffic.
+///  4. Reduce tasks k-way-merge their segments lazily and invoke the
+///     reducer once per group (grouping comparator), with Hadoop
+///     secondary-sort semantics; reducers may stop consuming a group early.
+///
+/// Task attempts can fail via `config.faults`; failed attempts are retried
+/// up to `config.max_task_attempts` times with their partial output and
+/// counters discarded. Deterministic for fixed config, spec, and input.
+template <typename In, typename K, typename V, typename Out>
+StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
+                                const JobConfig& config,
+                                const std::vector<In>& input) {
+  if (config.num_map_tasks == 0 || config.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("task counts must be >= 1");
+  }
+  if (!spec.mapper_factory || !spec.reducer_factory || !spec.partitioner ||
+      !spec.sort_less || !spec.group_equal) {
+    return Status::InvalidArgument("incomplete JobSpec");
+  }
+
+  JobOutput<Out> result;
+  JobStats& stats = result.stats;
+  stats.input_records = input.size();
+
+  Stopwatch total_watch;
+  const uint32_t num_maps = config.num_map_tasks;
+  const uint32_t num_reduces = config.num_reduce_tasks;
+  const uint64_t spill_run_id = NextSpillRunId();
+
+  ThreadPool pool(config.num_workers);
+
+  // ---------------------------------------------------------------- map --
+  // segments[m][r]: the sorted run map task m produced for reduce r.
+  std::vector<std::vector<SortedSegment>> segments(num_maps);
+  std::vector<Counters> map_counters(num_maps);
+  std::atomic<uint64_t> map_output_records{0};
+  std::atomic<uint32_t> map_failures{0};
+  stats.map_task_seconds.assign(num_maps, 0.0);
+  stats.reduce_task_seconds.assign(num_reduces, 0.0);
+
+  std::mutex error_mutex;
+  Status first_error;
+  auto record_error = [&](const Status& st) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.ok()) first_error = st;
+  };
+
+  Stopwatch map_watch;
+  ParallelFor(pool, num_maps, [&](std::size_t m) {
+    const std::size_t begin = input.size() * m / num_maps;
+    const std::size_t end = input.size() * (m + 1) / num_maps;
+    bool succeeded = false;
+    Stopwatch task_watch;
+    for (int attempt = 0; attempt < config.max_task_attempts; ++attempt) {
+      task_watch.Reset();
+      const bool fail_this_attempt =
+          AttemptFails(config.faults, /*kind=*/0,
+                       static_cast<uint32_t>(m), attempt);
+      internal::MapContextImpl<K, V> ctx(num_reduces, &spec.partitioner);
+      auto mapper = spec.mapper_factory();
+      // A failing attempt dies halfway through its split.
+      const std::size_t stop =
+          fail_this_attempt ? begin + (end - begin) / 2 : end;
+      for (std::size_t i = begin; i < stop; ++i) {
+        mapper->Map(input[i], ctx);
+      }
+      if (fail_this_attempt) {
+        ++map_failures;
+        continue;  // discard attempt state, retry
+      }
+      // Spill: sort each partition and serialize it (to disk when the job
+      // requests an out-of-core shuffle).
+      auto& parts = ctx.partitions();
+      std::vector<SortedSegment> task_segments(num_reduces);
+      bool spill_failed = false;
+      for (uint32_t r = 0; r < num_reduces; ++r) {
+        auto& records = parts[r];
+        std::stable_sort(records.begin(), records.end(),
+                         [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                           return spec.sort_less(a.first, b.first);
+                         });
+        Buffer buf;
+        for (const auto& [key, value] : records) {
+          Codec<K>::Encode(key, buf);
+          Codec<V>::Encode(value, buf);
+        }
+        SortedSegment& seg = task_segments[r];
+        seg.num_records = records.size();
+        seg.bytes = buf.TakeBytes();
+        seg.byte_size = seg.bytes.size();
+        if (!config.spill_dir.empty() && seg.num_records > 0) {
+          seg.spill_path = SpillPath(config.spill_dir, spill_run_id,
+                                     static_cast<uint32_t>(m), r);
+          Status st = WriteSpillFile(seg.spill_path, seg.bytes);
+          if (!st.ok()) {
+            record_error(st);
+            spill_failed = true;
+            break;
+          }
+          seg.bytes.clear();
+          seg.bytes.shrink_to_fit();
+        }
+      }
+      if (spill_failed) return;
+      segments[m] = std::move(task_segments);
+      map_counters[m].MergeFrom(ctx.counters());
+      map_output_records += ctx.emitted();
+      stats.map_task_seconds[m] = task_watch.ElapsedSeconds();
+      succeeded = true;
+      break;
+    }
+    if (!succeeded) {
+      record_error(Status::Aborted(
+          "map task " + std::to_string(m) + " exceeded max attempts"));
+    }
+  });
+  stats.map_seconds = map_watch.ElapsedSeconds();
+
+  // Spill files live until the job completes (reduce retries re-read them).
+  struct SpillCleanup {
+    std::vector<std::vector<SortedSegment>>* segments;
+    ~SpillCleanup() {
+      for (auto& task_segments : *segments) {
+        for (auto& seg : task_segments) {
+          if (!seg.spill_path.empty()) RemoveSpillFile(seg.spill_path);
+        }
+      }
+    }
+  } spill_cleanup{&segments};
+
+  if (!first_error.ok()) return first_error;
+
+  stats.map_output_records = map_output_records.load();
+  stats.map_task_failures = map_failures.load();
+  for (const auto& c : map_counters) stats.counters.MergeFrom(c);
+
+  // ------------------------------------------------------------- shuffle --
+  // Reduce partition r reads segments[m][r] for every m. Bytes are counted
+  // as shuffle traffic; in Hadoop these cross the network.
+  std::vector<std::vector<const SortedSegment*>> reduce_inputs(num_reduces);
+  stats.reduce_input_records.assign(num_reduces, 0);
+  for (uint32_t r = 0; r < num_reduces; ++r) {
+    for (uint32_t m = 0; m < num_maps; ++m) {
+      const SortedSegment& seg = segments[m][r];
+      if (seg.num_records == 0) continue;
+      reduce_inputs[r].push_back(&seg);
+      stats.shuffle_bytes += seg.byte_size;
+      stats.reduce_input_records[r] += seg.num_records;
+    }
+  }
+
+  // -------------------------------------------------------------- reduce --
+  std::vector<std::vector<Out>> reduce_outputs(num_reduces);
+  std::vector<Counters> reduce_counters(num_reduces);
+  std::atomic<uint32_t> reduce_failures{0};
+
+  Stopwatch reduce_watch;
+  ParallelFor(pool, num_reduces, [&](std::size_t r) {
+    bool succeeded = false;
+    Stopwatch task_watch;
+    for (int attempt = 0; attempt < config.max_task_attempts; ++attempt) {
+      task_watch.Reset();
+      if (AttemptFails(config.faults, /*kind=*/1, static_cast<uint32_t>(r),
+                       attempt)) {
+        ++reduce_failures;
+        continue;
+      }
+      internal::ReduceContextImpl<Out> ctx;
+      auto reducer = spec.reducer_factory();
+      MergeStream<K, V> stream(reduce_inputs[r], spec.sort_less);
+      bool has = stream.Advance();
+      while (has) {
+        const K group_key = stream.key();
+        internal::GroupCursor<K, V> cursor(&stream, &group_key,
+                                           &spec.group_equal);
+        reducer->Reduce(group_key, cursor, ctx);
+        has = cursor.FinishGroup();
+      }
+      if (!stream.status().ok()) {
+        record_error(stream.status());
+        return;
+      }
+      reduce_outputs[r] = std::move(ctx.records());
+      reduce_counters[r].MergeFrom(ctx.task_counters());
+      stats.reduce_task_seconds[r] = task_watch.ElapsedSeconds();
+      succeeded = true;
+      break;
+    }
+    if (!succeeded) {
+      record_error(Status::Aborted(
+          "reduce task " + std::to_string(r) + " exceeded max attempts"));
+    }
+  });
+  stats.reduce_seconds = reduce_watch.ElapsedSeconds();
+  if (!first_error.ok()) return first_error;
+
+  stats.reduce_task_failures = reduce_failures.load();
+  for (const auto& c : reduce_counters) stats.counters.MergeFrom(c);
+
+  for (auto& outs : reduce_outputs) {
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(outs.begin()),
+                          std::make_move_iterator(outs.end()));
+  }
+  stats.total_seconds = total_watch.ElapsedSeconds();
+
+  SPQ_LOG_DEBUG << config.job_name << ": " << stats.input_records
+                << " input, " << stats.map_output_records
+                << " map-output, " << stats.shuffle_bytes
+                << " shuffle bytes, " << stats.total_seconds << "s";
+  return result;
+}
+
+}  // namespace spq::mapreduce
+
+#endif  // SPQ_MAPREDUCE_RUNTIME_H_

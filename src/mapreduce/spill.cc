@@ -1,0 +1,59 @@
+#include "mapreduce/spill.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace spq::mapreduce {
+
+Status WriteSpillFile(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create spill dir: " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open spill file: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IOError("spill write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> ReadSpillFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open spill file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return Status::IOError("spill read failed: " + path);
+  return bytes;
+}
+
+void RemoveSpillFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+std::string SpillPath(const std::string& dir, uint64_t run_id,
+                      uint32_t map_task, uint32_t reduce_part) {
+  char name[96];
+  std::snprintf(name, sizeof(name), "run%llu-m%u-r%u.seg",
+                static_cast<unsigned long long>(run_id), map_task,
+                reduce_part);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+uint64_t NextSpillRunId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1);
+}
+
+}  // namespace spq::mapreduce

@@ -1,0 +1,40 @@
+#ifndef SPQ_MAPREDUCE_SPILL_H_
+#define SPQ_MAPREDUCE_SPILL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace spq::mapreduce {
+
+/// \brief Disk persistence for map-output segments (Hadoop spill files).
+///
+/// With JobConfig::spill_dir set, every sorted map-output segment is
+/// written to its own file and dropped from memory; reduce tasks read the
+/// files back when they merge. This bounds the runtime's resident shuffle
+/// memory to the segments a reduce task is actively merging, at the cost
+/// of one write + one read per segment — exactly Hadoop's trade.
+
+/// Writes `bytes` to `path` (creating parent directories). Overwrites.
+Status WriteSpillFile(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+
+/// Reads a spill file back in full.
+StatusOr<std::vector<uint8_t>> ReadSpillFile(const std::string& path);
+
+/// Deletes a spill file; missing files are not an error (idempotent).
+void RemoveSpillFile(const std::string& path);
+
+/// Returns a collision-free spill path for map task `map_task`, reduce
+/// partition `reduce_part` of run `run_id` under `dir`.
+std::string SpillPath(const std::string& dir, uint64_t run_id,
+                      uint32_t map_task, uint32_t reduce_part);
+
+/// Process-unique run id for spill file naming.
+uint64_t NextSpillRunId();
+
+}  // namespace spq::mapreduce
+
+#endif  // SPQ_MAPREDUCE_SPILL_H_

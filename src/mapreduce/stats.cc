@@ -1,0 +1,57 @@
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "mapreduce/job.h"
+
+namespace spq::mapreduce {
+
+double JobStats::MaxReduceTaskSeconds() const {
+  double m = 0.0;
+  for (double s : reduce_task_seconds) m = std::max(m, s);
+  return m;
+}
+
+double JobStats::ReduceStragglerRatio() const {
+  if (reduce_task_seconds.empty()) return 1.0;
+  const double total = std::accumulate(reduce_task_seconds.begin(),
+                                       reduce_task_seconds.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  const double mean = total / reduce_task_seconds.size();
+  return MaxReduceTaskSeconds() / mean;
+}
+
+std::string FormatJobStats(const JobStats& stats) {
+  char line[256];
+  std::string out;
+  auto append = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  append("input records:        %llu\n",
+         static_cast<unsigned long long>(stats.input_records));
+  append("map output records:   %llu\n",
+         static_cast<unsigned long long>(stats.map_output_records));
+  append("shuffle bytes:        %llu\n",
+         static_cast<unsigned long long>(stats.shuffle_bytes));
+  append("map / reduce / total: %.3fs / %.3fs / %.3fs\n", stats.map_seconds,
+         stats.reduce_seconds, stats.total_seconds);
+  append("reduce partitions:    %zu (max %llu records, skew %.2f)\n",
+         stats.reduce_input_records.size(),
+         static_cast<unsigned long long>(stats.MaxReduceRecords()),
+         stats.ReduceSkew());
+  append("reduce stragglers:    max task %.3fs, straggler ratio %.2f\n",
+         stats.MaxReduceTaskSeconds(), stats.ReduceStragglerRatio());
+  if (stats.map_task_failures + stats.reduce_task_failures > 0) {
+    append("task attempt failures: %u map, %u reduce (all retried)\n",
+           stats.map_task_failures, stats.reduce_task_failures);
+  }
+  for (const auto& [name, value] : stats.counters.Snapshot()) {
+    append("counter %-28s %llu\n", name.c_str(),
+           static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+}  // namespace spq::mapreduce

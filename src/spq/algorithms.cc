@@ -1,0 +1,160 @@
+#include "spq/algorithms.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "spq/reduce_core.h"
+#include "spq/topk.h"
+#include "text/jaccard.h"
+
+namespace spq::core {
+
+namespace {
+
+using mapreduce::GroupValues;
+using mapreduce::MapContext;
+using mapreduce::ReduceContext;
+using SpqMapContext = MapContext<CellKey, ShuffleObject>;
+using SpqGroupValues = GroupValues<CellKey, ShuffleObject>;
+using SpqReduceContext = ReduceContext<ResultEntry>;
+
+/// Shared map logic of Algorithms 1, 3 and 5. The algorithms differ only
+/// in the secondary key assigned to each emission.
+class SpqMapper final
+    : public mapreduce::Mapper<ShuffleObject, CellKey, ShuffleObject> {
+ public:
+  SpqMapper(Algorithm algo, Query query, geo::UniformGrid grid,
+            SpqJobOptions options)
+      : algo_(algo),
+        query_(std::move(query)),
+        grid_(std::move(grid)),
+        options_(options) {}
+
+  void Map(const ShuffleObject& x, SpqMapContext& ctx) override {
+    const geo::CellId cell = grid_.CellOf(x.pos);
+    if (x.is_data()) {
+      ctx.counters().Increment(counter::kDataObjects);
+      ctx.Emit(CellKey{cell, DataOrder(algo_)}, x);
+      return;
+    }
+    // Map-side pruning (line 9 of Algorithm 1): features sharing no term
+    // with q.W can never score a data object and are dropped before the
+    // shuffle. Disabled only for the prefilter ablation.
+    const std::size_t common =
+        text::SortedIntersectionSize(x.keywords, query_.keywords.ids());
+    if (common == 0 && options_.keyword_prefilter) {
+      ctx.counters().Increment(counter::kFeaturesPruned);
+      return;
+    }
+    ctx.counters().Increment(counter::kFeaturesKept);
+    const double order = FeatureOrder(algo_, query_, x, common);
+    ctx.Emit(CellKey{cell, order}, x);
+    // Lemma 1: duplicate into every other cell within MINDIST <= r.
+    const auto targets = grid_.CellsWithinDist(x.pos, query_.radius);
+    for (geo::CellId target : targets) {
+      ctx.Emit(CellKey{target, order}, x);
+    }
+    ctx.counters().Increment(counter::kFeatureDuplicates, targets.size());
+  }
+
+ private:
+  Algorithm algo_;
+  Query query_;
+  geo::UniformGrid grid_;
+  SpqJobOptions options_;
+};
+
+/// Thin Reducer shims over the shared reduce cores (reduce_core.h).
+class SpqReducer final
+    : public mapreduce::Reducer<CellKey, ShuffleObject, ResultEntry> {
+ public:
+  SpqReducer(Algorithm algo, Query query)
+      : algo_(algo), query_(std::move(query)) {}
+
+  void Reduce(const CellKey&, SpqGroupValues& values,
+              SpqReduceContext& ctx) override {
+    reduce_core::RunReduce(algo_, query_, values, ctx.counters(),
+                           [&ctx](const ResultEntry& e) { ctx.Emit(e); });
+  }
+
+ private:
+  Algorithm algo_;
+  Query query_;
+};
+
+}  // namespace
+
+std::string AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kPSPQ:
+      return "pSPQ";
+    case Algorithm::kESPQLen:
+      return "eSPQlen";
+    case Algorithm::kESPQSco:
+      return "eSPQsco";
+  }
+  return "unknown";
+}
+
+double DataOrder(Algorithm algo) {
+  return algo == Algorithm::kESPQSco ? kDataOrderScore : 0.0;
+}
+
+double FeatureOrder(Algorithm algo, const Query& query,
+                    const ShuffleObject& x, std::size_t common) {
+  switch (algo) {
+    case Algorithm::kPSPQ:
+      return 1.0;  // the tag of Algorithm 1: features after data
+    case Algorithm::kESPQLen:
+      return static_cast<double>(x.keywords.size());  // Algorithm 3
+    case Algorithm::kESPQSco: {
+      // Algorithm 5: exact Jaccard in the Map phase; negated so one
+      // ascending comparator yields decreasing score.
+      const std::size_t uni =
+          x.keywords.size() + query.keywords.size() - common;
+      if (uni == 0) return 0.0;  // both keyword sets empty
+      return -(static_cast<double>(common) / static_cast<double>(uni));
+    }
+  }
+  return 0.0;
+}
+
+mapreduce::JobSpec<ShuffleObject, CellKey, ShuffleObject, ResultEntry>
+MakeSpqJobSpec(Algorithm algo, const Query& query,
+               const geo::UniformGrid& grid, SpqJobOptions options) {
+  mapreduce::JobSpec<ShuffleObject, CellKey, ShuffleObject, ResultEntry> spec;
+  spec.mapper_factory = [algo, query, grid, options]() {
+    return std::make_unique<SpqMapper>(algo, query, grid, options);
+  };
+  spec.reducer_factory = [algo, query]() {
+    return std::make_unique<SpqReducer>(algo, query);
+  };
+  spec.partitioner = CellPartitioner;
+  spec.sort_less = CellKeySortLess;
+  spec.group_equal = CellKeyGroupEqual;
+  return spec;
+}
+
+std::vector<ShuffleObject> FlattenDataset(const Dataset& dataset) {
+  std::vector<ShuffleObject> records;
+  records.reserve(dataset.data.size() + dataset.features.size());
+  for (const DataObject& p : dataset.data) {
+    ShuffleObject obj;
+    obj.kind = ShuffleObject::kData;
+    obj.id = p.id;
+    obj.pos = p.pos;
+    records.push_back(std::move(obj));
+  }
+  for (const FeatureObject& f : dataset.features) {
+    ShuffleObject obj;
+    obj.kind = ShuffleObject::kFeature;
+    obj.id = f.id;
+    obj.pos = f.pos;
+    obj.keywords = f.keywords.ids();
+    records.push_back(std::move(obj));
+  }
+  return records;
+}
+
+}  // namespace spq::core

@@ -1,0 +1,60 @@
+#include "spq/balanced_partitioner.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace spq::core {
+
+CellLoad ComputeCellLoad(const Dataset& dataset,
+                         const geo::UniformGrid& grid) {
+  CellLoad load;
+  load.data_count.assign(grid.num_cells(), 0);
+  load.feature_count.assign(grid.num_cells(), 0);
+  for (const auto& p : dataset.data) {
+    ++load.data_count[grid.CellOf(p.pos)];
+  }
+  for (const auto& f : dataset.features) {
+    ++load.feature_count[grid.CellOf(f.pos)];
+  }
+  return load;
+}
+
+uint64_t CellCost(uint64_t data_count, uint64_t feature_count) {
+  return data_count * (feature_count + 1) + data_count + feature_count;
+}
+
+std::vector<uint32_t> BalancedAssignment(const CellLoad& load,
+                                         uint32_t num_partitions) {
+  const std::size_t num_cells = load.data_count.size();
+  std::vector<uint32_t> assignment(num_cells, 0);
+  if (num_partitions <= 1 || num_cells == 0) return assignment;
+
+  // Cells by decreasing cost; cell id as deterministic tie-break.
+  std::vector<std::pair<uint64_t, uint32_t>> cells;
+  cells.reserve(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cells.emplace_back(CellCost(load.data_count[c], load.feature_count[c]),
+                       static_cast<uint32_t>(c));
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+
+  // Min-heap of (partition load, partition id).
+  using Slot = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (uint32_t p = 0; p < num_partitions; ++p) heap.emplace(0, p);
+
+  for (const auto& [cost, cell] : cells) {
+    auto [slot_load, slot] = heap.top();
+    heap.pop();
+    assignment[cell] = slot;
+    heap.emplace(slot_load + cost, slot);
+  }
+  return assignment;
+}
+
+}  // namespace spq::core

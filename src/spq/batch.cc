@@ -1,0 +1,179 @@
+#include "spq/batch.h"
+
+#include <memory>
+#include <utility>
+
+#include "spq/reduce_core.h"
+#include "text/keyword_set.h"
+
+namespace spq::core {
+
+namespace {
+
+using BatchMapContext = mapreduce::MapContext<BatchCellKey, ShuffleObject>;
+using BatchGroupValues = mapreduce::GroupValues<BatchCellKey, ShuffleObject>;
+using BatchReduceContext = mapreduce::ReduceContext<BatchResultEntry>;
+
+/// One input pass serving every query of the batch.
+///
+/// Key layout: data objects are emitted ONCE per cell under the sentinel
+/// query index 0 (so they sort before every query's feature group within
+/// the cell); query q's features go under query index q+1. The reducer
+/// caches the cell's data objects from the sentinel group and replays them
+/// into each query group, so the batch does not multiply the data-object
+/// shuffle by the batch size.
+class BatchMapper final
+    : public mapreduce::Mapper<ShuffleObject, BatchCellKey, ShuffleObject> {
+ public:
+  BatchMapper(Algorithm algo, std::shared_ptr<const std::vector<Query>> queries,
+              geo::UniformGrid grid, SpqJobOptions options)
+      : algo_(algo),
+        queries_(std::move(queries)),
+        grid_(std::move(grid)),
+        options_(options) {}
+
+  void Map(const ShuffleObject& x, BatchMapContext& ctx) override {
+    const geo::CellId cell = grid_.CellOf(x.pos);
+    if (x.is_data()) {
+      ctx.counters().Increment(counter::kDataObjects);
+      ctx.Emit(BatchCellKey{cell, kDataQuery, 0.0}, x);
+      return;
+    }
+    for (uint32_t q = 0; q < queries_->size(); ++q) {
+      const Query& query = (*queries_)[q];
+      const std::size_t common =
+          text::SortedIntersectionSize(x.keywords, query.keywords.ids());
+      if (common == 0 && options_.keyword_prefilter) {
+        ctx.counters().Increment(counter::kFeaturesPruned);
+        continue;
+      }
+      ctx.counters().Increment(counter::kFeaturesKept);
+      const double order = FeatureOrder(algo_, query, x, common);
+      ctx.Emit(BatchCellKey{cell, q + 1, order}, x);
+      const auto targets = grid_.CellsWithinDist(x.pos, query.radius);
+      for (geo::CellId target : targets) {
+        ctx.Emit(BatchCellKey{target, q + 1, order}, x);
+      }
+      ctx.counters().Increment(counter::kFeatureDuplicates, targets.size());
+    }
+  }
+
+  static constexpr uint32_t kDataQuery = 0;
+
+ private:
+  Algorithm algo_;
+  std::shared_ptr<const std::vector<Query>> queries_;
+  geo::UniformGrid grid_;
+  SpqJobOptions options_;
+};
+
+/// GroupValues adapter that replays a cached data-object list before
+/// delegating to the real (feature-only) group stream. The reduce cores
+/// never read the composite key of a *data* value, so the group key is a
+/// valid stand-in during the replay phase.
+class ReplayedGroupValues final : public BatchGroupValues {
+ public:
+  ReplayedGroupValues(const std::vector<ShuffleObject>* cached,
+                      const BatchCellKey* group_key,
+                      BatchGroupValues* features)
+      : cached_(cached), group_key_(group_key), features_(features) {}
+
+  bool Next() override {
+    if (next_cached_ < cached_->size()) {
+      current_ = &(*cached_)[next_cached_++];
+      return true;
+    }
+    if (features_->Next()) {
+      current_ = nullptr;
+      return true;
+    }
+    return false;
+  }
+
+  const BatchCellKey& key() const override {
+    return current_ != nullptr ? *group_key_ : features_->key();
+  }
+  const ShuffleObject& value() const override {
+    return current_ != nullptr ? *current_ : features_->value();
+  }
+
+ private:
+  const std::vector<ShuffleObject>* cached_;
+  const BatchCellKey* group_key_;
+  BatchGroupValues* features_;
+  std::size_t next_cached_ = 0;
+  const ShuffleObject* current_ = nullptr;  // non-null while replaying
+};
+
+/// Groups arrive per cell as: (cell, 0) = the cell's data objects, then
+/// (cell, q+1) = query q's sorted features. The reducer instance lives for
+/// the whole reduce task, so the cache carries across the groups of one
+/// cell (and is invalidated when the cell changes — cells without data
+/// objects produce no sentinel group).
+class BatchReducer final
+    : public mapreduce::Reducer<BatchCellKey, ShuffleObject,
+                                BatchResultEntry> {
+ public:
+  BatchReducer(Algorithm algo,
+               std::shared_ptr<const std::vector<Query>> queries)
+      : algo_(algo), queries_(std::move(queries)) {}
+
+  void Reduce(const BatchCellKey& group_key, BatchGroupValues& values,
+              BatchReduceContext& ctx) override {
+    if (group_key.query == BatchMapper::kDataQuery) {
+      cached_data_.clear();
+      cache_cell_ = group_key.cell;
+      has_cache_ = true;
+      while (values.Next()) cached_data_.push_back(values.value());
+      return;
+    }
+    if (!has_cache_ || cache_cell_ != group_key.cell) {
+      // No data objects in this cell: results are necessarily empty, but
+      // the group must still be drained consistently (the runtime skips
+      // leftovers anyway). Run with an empty cache for uniformity.
+      cached_data_.clear();
+      cache_cell_ = group_key.cell;
+      has_cache_ = true;
+    }
+    const uint32_t q = group_key.query - 1;
+    if (q >= queries_->size()) return;  // defensive
+    const Query& query = (*queries_)[q];
+    ReplayedGroupValues replayed(&cached_data_, &group_key, &values);
+    reduce_core::RunReduce(algo_, query, replayed, ctx.counters(),
+                           [&ctx, q](const ResultEntry& e) {
+                             ctx.Emit(BatchResultEntry{q, e});
+                           });
+  }
+
+ private:
+  Algorithm algo_;
+  std::shared_ptr<const std::vector<Query>> queries_;
+  std::vector<ShuffleObject> cached_data_;
+  geo::CellId cache_cell_ = 0;
+  bool has_cache_ = false;
+};
+
+}  // namespace
+
+mapreduce::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
+                   BatchResultEntry>
+MakeBatchSpqJobSpec(Algorithm algo, const std::vector<Query>& queries,
+                    const geo::UniformGrid& grid, SpqJobOptions options) {
+  auto shared_queries =
+      std::make_shared<const std::vector<Query>>(queries);
+  mapreduce::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
+                     BatchResultEntry>
+      spec;
+  spec.mapper_factory = [algo, shared_queries, grid, options]() {
+    return std::make_unique<BatchMapper>(algo, shared_queries, grid, options);
+  };
+  spec.reducer_factory = [algo, shared_queries]() {
+    return std::make_unique<BatchReducer>(algo, shared_queries);
+  };
+  spec.partitioner = BatchPartitioner;
+  spec.sort_less = BatchKeySortLess;
+  spec.group_equal = BatchKeyGroupEqual;
+  return spec;
+}
+
+}  // namespace spq::core

@@ -1,0 +1,48 @@
+#ifndef SPQ_SPQ_DUPLICATION_H_
+#define SPQ_SPQ_DUPLICATION_H_
+
+#include <cstdint>
+
+namespace spq::core {
+
+/// \brief Closed-form results of Section 6 (duplication factor and the
+/// reducer cost model), valid under uniform feature placement and r <= a/2.
+
+/// Surface of the four duplicate-count zones of a cell with edge `a` under
+/// radius `r` (Figure 3): A1 — corner zone, 3 duplicates; A2 — two-border
+/// zone, 2; A3 — one-border zone, 1; A4 — interior, 0.
+struct CellAreas {
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  double a4 = 0.0;
+
+  double total() const { return a1 + a2 + a3 + a4; }
+};
+
+/// Computes the zone areas for cell edge `a` and radius `r` (requires
+/// 0 <= r <= a/2; callers outside this regime should not use the model).
+CellAreas ComputeCellAreas(double r, double a);
+
+/// The duplication factor df = πr²/a² + 4r/a + 1 (Section 6.2):
+/// expected (originals + duplicates) / originals for uniformly placed
+/// features. df(0) = 1; the worst case at a = 2r is 3 + π/4.
+double AnalyticDuplicationFactor(double r, double a);
+
+/// Upper bound of df over the valid regime: 3 + π/4 (at a = 2r).
+double MaxDuplicationFactor();
+
+/// Per-reducer cost model of Section 6.3: |O_i|·|F_i| ∝ df(r,a) · a⁴ for a
+/// normalized [0,1]² space. Monotonically increasing in `a` for fixed r —
+/// the paper's argument for small cells.
+double ReducerCostModel(double r, double a);
+
+/// Picks the largest square grid (returns cells per side) whose cell edge
+/// still satisfies a >= 2r over a space of width `extent`, clamped to
+/// [1, max_per_side]. The paper's guidance: maximize parallelism subject
+/// to the a >= 2r duplication regime.
+uint32_t AdviseGridSize(double radius, double extent, uint32_t max_per_side);
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_DUPLICATION_H_

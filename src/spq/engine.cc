@@ -1,0 +1,165 @@
+#include "spq/engine.h"
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "geo/grid.h"
+#include "mapreduce/runtime.h"
+#include "spq/balanced_partitioner.h"
+#include "spq/batch.h"
+#include "spq/duplication.h"
+#include "spq/topk.h"
+
+namespace spq::core {
+
+SpqEngine::SpqEngine(Dataset dataset, EngineOptions options)
+    : dataset_(std::move(dataset)),
+      options_(options),
+      input_(FlattenDataset(dataset_)) {}
+
+Status ValidateQuery(const Query& query) {
+  if (query.k == 0) {
+    return Status::InvalidArgument("query.k must be >= 1");
+  }
+  if (!(query.radius >= 0.0) || !std::isfinite(query.radius)) {
+    return Status::InvalidArgument("query.radius must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+StatusOr<SpqResult> SpqEngine::Execute(const Query& query, Algorithm algo,
+                                       uint32_t grid_size_override) const {
+  SPQ_RETURN_NOT_OK(ValidateQuery(query));
+
+  // --- query-time grid (Section 4.1: built once r is known) ---
+  uint32_t grid_size =
+      grid_size_override > 0 ? grid_size_override : options_.grid_size;
+  if (grid_size == 0) {
+    grid_size = AdviseGridSize(query.radius, dataset_.bounds.width(),
+                               /*max_per_side=*/128);
+  }
+  SPQ_ASSIGN_OR_RETURN(
+      geo::UniformGrid grid,
+      geo::UniformGrid::Make(dataset_.bounds, grid_size, grid_size));
+  if (query.radius > std::min(grid.cell_width(), grid.cell_height())) {
+    SPQ_LOG_WARN << "query radius " << query.radius
+                 << " exceeds the grid cell edge (" << grid.cell_width()
+                 << "); duplication will be heavy (paper assumes a >= r)";
+  }
+
+  // --- cluster shape ---
+  mapreduce::JobConfig config;
+  config.num_workers = options_.num_workers > 0
+                           ? options_.num_workers
+                           : std::max(1u, std::thread::hardware_concurrency());
+  config.num_map_tasks = options_.num_map_tasks > 0
+                             ? options_.num_map_tasks
+                             : 4 * config.num_workers;
+  config.num_reduce_tasks = options_.num_reduce_tasks > 0
+                                ? options_.num_reduce_tasks
+                                : grid.num_cells();
+  config.faults = options_.faults;
+  config.max_task_attempts = options_.max_task_attempts;
+  config.job_name = AlgorithmName(algo);
+  config.spill_dir = options_.spill_dir;
+
+  // --- the single MapReduce job ---
+  SpqJobOptions job_options;
+  job_options.keyword_prefilter = options_.keyword_prefilter;
+  auto spec = MakeSpqJobSpec(algo, query, grid, job_options);
+  if (options_.partitioner == PartitionerKind::kBalanced &&
+      config.num_reduce_tasks < grid.num_cells()) {
+    // Extension: LPT cell->reducer assignment from per-cell cost estimates
+    // (Section 7.2.4's imbalance countermeasure; see balanced_partitioner.h).
+    auto assignment = std::make_shared<std::vector<uint32_t>>(
+        BalancedAssignment(ComputeCellLoad(dataset_, grid),
+                           config.num_reduce_tasks));
+    spec.partitioner = [assignment](const CellKey& key, uint32_t parts) {
+      if (key.cell < assignment->size()) return (*assignment)[key.cell];
+      return key.cell % parts;  // clamped out-of-grid cells (defensive)
+    };
+  }
+  SPQ_ASSIGN_OR_RETURN(auto output,
+                       mapreduce::RunJob(spec, config, input_));
+
+  // --- centralized merge of per-cell top-k lists (cheap: <= k * cells) ---
+  SpqResult result;
+  result.entries = MergeTopK(std::move(output.records), query.k);
+
+  SpqRunInfo& info = result.info;
+  info.algorithm = algo;
+  info.grid_size = grid_size;
+  info.num_reduce_tasks = config.num_reduce_tasks;
+  const mapreduce::Counters& counters = output.stats.counters;
+  info.features_kept = counters.Get(counter::kFeaturesKept);
+  info.features_pruned = counters.Get(counter::kFeaturesPruned);
+  info.feature_duplicates = counters.Get(counter::kFeatureDuplicates);
+  info.features_examined = counters.Get(counter::kFeaturesExamined);
+  info.pairs_tested = counters.Get(counter::kPairsTested);
+  info.early_terminations = counters.Get(counter::kEarlyTerminations);
+  info.reduce_groups = counters.Get(counter::kGroups);
+  info.job = std::move(output.stats);
+  return result;
+}
+
+StatusOr<SpqBatchResult> SpqEngine::ExecuteBatch(
+    const std::vector<Query>& queries, Algorithm algo,
+    uint32_t grid_size_override) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  double max_radius = 0.0;
+  for (const Query& query : queries) {
+    SPQ_RETURN_NOT_OK(ValidateQuery(query));
+    max_radius = std::max(max_radius, query.radius);
+  }
+
+  uint32_t grid_size =
+      grid_size_override > 0 ? grid_size_override : options_.grid_size;
+  if (grid_size == 0) {
+    grid_size = AdviseGridSize(max_radius, dataset_.bounds.width(),
+                               /*max_per_side=*/128);
+  }
+  SPQ_ASSIGN_OR_RETURN(
+      geo::UniformGrid grid,
+      geo::UniformGrid::Make(dataset_.bounds, grid_size, grid_size));
+
+  mapreduce::JobConfig config;
+  config.num_workers = options_.num_workers > 0
+                           ? options_.num_workers
+                           : std::max(1u, std::thread::hardware_concurrency());
+  config.num_map_tasks = options_.num_map_tasks > 0
+                             ? options_.num_map_tasks
+                             : 4 * config.num_workers;
+  config.num_reduce_tasks = options_.num_reduce_tasks > 0
+                                ? options_.num_reduce_tasks
+                                : grid.num_cells();
+  config.faults = options_.faults;
+  config.max_task_attempts = options_.max_task_attempts;
+  config.job_name = AlgorithmName(algo) + "-batch";
+  config.spill_dir = options_.spill_dir;
+
+  SpqJobOptions job_options;
+  job_options.keyword_prefilter = options_.keyword_prefilter;
+  auto spec = MakeBatchSpqJobSpec(algo, queries, grid, job_options);
+  SPQ_ASSIGN_OR_RETURN(auto output, mapreduce::RunJob(spec, config, input_));
+
+  SpqBatchResult result;
+  result.per_query.resize(queries.size());
+  std::vector<std::vector<ResultEntry>> candidates(queries.size());
+  for (const BatchResultEntry& row : output.records) {
+    if (row.query < candidates.size()) {
+      candidates[row.query].push_back(row.entry);
+    }
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    result.per_query[q] = MergeTopK(std::move(candidates[q]), queries[q].k);
+  }
+  result.job = std::move(output.stats);
+  return result;
+}
+
+}  // namespace spq::core

@@ -1,0 +1,151 @@
+#ifndef SPQ_SPQ_ENGINE_H_
+#define SPQ_SPQ_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "mapreduce/job.h"
+#include "spq/algorithms.h"
+#include "spq/shuffle_types.h"
+#include "spq/types.h"
+
+namespace spq::core {
+
+/// How grid cells map to reduce tasks when there are fewer reducers than
+/// cells.
+enum class PartitionerKind {
+  /// The paper's scheme: cell % R.
+  kModulo,
+  /// Extension (see balanced_partitioner.h): greedy LPT over per-cell
+  /// cost estimates, countering the clustered-data reducer imbalance the
+  /// paper reports in Section 7.2.4. Falls back to modulo when R >= cells.
+  kBalanced,
+};
+
+/// \brief Tunables of a query execution on the simulated cluster.
+struct EngineOptions {
+  /// Cells per side of the query-time grid (the paper's "grid size";
+  /// 50 means a 50x50 grid). 0 = choose automatically via AdviseGridSize.
+  uint32_t grid_size = 50;
+  /// Simulated cluster parallelism (concurrent task slots).
+  /// 0 = hardware concurrency.
+  uint32_t num_workers = 0;
+  /// Number of map tasks. 0 = 4 * workers.
+  uint32_t num_map_tasks = 0;
+  /// Number of reduce tasks R. 0 = one per grid cell (the paper's setting).
+  uint32_t num_reduce_tasks = 0;
+  /// Task fault injection (off by default).
+  mapreduce::FaultSpec faults;
+  int max_task_attempts = 4;
+  /// Map-side keyword prefilter (Algorithm 1 line 9). Disable only for
+  /// the ablation study — results are identical either way.
+  bool keyword_prefilter = true;
+  /// When non-empty, the shuffle runs out-of-core: map-output segments are
+  /// spilled to files under this directory (see JobConfig::spill_dir).
+  std::string spill_dir;
+  /// Cell-to-reducer assignment policy (only matters when
+  /// num_reduce_tasks < grid cells).
+  PartitionerKind partitioner = PartitionerKind::kModulo;
+};
+
+/// \brief Derived, SPQ-specific measurements of one query execution,
+/// assembled from the job counters. These are the quantities behind the
+/// paper's explanations: how many features were shuffled (after pruning +
+/// duplication), how many the reducers actually examined (the early
+/// termination effect), and the realized duplication factor.
+struct SpqRunInfo {
+  Algorithm algorithm = Algorithm::kPSPQ;
+  uint32_t grid_size = 0;
+  uint32_t num_reduce_tasks = 0;
+
+  uint64_t features_kept = 0;        ///< map-side survivors of the q.W filter
+  uint64_t features_pruned = 0;      ///< dropped: no common keyword with q.W
+  uint64_t feature_duplicates = 0;   ///< extra copies created per Lemma 1
+  uint64_t features_examined = 0;    ///< actually consumed by reducers
+  uint64_t pairs_tested = 0;         ///< data-feature distance evaluations
+  uint64_t early_terminations = 0;   ///< reduce groups that stopped early
+  uint64_t reduce_groups = 0;
+
+  mapreduce::JobStats job;
+
+  /// Realized duplication factor: (kept + duplicates) / kept.
+  double MeasuredDuplicationFactor() const {
+    if (features_kept == 0) return 1.0;
+    return static_cast<double>(features_kept + feature_duplicates) /
+           static_cast<double>(features_kept);
+  }
+
+  /// Fraction of shuffled feature copies the reducers actually read —
+  /// the direct measurement of the early-termination benefit.
+  double FeatureExaminationRatio() const {
+    const uint64_t shuffled = features_kept + feature_duplicates;
+    if (shuffled == 0) return 0.0;
+    return static_cast<double>(features_examined) /
+           static_cast<double>(shuffled);
+  }
+};
+
+/// \brief Result of one query: the global top-k plus run measurements.
+struct SpqResult {
+  std::vector<ResultEntry> entries;
+  SpqRunInfo info;
+};
+
+/// \brief Result of a batched execution: per-query top-k lists (indexed
+/// like the input batch) plus the stats of the single shared job.
+struct SpqBatchResult {
+  std::vector<std::vector<ResultEntry>> per_query;
+  mapreduce::JobStats job;
+};
+
+/// \brief Public facade: evaluates spatial preference queries using
+/// keywords over a Dataset on the simulated MapReduce cluster.
+///
+/// Usage:
+///   SpqEngine engine(dataset, options);
+///   auto result = engine.Execute(query, Algorithm::kESPQSco);
+///   for (const auto& e : result->entries) { ... }
+///
+/// The engine flattens the dataset once (the map input "files"); each
+/// Execute() builds the query-time grid, runs the single MapReduce job of
+/// the chosen algorithm and merges the per-cell top-k lists.
+class SpqEngine {
+ public:
+  /// The dataset is copied into the engine (the engine owns its "HDFS").
+  explicit SpqEngine(Dataset dataset, EngineOptions options = {});
+
+  SpqEngine(const SpqEngine&) = delete;
+  SpqEngine& operator=(const SpqEngine&) = delete;
+
+  /// Evaluates `query` with `algo`. Grid size / cluster shape come from
+  /// the engine options unless overridden via `grid_size_override` (> 0).
+  StatusOr<SpqResult> Execute(const Query& query, Algorithm algo,
+                              uint32_t grid_size_override = 0) const;
+
+  /// Extension: evaluates a whole batch of queries in ONE MapReduce job
+  /// (shared input scan; see batch.h). Queries may differ in k, radius
+  /// and keywords; results come back in batch order. The grid is shared,
+  /// so `grid_size`/`grid_size_override` applies to every query. The
+  /// batched job always routes by cell (PartitionerKind::kBalanced is a
+  /// single-query option and is ignored here).
+  StatusOr<SpqBatchResult> ExecuteBatch(const std::vector<Query>& queries,
+                                        Algorithm algo,
+                                        uint32_t grid_size_override = 0) const;
+
+  const Dataset& dataset() const { return dataset_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Dataset dataset_;
+  EngineOptions options_;
+  std::vector<ShuffleObject> input_;  // flattened O ∪ F
+};
+
+/// Validates a query: k >= 1, radius >= 0 and finite. Empty q.W is legal
+/// (the result is simply empty — no feature can have non-zero Jaccard).
+Status ValidateQuery(const Query& query);
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_ENGINE_H_

@@ -1,0 +1,188 @@
+#ifndef SPQ_SPQ_REDUCE_CORE_H_
+#define SPQ_SPQ_REDUCE_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "mapreduce/job.h"
+#include "spq/algorithms.h"
+#include "spq/shuffle_types.h"
+#include "spq/topk.h"
+#include "text/jaccard.h"
+
+namespace spq::core::reduce_core {
+
+/// \brief The reduce-side cores of Algorithms 2, 4 and 6, templated on the
+/// composite key type so the single-query job (CellKey) and the batched
+/// multi-query job (BatchCellKey) share one implementation. The key type
+/// only needs an `order` member carrying the secondary-sort component.
+///
+/// Each function consumes one reduce group (one cell's data + feature
+/// objects in the algorithm's sort order) and emits per-cell results
+/// through `emit(const ResultEntry&)`.
+
+/// In-memory O_i of one reduce group plus the running scores.
+struct CellData {
+  std::vector<ObjectId> ids;
+  std::vector<geo::Point> positions;
+  std::vector<double> scores;
+
+  void Add(const ShuffleObject& x) {
+    ids.push_back(x.id);
+    positions.push_back(x.pos);
+    scores.push_back(0.0);
+  }
+  std::size_t size() const { return ids.size(); }
+};
+
+/// Algorithm 2 (pSPQ): full scan of the cell's features, threshold-pruned.
+template <typename K, typename EmitFn>
+void RunPspq(const Query& query,
+             mapreduce::GroupValues<K, ShuffleObject>& values,
+             mapreduce::Counters& counters, EmitFn&& emit) {
+  counters.Increment(counter::kGroups);
+  CellData cell;
+  TopKList lk(query.k);
+  const double r2 = query.radius * query.radius;
+  uint64_t examined = 0;
+  uint64_t pairs = 0;
+  while (values.Next()) {
+    const ShuffleObject& x = values.value();
+    if (x.is_data()) {
+      cell.Add(x);
+      continue;
+    }
+    ++examined;
+    const double w = text::JaccardSorted(x.keywords, query.keywords.ids());
+    if (w > lk.Threshold()) {
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        if (w <= cell.scores[i]) continue;  // cannot improve p's score
+        ++pairs;
+        if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
+          cell.scores[i] = w;
+          lk.Update(cell.ids[i], w);
+        }
+      }
+    }
+  }
+  counters.Increment(counter::kFeaturesExamined, examined);
+  counters.Increment(counter::kPairsTested, pairs);
+  for (const ResultEntry& e : lk.entries()) emit(e);
+}
+
+/// Algorithm 4 (eSPQlen): features by increasing |f.W|; stop at Lemma 2.
+template <typename K, typename EmitFn>
+void RunEspqLen(const Query& query,
+                mapreduce::GroupValues<K, ShuffleObject>& values,
+                mapreduce::Counters& counters, EmitFn&& emit) {
+  counters.Increment(counter::kGroups);
+  CellData cell;
+  TopKList lk(query.k);
+  const double r2 = query.radius * query.radius;
+  const std::size_t qlen = query.keywords.size();
+  uint64_t examined = 0;
+  uint64_t pairs = 0;
+  while (values.Next()) {
+    const ShuffleObject& x = values.value();
+    if (x.is_data()) {
+      cell.Add(x);
+      continue;
+    }
+    const double upper = text::JaccardUpperBound(qlen, x.keywords.size());
+    if (lk.Threshold() >= upper) {
+      // Lemma 2: no unseen feature (all at least this long) can beat τ.
+      counters.Increment(counter::kEarlyTerminations);
+      break;
+    }
+    ++examined;
+    const double w = text::JaccardSorted(x.keywords, query.keywords.ids());
+    if (w > lk.Threshold()) {
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        if (w <= cell.scores[i]) continue;
+        ++pairs;
+        if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
+          cell.scores[i] = w;
+          lk.Update(cell.ids[i], w);
+        }
+      }
+    }
+  }
+  counters.Increment(counter::kFeaturesExamined, examined);
+  counters.Increment(counter::kPairsTested, pairs);
+  for (const ResultEntry& e : lk.entries()) emit(e);
+}
+
+/// Algorithm 6 (eSPQsco): features by decreasing score (read off the
+/// composite key's `order`); stop after k reports (Lemma 3).
+template <typename K, typename EmitFn>
+void RunEspqSco(const Query& query,
+                mapreduce::GroupValues<K, ShuffleObject>& values,
+                mapreduce::Counters& counters, EmitFn&& emit) {
+  counters.Increment(counter::kGroups);
+  CellData cell;
+  std::vector<bool> reported;
+  const double r2 = query.radius * query.radius;
+  uint32_t reported_count = 0;
+  uint64_t examined = 0;
+  uint64_t pairs = 0;
+  while (values.Next()) {
+    const ShuffleObject& x = values.value();
+    if (x.is_data()) {
+      cell.Add(x);
+      reported.push_back(false);
+      continue;
+    }
+    // The map phase stored -w(f, q) in the secondary key (Algorithm 5).
+    const double w = -values.key().order;
+    if (w <= 0.0) {
+      // Only reachable with the keyword prefilter disabled: the rest of
+      // the (descending) order is all zero-score features.
+      counters.Increment(counter::kEarlyTerminations);
+      break;
+    }
+    ++examined;
+    bool done = false;
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+      if (reported[i]) continue;
+      ++pairs;
+      if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
+        // Decreasing-score order makes w the final τ(p) (Lemma 3).
+        emit(ResultEntry{cell.ids[i], w});
+        reported[i] = true;
+        if (++reported_count == query.k) {
+          done = true;
+          break;
+        }
+      }
+    }
+    if (done) {
+      counters.Increment(counter::kEarlyTerminations);
+      break;
+    }
+  }
+  counters.Increment(counter::kFeaturesExamined, examined);
+  counters.Increment(counter::kPairsTested, pairs);
+}
+
+/// Dispatch by algorithm.
+template <typename K, typename EmitFn>
+void RunReduce(Algorithm algo, const Query& query,
+               mapreduce::GroupValues<K, ShuffleObject>& values,
+               mapreduce::Counters& counters, EmitFn&& emit) {
+  switch (algo) {
+    case Algorithm::kPSPQ:
+      RunPspq(query, values, counters, emit);
+      return;
+    case Algorithm::kESPQLen:
+      RunEspqLen(query, values, counters, emit);
+      return;
+    case Algorithm::kESPQSco:
+      RunEspqSco(query, values, counters, emit);
+      return;
+  }
+}
+
+}  // namespace spq::core::reduce_core
+
+#endif  // SPQ_SPQ_REDUCE_CORE_H_

@@ -1,0 +1,99 @@
+#include "spq/sequential.h"
+
+#include <algorithm>
+
+#include "geo/grid.h"
+#include "text/jaccard.h"
+
+namespace spq::core {
+
+namespace {
+
+/// Relevant features (non-zero Jaccard) with their precomputed scores.
+struct ScoredFeature {
+  geo::Point pos;
+  double score;
+};
+
+std::vector<ScoredFeature> RelevantFeatures(const Dataset& dataset,
+                                            const Query& query) {
+  std::vector<ScoredFeature> out;
+  for (const FeatureObject& f : dataset.features) {
+    const double w = text::Jaccard(f.keywords, query.keywords);
+    if (w > 0.0) out.push_back({f.pos, w});
+  }
+  return out;
+}
+
+std::vector<ResultEntry> TopKOf(std::vector<ResultEntry> scored, uint32_t k) {
+  std::sort(scored.begin(), scored.end(), ResultBetter);
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace
+
+std::vector<ResultEntry> BruteForceSpq(const Dataset& dataset,
+                                       const Query& query) {
+  const std::vector<ScoredFeature> features = RelevantFeatures(dataset, query);
+  const double r2 = query.radius * query.radius;
+  std::vector<ResultEntry> scored;
+  for (const DataObject& p : dataset.data) {
+    double best = 0.0;
+    for (const ScoredFeature& f : features) {
+      if (f.score > best && geo::Distance2(p.pos, f.pos) <= r2) {
+        best = f.score;
+      }
+    }
+    if (best > 0.0) scored.push_back({p.id, best});
+  }
+  return TopKOf(std::move(scored), query.k);
+}
+
+StatusOr<std::vector<ResultEntry>> SequentialGridSpq(const Dataset& dataset,
+                                                     const Query& query,
+                                                     uint32_t grid_size) {
+  SPQ_ASSIGN_OR_RETURN(
+      geo::UniformGrid grid,
+      geo::UniformGrid::Make(dataset.bounds, grid_size, grid_size));
+
+  // Bucket the relevant features by enclosing cell.
+  std::vector<std::vector<ScoredFeature>> buckets(grid.num_cells());
+  for (const FeatureObject& f : dataset.features) {
+    const double w = text::Jaccard(f.keywords, query.keywords);
+    if (w > 0.0) buckets[grid.CellOf(f.pos)].push_back({f.pos, w});
+  }
+
+  const double r2 = query.radius * query.radius;
+  std::vector<ResultEntry> scored;
+  for (const DataObject& p : dataset.data) {
+    double best = 0.0;
+    auto probe = [&](geo::CellId cell) {
+      for (const ScoredFeature& f : buckets[cell]) {
+        if (f.score > best && geo::Distance2(p.pos, f.pos) <= r2) {
+          best = f.score;
+        }
+      }
+    };
+    probe(grid.CellOf(p.pos));
+    for (geo::CellId cell : grid.CellsWithinDist(p.pos, query.radius)) {
+      probe(cell);
+    }
+    if (best > 0.0) scored.push_back({p.id, best});
+  }
+  return TopKOf(std::move(scored), query.k);
+}
+
+double BruteForceScore(const DataObject& p, const Dataset& dataset,
+                       const Query& query) {
+  const double r2 = query.radius * query.radius;
+  double best = 0.0;
+  for (const FeatureObject& f : dataset.features) {
+    if (geo::Distance2(p.pos, f.pos) <= r2) {
+      best = std::max(best, text::Jaccard(f.keywords, query.keywords));
+    }
+  }
+  return best;
+}
+
+}  // namespace spq::core

@@ -1,0 +1,40 @@
+#ifndef SPQ_SPQ_SEQUENTIAL_H_
+#define SPQ_SPQ_SEQUENTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "spq/types.h"
+
+namespace spq::core {
+
+/// \brief Reference answer: O(|O| · |F|) centralized evaluation.
+///
+/// Computes τ(p) for every data object by scanning every query-relevant
+/// feature, then returns the top-k (score desc, id asc; only objects with
+/// τ(p) > 0, matching the parallel algorithms' semantics). The correctness
+/// oracle for every test; far too slow for the benchmark datasets — the
+/// point the paper makes about centralized processing.
+std::vector<ResultEntry> BruteForceSpq(const Dataset& dataset,
+                                       const Query& query);
+
+/// \brief Centralized but indexed evaluation: buckets features into a
+/// `grid_size`² uniform grid and probes only the buckets intersecting each
+/// data object's r-circle.
+///
+/// Same output contract as BruteForceSpq. Serves two purposes: a faster
+/// oracle for mid-size tests, and the single-machine baseline that shows
+/// why distribution is needed at scale.
+StatusOr<std::vector<ResultEntry>> SequentialGridSpq(const Dataset& dataset,
+                                                     const Query& query,
+                                                     uint32_t grid_size);
+
+/// Computes τ(p) of a single data object by brute force (used by tests to
+/// validate individual reported entries).
+double BruteForceScore(const DataObject& p, const Dataset& dataset,
+                       const Query& query);
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_SEQUENTIAL_H_

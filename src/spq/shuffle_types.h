@@ -1,0 +1,107 @@
+#ifndef SPQ_SPQ_SHUFFLE_TYPES_H_
+#define SPQ_SPQ_SHUFFLE_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "mapreduce/codec.h"
+#include "spq/types.h"
+#include "text/vocabulary.h"
+
+namespace spq::core {
+
+/// \brief The composite map-output key of Algorithms 1/3/5.
+///
+/// `cell` drives the Partitioner and the grouping comparator; `order`
+/// drives the secondary sort inside a group:
+///   pSPQ     — data 0, features 1 (tag; Algorithm 1)
+///   eSPQlen  — data 0, features |f.W| (Algorithm 3)
+///   eSPQsco  — data kDataOrderScore (< -1), features -w(f,q) so that one
+///              ascending comparator yields decreasing score (Algorithm 5
+///              uses +2 with a reversed comparator; equivalent).
+struct CellKey {
+  geo::CellId cell = 0;
+  double order = 0.0;
+};
+
+/// Sentinel order that places data objects before any feature under the
+/// eSPQsco ordering (feature orders lie in [-1, 0)).
+inline constexpr double kDataOrderScore = -2.0;
+
+inline bool CellKeySortLess(const CellKey& a, const CellKey& b) {
+  if (a.cell != b.cell) return a.cell < b.cell;
+  return a.order < b.order;
+}
+
+inline bool CellKeyGroupEqual(const CellKey& a, const CellKey& b) {
+  return a.cell == b.cell;
+}
+
+/// Cell-based partitioner. With R == number of cells (the paper's setup)
+/// this is the identity; with fewer reducers, consecutive cells spread
+/// round-robin so a hot region does not land on one reducer.
+inline uint32_t CellPartitioner(const CellKey& key, uint32_t num_partitions) {
+  return key.cell % num_partitions;
+}
+
+/// \brief The shuffled value: the entire (data or feature) object, exactly
+/// as Algorithms 1/3/5 emit it. `kind` mirrors the x.tag of the paper.
+struct ShuffleObject {
+  enum Kind : uint8_t { kData = 0, kFeature = 1 };
+
+  uint8_t kind = kData;
+  ObjectId id = 0;
+  geo::Point pos;
+  /// Sorted term ids; empty for data objects.
+  std::vector<text::TermId> keywords;
+
+  bool is_data() const { return kind == kData; }
+  bool is_feature() const { return kind == kFeature; }
+};
+
+}  // namespace spq::core
+
+namespace spq::mapreduce {
+
+template <>
+struct Codec<core::CellKey> {
+  static void Encode(const core::CellKey& k, Buffer& buf) {
+    buf.PutUint32(k.cell);
+    buf.PutDouble(k.order);
+  }
+  static Status Decode(BufferReader& reader, core::CellKey* out) {
+    SPQ_RETURN_NOT_OK(reader.GetUint32(&out->cell));
+    return reader.GetDouble(&out->order);
+  }
+};
+
+template <>
+struct Codec<core::ShuffleObject> {
+  static void Encode(const core::ShuffleObject& v, Buffer& buf) {
+    buf.PutUint8(v.kind);
+    buf.PutVarint(v.id);
+    buf.PutDouble(v.pos.x);
+    buf.PutDouble(v.pos.y);
+    if (v.kind == core::ShuffleObject::kFeature) {
+      Codec<std::vector<text::TermId>>::Encode(v.keywords, buf);
+    }
+  }
+  static Status Decode(BufferReader& reader, core::ShuffleObject* out) {
+    SPQ_RETURN_NOT_OK(reader.GetUint8(&out->kind));
+    SPQ_RETURN_NOT_OK(reader.GetVarint(&out->id));
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&out->pos.x));
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&out->pos.y));
+    out->keywords.clear();
+    if (out->kind == core::ShuffleObject::kFeature) {
+      SPQ_RETURN_NOT_OK(
+          Codec<std::vector<text::TermId>>::Decode(reader, &out->keywords));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace spq::mapreduce
+
+#endif  // SPQ_SPQ_SHUFFLE_TYPES_H_

@@ -1,0 +1,76 @@
+#ifndef SPQ_SPQ_TOPK_H_
+#define SPQ_SPQ_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "spq/types.h"
+
+namespace spq::core {
+
+/// \brief The sorted list L_k of Algorithms 2 and 4: the k data objects
+/// with the best scores seen so far, plus the threshold τ (score of the
+/// k-th best, 0 while fewer than k objects are tracked).
+///
+/// Scores only ever increase (τ(p) is a running max), so Update() either
+/// raises an already-listed object or inserts a newcomer. O(k) per update;
+/// k is small (≤ 100 in the paper's experiments).
+class TopKList {
+ public:
+  explicit TopKList(uint32_t k) : k_(k) {}
+
+  /// Records that object `id` reached `score`. No-op when the score cannot
+  /// enter the current top-k.
+  void Update(ObjectId id, double score) {
+    // Already tracked? Raise its score and restore order.
+    for (auto& e : entries_) {
+      if (e.id == id) {
+        if (score > e.score) {
+          e.score = score;
+          std::sort(entries_.begin(), entries_.end(), ResultBetter);
+        }
+        return;
+      }
+    }
+    if (entries_.size() < k_) {
+      entries_.push_back({id, score});
+      std::sort(entries_.begin(), entries_.end(), ResultBetter);
+      return;
+    }
+    if (ResultBetter({id, score}, entries_.back())) {
+      entries_.back() = {id, score};
+      std::sort(entries_.begin(), entries_.end(), ResultBetter);
+    }
+  }
+
+  /// τ — the k-th best score so far; 0 until k objects are tracked.
+  /// Any unseen feature with w(f,q) <= τ cannot change the membership of
+  /// the top-k list (it could only create ties).
+  double Threshold() const {
+    return entries_.size() < k_ ? 0.0 : entries_.back().score;
+  }
+
+  const std::vector<ResultEntry>& entries() const { return entries_; }
+  bool full() const { return entries_.size() >= k_; }
+  uint32_t k() const { return k_; }
+
+ private:
+  uint32_t k_;
+  std::vector<ResultEntry> entries_;  // kept sorted by ResultBetter
+};
+
+/// Merges per-cell result lists into the global top-k (the cheap
+/// centralized final step of Section 4.2). Deduplication is unnecessary —
+/// each data object belongs to exactly one cell — but entries are ordered
+/// deterministically (score desc, id asc).
+inline std::vector<ResultEntry> MergeTopK(std::vector<ResultEntry> candidates,
+                                          uint32_t k) {
+  std::sort(candidates.begin(), candidates.end(), ResultBetter);
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_TOPK_H_

@@ -1,0 +1,63 @@
+#ifndef SPQ_SPQ_TYPES_H_
+#define SPQ_SPQ_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "text/keyword_set.h"
+
+namespace spq::core {
+
+using ObjectId = uint64_t;
+
+/// \brief A data object p ∈ O: the rankable entity (e.g. a hotel).
+struct DataObject {
+  ObjectId id = 0;
+  geo::Point pos;
+};
+
+/// \brief A feature object f ∈ F: a spatio-textual object (e.g. a
+/// restaurant with its description terms) that scores nearby data objects.
+struct FeatureObject {
+  ObjectId id = 0;
+  geo::Point pos;
+  text::KeywordSet keywords;
+};
+
+/// \brief The spatial preference query using keywords, q(k, r, W).
+struct Query {
+  /// Number of data objects to return.
+  uint32_t k = 10;
+  /// Neighborhood radius: feature f contributes to p iff dist(p,f) <= r.
+  double radius = 0.0;
+  /// Query keywords q.W, matched against f.W by Jaccard similarity.
+  text::KeywordSet keywords;
+};
+
+/// \brief One result: a data object and its score τ(p).
+struct ResultEntry {
+  ObjectId id = 0;
+  double score = 0.0;
+};
+
+/// Result order: score descending, then id ascending. Gives every
+/// algorithm and baseline the same deterministic output order.
+inline bool ResultBetter(const ResultEntry& a, const ResultEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// \brief A horizontally partitioned input: the object dataset O and the
+/// feature dataset F, plus the spatial bounds both live in (the universe
+/// the query-time grid divides).
+struct Dataset {
+  std::vector<DataObject> data;
+  std::vector<FeatureObject> features;
+  geo::Rect bounds;
+};
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_TYPES_H_

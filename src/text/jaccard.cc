@@ -1,0 +1,18 @@
+#include "text/jaccard.h"
+
+namespace spq::text {
+
+double Jaccard(const KeywordSet& a, const KeywordSet& b) {
+  const std::size_t inter = a.IntersectionSize(b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardUpperBound(std::size_t query_len, std::size_t feature_len) {
+  if (feature_len < query_len) return 1.0;
+  if (feature_len == 0) return 0.0;  // both empty
+  return static_cast<double>(query_len) / static_cast<double>(feature_len);
+}
+
+}  // namespace spq::text

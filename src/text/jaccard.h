@@ -1,0 +1,26 @@
+#ifndef SPQ_TEXT_JACCARD_H_
+#define SPQ_TEXT_JACCARD_H_
+
+#include "text/keyword_set.h"
+
+namespace spq::text {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| in [0, 1]; 0 when both are empty.
+/// This is the non-spatial score w(f, q) of Definition 1.
+double Jaccard(const KeywordSet& a, const KeywordSet& b);
+
+/// \brief Upper bound w̄(f, q) of the Jaccard score reachable by a feature
+/// with `feature_len` keywords against a query with `query_len` keywords
+/// (Eq. 1 of the paper):
+///
+///   w̄ = 1                       if |f.W| < |q.W|
+///   w̄ = |q.W| / |f.W|           if |f.W| ≥ |q.W|
+///
+/// Monotonically non-increasing in feature_len once feature_len ≥ query_len,
+/// which is what makes the eSPQlen early-termination test (Lemma 2) sound
+/// under the increasing-keyword-length access order.
+double JaccardUpperBound(std::size_t query_len, std::size_t feature_len);
+
+}  // namespace spq::text
+
+#endif  // SPQ_TEXT_JACCARD_H_

@@ -1,0 +1,79 @@
+#include "text/keyword_set.h"
+
+#include <algorithm>
+
+namespace spq::text {
+
+KeywordSet::KeywordSet(std::vector<TermId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+KeywordSet::KeywordSet(std::initializer_list<TermId> ids)
+    : KeywordSet(std::vector<TermId>(ids)) {}
+
+bool KeywordSet::Contains(TermId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+std::size_t KeywordSet::IntersectionSize(const KeywordSet& other) const {
+  std::size_t count = 0;
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+std::size_t SortedIntersectionSize(const std::vector<TermId>& a,
+                                   const std::vector<TermId>& b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+double JaccardSorted(const std::vector<TermId>& a,
+                     const std::vector<TermId>& b) {
+  const std::size_t inter = SortedIntersectionSize(a, b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+bool KeywordSet::Intersects(const KeywordSet& other) const {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace spq::text

@@ -1,0 +1,55 @@
+#ifndef SPQ_TEXT_KEYWORD_SET_H_
+#define SPQ_TEXT_KEYWORD_SET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace spq::text {
+
+/// \brief An immutable set of terms (sorted, deduplicated TermIds).
+///
+/// The canonical representation of both f.W (feature annotations) and q.W
+/// (query keywords). Sortedness makes intersection/union linear merges.
+class KeywordSet {
+ public:
+  KeywordSet() = default;
+
+  /// Builds from arbitrary ids; sorts and deduplicates.
+  explicit KeywordSet(std::vector<TermId> ids);
+  KeywordSet(std::initializer_list<TermId> ids);
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  const std::vector<TermId>& ids() const { return ids_; }
+
+  bool Contains(TermId id) const;
+
+  /// |this ∩ other| via sorted merge.
+  std::size_t IntersectionSize(const KeywordSet& other) const;
+
+  /// True iff the sets share at least one term — the map-side pruning test
+  /// of Algorithms 1/3/5 (line "x.W ∩ q.W ≠ ∅").
+  bool Intersects(const KeywordSet& other) const;
+
+  bool operator==(const KeywordSet& other) const { return ids_ == other.ids_; }
+
+ private:
+  std::vector<TermId> ids_;
+};
+
+/// |a ∩ b| of two *sorted unique* id vectors (the wire form of a
+/// KeywordSet). Used on the hot map/reduce paths to avoid re-wrapping
+/// deserialized keyword lists.
+std::size_t SortedIntersectionSize(const std::vector<TermId>& a,
+                                   const std::vector<TermId>& b);
+
+/// Jaccard similarity of two sorted unique id vectors; 0 when both empty.
+double JaccardSorted(const std::vector<TermId>& a,
+                     const std::vector<TermId>& b);
+
+}  // namespace spq::text
+
+#endif  // SPQ_TEXT_KEYWORD_SET_H_

@@ -1,0 +1,40 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace spq::text {
+
+std::vector<std::string> Tokenize(const std::string& input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (unsigned char c : input) {
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+KeywordSet TokenizeToSet(const std::string& input, Vocabulary& vocab) {
+  std::vector<TermId> ids;
+  for (const auto& token : Tokenize(input)) {
+    ids.push_back(vocab.Intern(token));
+  }
+  return KeywordSet(std::move(ids));
+}
+
+KeywordSet TokenizeToSetReadOnly(const std::string& input,
+                                 const Vocabulary& vocab) {
+  std::vector<TermId> ids;
+  for (const auto& token : Tokenize(input)) {
+    auto id = vocab.Lookup(token);
+    if (id.ok()) ids.push_back(*id);
+  }
+  return KeywordSet(std::move(ids));
+}
+
+}  // namespace spq::text

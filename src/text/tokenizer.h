@@ -1,0 +1,28 @@
+#ifndef SPQ_TEXT_TOKENIZER_H_
+#define SPQ_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/keyword_set.h"
+#include "text/vocabulary.h"
+
+namespace spq::text {
+
+/// Splits `input` on any non-alphanumeric byte, lowercases ASCII letters,
+/// and drops empty tokens. ("Italian, Gourmet!" -> {"italian","gourmet"}).
+std::vector<std::string> Tokenize(const std::string& input);
+
+/// Tokenizes and interns into `vocab`, producing a KeywordSet. The overload
+/// every example/app uses to turn a textual annotation into f.W.
+KeywordSet TokenizeToSet(const std::string& input, Vocabulary& vocab);
+
+/// Tokenizes with lookup only (terms absent from `vocab` are skipped) —
+/// the right call for query keywords at query time, where unknown terms
+/// cannot match any feature anyway.
+KeywordSet TokenizeToSetReadOnly(const std::string& input,
+                                 const Vocabulary& vocab);
+
+}  // namespace spq::text
+
+#endif  // SPQ_TEXT_TOKENIZER_H_

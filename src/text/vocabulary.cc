@@ -1,0 +1,73 @@
+#include "text/vocabulary.h"
+
+#include <fstream>
+
+namespace spq::text {
+
+TermId Vocabulary::Intern(const std::string& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+StatusOr<TermId> Vocabulary::Lookup(const std::string& term) const {
+  auto it = index_.find(term);
+  if (it == index_.end()) {
+    return Status::NotFound("term not in vocabulary: " + term);
+  }
+  return it->second;
+}
+
+StatusOr<std::string> Vocabulary::Term(TermId id) const {
+  if (id >= terms_.size()) {
+    return Status::OutOfRange("term id " + std::to_string(id) +
+                              " >= vocabulary size " +
+                              std::to_string(terms_.size()));
+  }
+  return terms_[id];
+}
+
+void Vocabulary::FillSynthetic(std::size_t n) {
+  terms_.reserve(terms_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Intern("t" + std::to_string(i));
+  }
+}
+
+Status Vocabulary::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const auto& term : terms_) out << term << '\n';
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status Vocabulary::Load(const std::string& path) {
+  if (!empty()) {
+    return Status::InvalidArgument("Load requires an empty vocabulary");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": blank line in vocabulary file");
+    }
+    const std::size_t before = terms_.size();
+    Intern(line);
+    if (terms_.size() == before) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": duplicate term '" + line + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spq::text

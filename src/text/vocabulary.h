@@ -1,0 +1,59 @@
+#ifndef SPQ_TEXT_VOCABULARY_H_
+#define SPQ_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace spq::text {
+
+/// Integer handle of an interned term. Dense: 0..size()-1.
+using TermId = uint32_t;
+
+/// \brief Bidirectional string ⇄ TermId dictionary.
+///
+/// Keyword sets in the engine store TermIds, never strings: Jaccard
+/// computations reduce to sorted-integer merges and shuffle records shrink
+/// to varints. Matches the paper's notion of a per-dataset dictionary
+/// (88,706 terms for Twitter, 34,716 for Flickr).
+///
+/// Not thread-safe for interning; concurrent read-only lookup is safe.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(const std::string& term);
+
+  /// Returns the id of `term` or NotFound.
+  StatusOr<TermId> Lookup(const std::string& term) const;
+
+  /// Returns the term for `id` or OutOfRange.
+  StatusOr<std::string> Term(TermId id) const;
+
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Pre-populates ids 0..n-1 with synthetic terms "t0".."t{n-1}".
+  /// Used by the data generators, which deal in term ranks directly.
+  void FillSynthetic(std::size_t n);
+
+  /// Writes the dictionary to a file, one term per line, in id order —
+  /// the sidecar a TSV dataset export needs to stay id-compatible.
+  Status Save(const std::string& path) const;
+
+  /// Reads a dictionary written by Save. Line i becomes term id i.
+  /// Fails if this vocabulary is non-empty or the file has blank lines.
+  Status Load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace spq::text
+
+#endif  // SPQ_TEXT_VOCABULARY_H_

@@ -1,0 +1,145 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace spq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BoundedValuesStayInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    EXPECT_LT(rng.NextUint32(3), 3u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    double r = rng.NextDouble(-2.0, 5.0);
+    EXPECT_GE(r, -2.0);
+    EXPECT_LT(r, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(17);
+  for (double mean : {0.5, 3.0, 9.8, 50.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.NextPoisson(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, BernoulliProbabilityRespected) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng forked = a.Fork(1);
+  Rng b(31);
+  Rng forked2 = b.Fork(1);
+  // Forks of identical parents with identical salts agree...
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(forked.NextUint64(), forked2.NextUint64());
+  }
+  // ...and differ from the parent stream.
+  Rng c(31);
+  Rng fork_salt2 = c.Fork(2);
+  Rng d(31);
+  Rng fork_salt1 = d.Fork(1);
+  EXPECT_NE(fork_salt1.NextUint64(), fork_salt2.NextUint64());
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostFrequent) {
+  Rng rng(37);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsRoughlyUniform) {
+  Rng rng(41);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, FrequencyRatiosFollowPowerLaw) {
+  Rng rng(43);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  // P(rank 0) / P(rank 1) should be about 2 for s=1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.3);
+}
+
+TEST(ZipfSamplerTest, SamplesCoverFullRange) {
+  Rng rng(47);
+  ZipfSampler zipf(5, 0.5);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(zipf.Sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+}  // namespace
+}  // namespace spq

@@ -1,0 +1,93 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "common/statusor.h"
+
+namespace spq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  SPQ_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_EQ(result.value_or(3), 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(3), 3);
+}
+
+StatusOr<int> Double(StatusOr<int> input) {
+  SPQ_ASSIGN_OR_RETURN(int v, input);
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto ok = Double(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  auto err = Double(Status::Internal("boom"));
+  EXPECT_TRUE(err.status().IsInternal());
+}
+
+TEST(StatusOrTest, MoveOnlyFriendly) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> v = std::move(result).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace spq

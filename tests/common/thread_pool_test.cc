@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace spq {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  ParallelFor(pool, n, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, HandlesZeroItems) {
+  ThreadPool pool(4);
+  bool called = false;
+  ParallelFor(pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, HandlesFewerItemsThanWorkers) {
+  ThreadPool pool(16);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelForTest, ComputesCorrectAggregate) {
+  ThreadPool pool(8);
+  const std::size_t n = 1000;
+  std::vector<long> out(n, 0);
+  ParallelFor(pool, n, [&](std::size_t i) { out[i] = static_cast<long>(i); });
+  long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, static_cast<long>(n * (n - 1) / 2));
+}
+
+}  // namespace
+}  // namespace spq

@@ -1,0 +1,71 @@
+#include "datagen/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace spq::datagen {
+namespace {
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  core::Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  DatasetStats stats = ComputeStats(dataset);
+  EXPECT_EQ(stats.num_data, 0u);
+  EXPECT_EQ(stats.num_features, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_keywords, 0.0);
+  EXPECT_DOUBLE_EQ(stats.spatial_skew, 1.0);
+}
+
+TEST(DatasetStatsTest, CountsAndKeywordRange) {
+  core::Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  dataset.data = {{1, {0.5, 0.5}}};
+  dataset.features = {
+      {2, {0.2, 0.2}, text::KeywordSet({1, 2})},
+      {3, {0.8, 0.8}, text::KeywordSet({2, 3, 4, 5})},
+  };
+  DatasetStats stats = ComputeStats(dataset);
+  EXPECT_EQ(stats.num_data, 1u);
+  EXPECT_EQ(stats.num_features, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_keywords, 3.0);
+  EXPECT_EQ(stats.min_keywords, 2u);
+  EXPECT_EQ(stats.max_keywords, 4u);
+  EXPECT_EQ(stats.distinct_terms, 5u);  // {1,2,3,4,5}
+}
+
+TEST(DatasetStatsTest, UniformDataHasLowSkew) {
+  auto dataset = MakeUniformDataset({.num_objects = 30000, .seed = 1});
+  ASSERT_TRUE(dataset.ok());
+  DatasetStats stats = ComputeStats(*dataset);
+  EXPECT_LT(stats.spatial_skew, 1.5);
+}
+
+TEST(DatasetStatsTest, ClusteredDataHasHighSkew) {
+  auto dataset = MakeClusteredDataset(
+      {.num_objects = 30000, .seed = 2, .num_clusters = 4,
+       .cluster_sigma = 0.02});
+  ASSERT_TRUE(dataset.ok());
+  DatasetStats stats = ComputeStats(*dataset);
+  EXPECT_GT(stats.spatial_skew, 5.0);
+}
+
+TEST(DatasetStatsTest, MatchesGeneratorTargets) {
+  auto dataset = MakeRealLikeDataset(FlickrLikeSpec(20000, 3));
+  ASSERT_TRUE(dataset.ok());
+  DatasetStats stats = ComputeStats(*dataset);
+  EXPECT_NEAR(stats.avg_keywords, 7.9, 1.0);
+  EXPECT_GE(stats.min_keywords, 1u);
+}
+
+TEST(DatasetStatsTest, ToStringMentionsKeyNumbers) {
+  auto dataset = MakeUniformDataset({.num_objects = 1000, .seed = 5});
+  ASSERT_TRUE(dataset.ok());
+  std::string text = ComputeStats(*dataset).ToString();
+  EXPECT_NE(text.find("|O|=500"), std::string::npos);
+  EXPECT_NE(text.find("|F|=500"), std::string::npos);
+  EXPECT_NE(text.find("skew"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spq::datagen

@@ -1,0 +1,184 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace spq::datagen {
+namespace {
+
+using core::Dataset;
+
+void ExpectWellFormed(const Dataset& dataset, uint64_t num_objects) {
+  EXPECT_EQ(dataset.data.size(), num_objects / 2);
+  EXPECT_EQ(dataset.features.size(), num_objects - num_objects / 2);
+  for (const auto& p : dataset.data) {
+    EXPECT_TRUE(dataset.bounds.Contains(p.pos)) << "data " << p.id;
+  }
+  for (const auto& f : dataset.features) {
+    EXPECT_TRUE(dataset.bounds.Contains(f.pos)) << "feature " << f.id;
+    EXPECT_GE(f.keywords.size(), 1u) << "feature " << f.id;
+  }
+}
+
+TEST(UniformGeneratorTest, ProducesWellFormedDataset) {
+  auto dataset = MakeUniformDataset({.num_objects = 5000, .seed = 1});
+  ASSERT_TRUE(dataset.ok());
+  ExpectWellFormed(*dataset, 5000);
+}
+
+TEST(UniformGeneratorTest, DeterministicPerSeed) {
+  UniformSpec spec{.num_objects = 500, .seed = 11};
+  auto a = MakeUniformDataset(spec);
+  auto b = MakeUniformDataset(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->data.size(), b->data.size());
+  for (std::size_t i = 0; i < a->data.size(); ++i) {
+    EXPECT_EQ(a->data[i].pos, b->data[i].pos);
+  }
+  for (std::size_t i = 0; i < a->features.size(); ++i) {
+    EXPECT_EQ(a->features[i].keywords, b->features[i].keywords);
+  }
+}
+
+TEST(UniformGeneratorTest, DifferentSeedsDiffer) {
+  auto a = MakeUniformDataset({.num_objects = 100, .seed = 1});
+  auto b = MakeUniformDataset({.num_objects = 100, .seed = 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a->data.size(); ++i) {
+    if (!(a->data[i].pos == b->data[i].pos)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(UniformGeneratorTest, KeywordCountsWithinRange) {
+  auto dataset = MakeUniformDataset(
+      {.num_objects = 2000, .seed = 5, .vocab_size = 1000,
+       .min_keywords = 10, .max_keywords = 100});
+  ASSERT_TRUE(dataset.ok());
+  for (const auto& f : dataset->features) {
+    // Duplicates may shrink the set slightly below the drawn count, but
+    // never above max and (for vocab 1000 >> 100) rarely below min - 5.
+    EXPECT_LE(f.keywords.size(), 100u);
+    EXPECT_GE(f.keywords.size(), 5u);
+    for (auto id : f.keywords.ids()) EXPECT_LT(id, 1000u);
+  }
+}
+
+TEST(UniformGeneratorTest, SpatialDistributionIsRoughlyUniform) {
+  auto dataset = MakeUniformDataset({.num_objects = 40000, .seed = 3});
+  ASSERT_TRUE(dataset.ok());
+  auto grid = geo::UniformGrid::Make(dataset->bounds, 4, 4);
+  ASSERT_TRUE(grid.ok());
+  std::vector<int> counts(16, 0);
+  for (const auto& p : dataset->data) ++counts[grid->CellOf(p.pos)];
+  const double expected = dataset->data.size() / 16.0;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.15);
+  }
+}
+
+TEST(UniformGeneratorTest, RejectsBadSpecs) {
+  EXPECT_FALSE(MakeUniformDataset({.num_objects = 1}).ok());
+  EXPECT_FALSE(MakeUniformDataset({.num_objects = 10, .vocab_size = 0}).ok());
+  EXPECT_FALSE(MakeUniformDataset(
+                   {.num_objects = 10, .min_keywords = 5, .max_keywords = 2})
+                   .ok());
+  EXPECT_FALSE(MakeUniformDataset({.num_objects = 10, .min_keywords = 0}).ok());
+}
+
+TEST(ClusteredGeneratorTest, ProducesWellFormedDataset) {
+  auto dataset = MakeClusteredDataset({.num_objects = 5000, .seed = 2});
+  ASSERT_TRUE(dataset.ok());
+  ExpectWellFormed(*dataset, 5000);
+}
+
+TEST(ClusteredGeneratorTest, IsMoreSkewedThanUniform) {
+  const uint64_t n = 40000;
+  auto uniform = MakeUniformDataset({.num_objects = n, .seed = 4});
+  auto clustered = MakeClusteredDataset(
+      {.num_objects = n, .seed = 4, .num_clusters = 8, .cluster_sigma = 0.02});
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(clustered.ok());
+  auto grid = geo::UniformGrid::Make(uniform->bounds, 10, 10);
+  ASSERT_TRUE(grid.ok());
+  auto max_cell_count = [&](const Dataset& d) {
+    std::vector<int> counts(grid->num_cells(), 0);
+    for (const auto& p : d.data) ++counts[grid->CellOf(p.pos)];
+    return *std::max_element(counts.begin(), counts.end());
+  };
+  // The densest cell of CL must be much denser than UN's densest cell.
+  EXPECT_GT(max_cell_count(*clustered), 3 * max_cell_count(*uniform));
+}
+
+TEST(ClusteredGeneratorTest, RejectsZeroClusters) {
+  EXPECT_FALSE(
+      MakeClusteredDataset({.num_objects = 10, .num_clusters = 0}).ok());
+}
+
+TEST(RealLikeGeneratorTest, FlickrAndTwitterPresets) {
+  RealLikeSpec fl = FlickrLikeSpec(1000);
+  EXPECT_EQ(fl.vocab_size, 34'716u);
+  EXPECT_DOUBLE_EQ(fl.mean_keywords, 7.9);
+  RealLikeSpec tw = TwitterLikeSpec(1000);
+  EXPECT_EQ(tw.vocab_size, 88'706u);
+  EXPECT_DOUBLE_EQ(tw.mean_keywords, 9.8);
+}
+
+TEST(RealLikeGeneratorTest, MeanKeywordsApproximatelyMatches) {
+  auto dataset = MakeRealLikeDataset(FlickrLikeSpec(30000, 8));
+  ASSERT_TRUE(dataset.ok());
+  double total = 0.0;
+  for (const auto& f : dataset->features) total += f.keywords.size();
+  const double mean = total / dataset->features.size();
+  // Zipf sampling with replacement dedups a little below the Poisson mean.
+  EXPECT_NEAR(mean, 7.9, 1.0);
+}
+
+TEST(RealLikeGeneratorTest, TermFrequenciesAreSkewed) {
+  auto dataset = MakeRealLikeDataset(FlickrLikeSpec(20000, 8));
+  ASSERT_TRUE(dataset.ok());
+  std::map<text::TermId, int> freq;
+  for (const auto& f : dataset->features) {
+    for (auto id : f.keywords.ids()) ++freq[id];
+  }
+  // Rank-0 term should be far more frequent than a mid-vocabulary term.
+  EXPECT_GT(freq[0], 50 * std::max(1, freq[1000]));
+}
+
+TEST(RealLikeGeneratorTest, SpatiallySkewedAroundHotspots) {
+  auto dataset = MakeRealLikeDataset(FlickrLikeSpec(30000, 8));
+  ASSERT_TRUE(dataset.ok());
+  auto grid = geo::UniformGrid::Make(dataset->bounds, 10, 10);
+  ASSERT_TRUE(grid.ok());
+  std::vector<int> counts(grid->num_cells(), 0);
+  for (const auto& p : dataset->data) ++counts[grid->CellOf(p.pos)];
+  const double mean =
+      static_cast<double>(dataset->data.size()) / grid->num_cells();
+  EXPECT_GT(*std::max_element(counts.begin(), counts.end()), 3 * mean);
+}
+
+TEST(RealLikeGeneratorTest, WellFormed) {
+  auto dataset = MakeRealLikeDataset(TwitterLikeSpec(3000, 9));
+  ASSERT_TRUE(dataset.ok());
+  ExpectWellFormed(*dataset, 3000);
+}
+
+TEST(RealLikeGeneratorTest, RejectsBadSpecs) {
+  RealLikeSpec bad = FlickrLikeSpec(10);
+  bad.mean_keywords = 0.0;
+  EXPECT_FALSE(MakeRealLikeDataset(bad).ok());
+  bad = FlickrLikeSpec(10);
+  bad.num_hotspots = 0;
+  EXPECT_FALSE(MakeRealLikeDataset(bad).ok());
+}
+
+}  // namespace
+}  // namespace spq::datagen

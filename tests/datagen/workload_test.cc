@@ -1,0 +1,110 @@
+#include "datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spq::datagen {
+namespace {
+
+TEST(RadiusFromCellFractionTest, ConvertsPercentOfCell) {
+  // 10% of a cell on a 50-wide grid over a unit extent: 0.1 * (1/50).
+  EXPECT_DOUBLE_EQ(RadiusFromCellFraction(0.1, 1.0, 50), 0.002);
+  EXPECT_DOUBLE_EQ(RadiusFromCellFraction(0.5, 10.0, 4), 1.25);
+  EXPECT_DOUBLE_EQ(RadiusFromCellFraction(1.0, 1.0, 100), 0.01);
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  WorkloadSpec spec;
+  auto queries = MakeQueries(spec, 25);
+  EXPECT_EQ(queries.size(), 25u);
+}
+
+TEST(WorkloadTest, QueriesHaveRequestedShape) {
+  WorkloadSpec spec;
+  spec.num_keywords = 5;
+  spec.k = 42;
+  spec.radius = 0.01;
+  spec.vocab_size = 500;
+  for (const auto& q : MakeQueries(spec, 10)) {
+    EXPECT_EQ(q.k, 42u);
+    EXPECT_DOUBLE_EQ(q.radius, 0.01);
+    EXPECT_EQ(q.keywords.size(), 5u);
+    for (auto id : q.keywords.ids()) EXPECT_LT(id, 500u);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadSpec spec;
+  spec.seed = 77;
+  auto a = MakeQueries(spec, 5);
+  auto b = MakeQueries(spec, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+  }
+}
+
+TEST(WorkloadTest, MostFrequentSelectionPicksLowestRanks) {
+  WorkloadSpec spec;
+  spec.num_keywords = 3;
+  spec.selection = KeywordSelection::kMostFrequent;
+  spec.vocab_size = 100;
+  auto q = MakeQuery(spec, 0);
+  EXPECT_EQ(q.keywords, text::KeywordSet({0, 1, 2}));
+}
+
+TEST(WorkloadTest, LeastFrequentSelectionPicksHighestRanks) {
+  WorkloadSpec spec;
+  spec.num_keywords = 2;
+  spec.selection = KeywordSelection::kLeastFrequent;
+  spec.vocab_size = 100;
+  auto q = MakeQuery(spec, 0);
+  EXPECT_EQ(q.keywords, text::KeywordSet({98, 99}));
+}
+
+TEST(WorkloadTest, FrequencyWeightedPrefersCommonTerms) {
+  WorkloadSpec spec;
+  spec.num_keywords = 1;
+  spec.selection = KeywordSelection::kFrequencyWeighted;
+  spec.term_zipf = 1.2;
+  spec.vocab_size = 10000;
+  int low_rank = 0;
+  auto queries = MakeQueries(spec, 200);
+  for (const auto& q : queries) {
+    if (q.keywords.ids()[0] < 100) ++low_rank;
+  }
+  // With strong Zipf skew, most samples land in the first 100 ranks.
+  EXPECT_GT(low_rank, 100);
+}
+
+TEST(WorkloadTest, UniformSelectionCoversVocabulary) {
+  WorkloadSpec spec;
+  spec.num_keywords = 1;
+  spec.selection = KeywordSelection::kUniformRandom;
+  spec.vocab_size = 10;
+  std::set<text::TermId> seen;
+  for (const auto& q : MakeQueries(spec, 300)) {
+    seen.insert(q.keywords.ids()[0]);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(WorkloadTest, KeywordsAreDistinct) {
+  WorkloadSpec spec;
+  spec.num_keywords = 10;
+  spec.vocab_size = 12;  // force collisions during sampling
+  for (const auto& q : MakeQueries(spec, 20)) {
+    EXPECT_EQ(q.keywords.size(), 10u);  // KeywordSet guarantees uniqueness
+  }
+}
+
+TEST(WorkloadTest, MoreKeywordsThanVocabClamps) {
+  WorkloadSpec spec;
+  spec.num_keywords = 50;
+  spec.vocab_size = 5;
+  auto q = MakeQuery(spec, 0);
+  EXPECT_EQ(q.keywords.size(), 5u);
+}
+
+}  // namespace
+}  // namespace spq::datagen

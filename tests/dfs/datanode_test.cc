@@ -1,0 +1,62 @@
+#include "dfs/datanode.h"
+
+#include <gtest/gtest.h>
+
+namespace spq::dfs {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return b; }
+
+TEST(DataNodeTest, PutAndGetRoundTrip) {
+  DataNode node(0);
+  ASSERT_TRUE(node.Put(1, Bytes({1, 2, 3})).ok());
+  auto data = node.Get(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(**data, Bytes({1, 2, 3}));
+  EXPECT_TRUE(node.Holds(1));
+  EXPECT_EQ(node.num_blocks(), 1u);
+  EXPECT_EQ(node.stored_bytes(), 3u);
+}
+
+TEST(DataNodeTest, GetMissingBlockIsNotFound) {
+  DataNode node(0);
+  EXPECT_TRUE(node.Get(42).status().IsNotFound());
+}
+
+TEST(DataNodeTest, DuplicatePutRejected) {
+  DataNode node(0);
+  ASSERT_TRUE(node.Put(1, Bytes({1})).ok());
+  EXPECT_TRUE(node.Put(1, Bytes({2})).IsInvalidArgument());
+  EXPECT_EQ(node.stored_bytes(), 1u);
+}
+
+TEST(DataNodeTest, KilledNodeRefusesIO) {
+  DataNode node(3);
+  ASSERT_TRUE(node.Put(1, Bytes({9})).ok());
+  node.Kill();
+  EXPECT_FALSE(node.alive());
+  EXPECT_TRUE(node.Get(1).status().IsIOError());
+  EXPECT_TRUE(node.Put(2, Bytes({1})).IsIOError());
+}
+
+TEST(DataNodeTest, RestartRestoresBlocks) {
+  DataNode node(3);
+  ASSERT_TRUE(node.Put(1, Bytes({9, 8})).ok());
+  node.Kill();
+  node.Restart();
+  EXPECT_TRUE(node.alive());
+  auto data = node.Get(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(**data, Bytes({9, 8}));
+}
+
+TEST(DataNodeTest, EmptyBlockAllowed) {
+  DataNode node(0);
+  ASSERT_TRUE(node.Put(5, {}).ok());
+  auto data = node.Get(5);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE((*data)->empty());
+}
+
+}  // namespace
+}  // namespace spq::dfs

@@ -1,0 +1,159 @@
+#include "dfs/mini_dfs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace spq::dfs {
+namespace {
+
+std::vector<uint8_t> RandomBytes(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextUint32(256));
+  return data;
+}
+
+TEST(MiniDfsTest, WriteReadRoundTrip) {
+  MiniDfs dfs({.num_datanodes = 4, .block_size = 100, .replication = 2});
+  auto data = RandomBytes(1234, 7);
+  ASSERT_TRUE(dfs.WriteFile("f", data).ok());
+  auto read = dfs.ReadFile("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(MiniDfsTest, EmptyFileRoundTrip) {
+  MiniDfs dfs({.num_datanodes = 3, .block_size = 64, .replication = 3});
+  ASSERT_TRUE(dfs.WriteFile("empty", {}).ok());
+  auto read = dfs.ReadFile("empty");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  auto meta = dfs.GetMetadata("empty");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->blocks.size(), 1u);  // one empty block, no special case
+}
+
+TEST(MiniDfsTest, FilesSplitIntoBlockSizedBlocks) {
+  MiniDfs dfs({.num_datanodes = 4, .block_size = 100, .replication = 1});
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(250, 1)).ok());
+  auto meta = dfs.GetMetadata("f");
+  ASSERT_TRUE(meta.ok());
+  ASSERT_EQ(meta->blocks.size(), 3u);
+  EXPECT_EQ(meta->blocks[0].length, 100u);
+  EXPECT_EQ(meta->blocks[1].length, 100u);
+  EXPECT_EQ(meta->blocks[2].length, 50u);
+  EXPECT_EQ(meta->size, 250u);
+}
+
+TEST(MiniDfsTest, ReplicasLandOnDistinctNodes) {
+  MiniDfs dfs({.num_datanodes = 8, .block_size = 50, .replication = 3});
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(500, 2)).ok());
+  auto meta = dfs.GetMetadata("f");
+  ASSERT_TRUE(meta.ok());
+  for (const auto& block : meta->blocks) {
+    std::set<NodeId> nodes(block.replicas.begin(), block.replicas.end());
+    EXPECT_EQ(nodes.size(), 3u) << "block " << block.block;
+    for (NodeId n : nodes) {
+      EXPECT_TRUE(dfs.datanode(n).Holds(block.block));
+    }
+  }
+}
+
+TEST(MiniDfsTest, WriteOnceSemantics) {
+  MiniDfs dfs({.num_datanodes = 3});
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(10, 3)).ok());
+  EXPECT_TRUE(dfs.WriteFile("f", RandomBytes(10, 4)).IsInvalidArgument());
+}
+
+TEST(MiniDfsTest, ReadMissingFileIsNotFound) {
+  MiniDfs dfs;
+  EXPECT_TRUE(dfs.ReadFile("nope").status().IsNotFound());
+  EXPECT_TRUE(dfs.GetMetadata("nope").status().IsNotFound());
+}
+
+TEST(MiniDfsTest, ReadBlockOutOfRange) {
+  MiniDfs dfs({.num_datanodes = 3, .block_size = 100});
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(50, 5)).ok());
+  EXPECT_TRUE(dfs.ReadBlock("f", 1).status().IsOutOfRange());
+}
+
+TEST(MiniDfsTest, SurvivesReplicationMinusOneFailures) {
+  MiniDfs dfs({.num_datanodes = 5, .block_size = 64, .replication = 3,
+               .seed = 9});
+  auto data = RandomBytes(1000, 6);
+  ASSERT_TRUE(dfs.WriteFile("f", data).ok());
+  // Kill two nodes — any block still has at least one live replica.
+  dfs.datanode(0).Kill();
+  dfs.datanode(1).Kill();
+  EXPECT_EQ(dfs.alive_datanodes(), 3u);
+  auto read = dfs.ReadFile("f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST(MiniDfsTest, AllReplicasDeadIsIOError) {
+  MiniDfs dfs({.num_datanodes = 3, .block_size = 64, .replication = 2});
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(32, 7)).ok());
+  for (NodeId n = 0; n < 3; ++n) dfs.datanode(n).Kill();
+  EXPECT_TRUE(dfs.ReadFile("f").status().IsIOError());
+}
+
+TEST(MiniDfsTest, RestartedNodeServesAgain) {
+  MiniDfs dfs({.num_datanodes = 3, .block_size = 64, .replication = 3});
+  auto data = RandomBytes(128, 8);
+  ASSERT_TRUE(dfs.WriteFile("f", data).ok());
+  for (NodeId n = 0; n < 3; ++n) dfs.datanode(n).Kill();
+  dfs.datanode(1).Restart();
+  auto read = dfs.ReadFile("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(MiniDfsTest, WriteFailsWithoutEnoughLiveNodes) {
+  MiniDfs dfs({.num_datanodes = 3, .replication = 3});
+  dfs.datanode(2).Kill();
+  EXPECT_TRUE(dfs.WriteFile("f", RandomBytes(10, 9)).IsIOError());
+}
+
+TEST(MiniDfsTest, PlacementBalancesLoad) {
+  MiniDfs dfs({.num_datanodes = 4, .block_size = 10, .replication = 1,
+               .seed = 3});
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(400, 10)).ok());  // 40 blocks
+  // Least-loaded placement: every node ends up with ~10 blocks.
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_NEAR(static_cast<double>(dfs.datanode(n).num_blocks()), 10.0, 1.0);
+  }
+}
+
+TEST(MiniDfsTest, ListAndDelete) {
+  MiniDfs dfs;
+  ASSERT_TRUE(dfs.WriteFile("a", RandomBytes(5, 11)).ok());
+  ASSERT_TRUE(dfs.WriteFile("b", RandomBytes(5, 12)).ok());
+  EXPECT_EQ(dfs.ListFiles().size(), 2u);
+  EXPECT_TRUE(dfs.FileExists("a"));
+  ASSERT_TRUE(dfs.DeleteFile("a").ok());
+  EXPECT_FALSE(dfs.FileExists("a"));
+  EXPECT_TRUE(dfs.DeleteFile("a").IsNotFound());
+  EXPECT_EQ(dfs.ListFiles().size(), 1u);
+}
+
+TEST(MiniDfsTest, ReplicationClampedToClusterSize) {
+  MiniDfs dfs({.num_datanodes = 2, .replication = 5});
+  EXPECT_EQ(dfs.options().replication, 2u);
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(10, 13)).ok());
+}
+
+TEST(MiniDfsTest, DegenerateOptionsAreSanitized) {
+  MiniDfs dfs({.num_datanodes = 0, .block_size = 0, .replication = 0});
+  EXPECT_EQ(dfs.num_datanodes(), 1u);
+  ASSERT_TRUE(dfs.WriteFile("f", RandomBytes(3, 14)).ok());
+  auto read = dfs.ReadFile("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 3u);
+}
+
+}  // namespace
+}  // namespace spq::dfs

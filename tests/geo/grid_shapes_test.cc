@@ -1,0 +1,99 @@
+// Parameterized sweep over grid shapes: the partitioning invariants of
+// Section 4.1 must hold for any nx x ny, including extreme aspect ratios
+// and non-unit bounds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "geo/grid.h"
+
+namespace spq::geo {
+namespace {
+
+class GridShapeTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {
+ protected:
+  UniformGrid MakeGrid() {
+    auto [nx, ny] = GetParam();
+    auto grid = UniformGrid::Make(Rect{-3.0, 2.0, 7.0, 4.5}, nx, ny);
+    EXPECT_TRUE(grid.ok());
+    return *grid;
+  }
+};
+
+TEST_P(GridShapeTest, EveryPointHasExactlyOneEnclosingCell) {
+  UniformGrid grid = MakeGrid();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.NextDouble(-3.0, 7.0), rng.NextDouble(2.0, 4.5)};
+    CellId id = grid.CellOf(p);
+    ASSERT_LT(id, grid.num_cells());
+    EXPECT_TRUE(grid.CellRect(id).Contains(p));
+  }
+}
+
+TEST_P(GridShapeTest, CellRectsTileTheBounds) {
+  UniformGrid grid = MakeGrid();
+  double area = 0.0;
+  for (CellId id = 0; id < grid.num_cells(); ++id) {
+    const Rect r = grid.CellRect(id);
+    EXPECT_GT(r.width(), 0.0);
+    EXPECT_GT(r.height(), 0.0);
+    area += r.width() * r.height();
+  }
+  EXPECT_NEAR(area, 10.0 * 2.5, 1e-9);
+}
+
+TEST_P(GridShapeTest, DuplicationTargetsMatchBruteForce) {
+  UniformGrid grid = MakeGrid();
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    Point p{rng.NextDouble(-3.0, 7.0), rng.NextDouble(2.0, 4.5)};
+    const double r = rng.NextDouble() * 1.5;
+    auto fast = grid.CellsWithinDist(p, r);
+    std::set<CellId> fast_set(fast.begin(), fast.end());
+    std::set<CellId> brute;
+    const CellId own = grid.CellOf(p);
+    for (CellId id = 0; id < grid.num_cells(); ++id) {
+      if (id != own && MinDist(p, grid.CellRect(id)) <= r) brute.insert(id);
+    }
+    ASSERT_EQ(fast_set, brute)
+        << "nx=" << grid.nx() << " ny=" << grid.ny() << " trial " << trial;
+  }
+}
+
+TEST_P(GridShapeTest, LemmaOneCoverageHolds) {
+  UniformGrid grid = MakeGrid();
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    Point f{rng.NextDouble(-3.0, 7.0), rng.NextDouble(2.0, 4.5)};
+    const double r = 0.01 + rng.NextDouble() * 0.8;
+    const double angle = rng.NextDouble() * 2 * M_PI;
+    const double dist = rng.NextDouble() * r;
+    Point q{std::clamp(f.x + dist * std::cos(angle), -3.0, 7.0),
+            std::clamp(f.y + dist * std::sin(angle), 2.0, 4.5)};
+    if (Distance(q, f) > r) continue;
+    const CellId qc = grid.CellOf(q);
+    if (qc == grid.CellOf(f)) continue;
+    auto targets = grid.CellsWithinDist(f, r);
+    EXPECT_NE(std::find(targets.begin(), targets.end(), qc), targets.end())
+        << "nx=" << grid.nx() << " ny=" << grid.ny();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridShapeTest,
+    ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(1u, 16u),
+                      std::make_tuple(16u, 1u), std::make_tuple(3u, 7u),
+                      std::make_tuple(50u, 50u), std::make_tuple(128u, 2u)),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace spq::geo

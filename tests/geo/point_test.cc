@@ -1,0 +1,76 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geo/rect.h"
+
+namespace spq::geo {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Point a{rng.NextDouble(), rng.NextDouble()};
+    Point b{rng.NextDouble(), rng.NextDouble()};
+    EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+  }
+}
+
+TEST(RectTest, ContainsIsInclusive) {
+  Rect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({10, 5}));
+  EXPECT_TRUE(r.Contains({5, 2.5}));
+  EXPECT_FALSE(r.Contains({10.001, 5}));
+  EXPECT_FALSE(r.Contains({-0.001, 0}));
+}
+
+TEST(RectTest, WidthHeight) {
+  Rect r{1, 2, 4, 8};
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 6.0);
+}
+
+TEST(RectTest, MinDistInsideIsZero) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(MinDist({5, 5}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist({0, 0}, r), 0.0);   // on the corner
+  EXPECT_DOUBLE_EQ(MinDist({10, 3}, r), 0.0);  // on an edge
+}
+
+TEST(RectTest, MinDistToEdges) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(MinDist({-3, 5}, r), 3.0);   // left
+  EXPECT_DOUBLE_EQ(MinDist({15, 5}, r), 5.0);   // right
+  EXPECT_DOUBLE_EQ(MinDist({5, -2}, r), 2.0);   // below
+  EXPECT_DOUBLE_EQ(MinDist({5, 12}, r), 2.0);   // above
+}
+
+TEST(RectTest, MinDistToCornerIsEuclidean) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(MinDist({-3, -4}, r), 5.0);
+  EXPECT_DOUBLE_EQ(MinDist({13, 14}, r), 5.0);
+}
+
+TEST(RectTest, MinDistLowerBoundsDistanceToContainedPoints) {
+  // Property: MinDist(p, r) <= Distance(p, x) for any x inside r.
+  Rng rng(17);
+  Rect r{2, 3, 6, 9};
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.NextDouble(-5, 15), rng.NextDouble(-5, 15)};
+    Point inside{rng.NextDouble(r.min_x, r.max_x),
+                 rng.NextDouble(r.min_y, r.max_y)};
+    EXPECT_LE(MinDist(p, r), Distance(p, inside) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace spq::geo

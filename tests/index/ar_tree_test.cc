@@ -1,0 +1,128 @@
+#include "index/ar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace spq::index {
+namespace {
+
+std::vector<ArTree::Entry> RandomEntries(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ArTree::Entry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries[i] = {{rng.NextDouble(), rng.NextDouble()},
+                  0.01 + rng.NextDouble(),  // positive scores
+                  static_cast<uint64_t>(i)};
+  }
+  return entries;
+}
+
+double BruteMaxWithin(const std::vector<ArTree::Entry>& entries,
+                      const geo::Point& q, double r) {
+  double best = 0.0;
+  for (const auto& e : entries) {
+    if (e.score > best && geo::Distance(q, e.pos) <= r) best = e.score;
+  }
+  return best;
+}
+
+TEST(ArTreeTest, EmptyTree) {
+  ArTree tree = ArTree::Build({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_DOUBLE_EQ(tree.MaxScoreWithin({0.5, 0.5}, 1.0), 0.0);
+  EXPECT_TRUE(tree.IdsWithin({0.5, 0.5}, 1.0).empty());
+}
+
+TEST(ArTreeTest, SingleEntry) {
+  ArTree tree = ArTree::Build({{{0.5, 0.5}, 0.7, 42}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.MaxScoreWithin({0.5, 0.5}, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(tree.MaxScoreWithin({0.9, 0.5}, 0.3), 0.0);
+  EXPECT_EQ(tree.IdsWithin({0.6, 0.5}, 0.2),
+            (std::vector<uint64_t>{42}));
+}
+
+TEST(ArTreeTest, MaxScoreMatchesBruteForce) {
+  auto entries = RandomEntries(2000, 3);
+  ArTree tree = ArTree::Build(entries);
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const double r = rng.NextDouble() * 0.2;
+    EXPECT_DOUBLE_EQ(tree.MaxScoreWithin(q, r), BruteMaxWithin(entries, q, r))
+        << "trial " << trial;
+  }
+}
+
+TEST(ArTreeTest, IdsWithinMatchesBruteForce) {
+  auto entries = RandomEntries(1000, 5);
+  ArTree tree = ArTree::Build(entries);
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const double r = rng.NextDouble() * 0.15;
+    auto got = tree.IdsWithin(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> expected;
+    for (const auto& e : entries) {
+      if (geo::Distance(q, e.pos) <= r) expected.push_back(e.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(ArTreeTest, FloorPruningPreservesAnswersAboveFloor) {
+  auto entries = RandomEntries(1500, 7);
+  ArTree tree = ArTree::Build(entries);
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const double r = rng.NextDouble() * 0.2;
+    const double floor = rng.NextDouble();
+    const double truth = BruteMaxWithin(entries, q, r);
+    const double got = tree.MaxScoreWithin(q, r, floor);
+    if (truth > floor) {
+      EXPECT_DOUBLE_EQ(got, truth) << "trial " << trial;
+    } else {
+      EXPECT_LE(got, floor) << "trial " << trial;  // "cannot improve"
+    }
+  }
+}
+
+TEST(ArTreeTest, VariousFanoutsAgree) {
+  auto entries = RandomEntries(777, 9);
+  ArTree wide = ArTree::Build(entries, 64, 64);
+  ArTree narrow = ArTree::Build(entries, 2, 2);
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    geo::Point q{rng.NextDouble(), rng.NextDouble()};
+    const double r = rng.NextDouble() * 0.3;
+    EXPECT_DOUBLE_EQ(wide.MaxScoreWithin(q, r), narrow.MaxScoreWithin(q, r));
+  }
+}
+
+TEST(ArTreeTest, ZeroAndNegativeRadius) {
+  auto entries = RandomEntries(100, 11);
+  entries[0].pos = {0.5, 0.5};
+  entries[0].score = 0.9;
+  ArTree tree = ArTree::Build(entries);
+  // r = 0 is inclusive at the exact point.
+  EXPECT_GE(tree.MaxScoreWithin({0.5, 0.5}, 0.0), 0.9);
+  EXPECT_DOUBLE_EQ(tree.MaxScoreWithin({0.5, 0.5}, -1.0), 0.0);
+}
+
+TEST(ArTreeTest, DuplicatePositionsKeepBestScore) {
+  std::vector<ArTree::Entry> entries{
+      {{0.3, 0.3}, 0.2, 1}, {{0.3, 0.3}, 0.8, 2}, {{0.3, 0.3}, 0.5, 3}};
+  ArTree tree = ArTree::Build(entries);
+  EXPECT_DOUBLE_EQ(tree.MaxScoreWithin({0.3, 0.3}, 0.01), 0.8);
+  EXPECT_EQ(tree.IdsWithin({0.3, 0.3}, 0.01).size(), 3u);
+}
+
+}  // namespace
+}  // namespace spq::index

@@ -1,0 +1,103 @@
+#include "index/centralized.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "spq/engine.h"
+#include "spq/sequential.h"
+
+namespace spq::index {
+namespace {
+
+using core::BruteForceSpq;
+using core::Dataset;
+using core::Query;
+
+Dataset TestDataset(uint64_t seed, uint64_t n, uint32_t vocab) {
+  auto dataset = datagen::MakeUniformDataset(
+      {.num_objects = n, .seed = seed, .vocab_size = vocab,
+       .min_keywords = 1, .max_keywords = 10});
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+TEST(CentralizedSpqIndexTest, MatchesBruteForceScores) {
+  const uint32_t vocab = 50;
+  Dataset dataset = TestDataset(31, 3000, vocab);
+  CentralizedSpqIndex evaluator(&dataset);
+  Rng rng(32);
+  for (int trial = 0; trial < 25; ++trial) {
+    Query q;
+    q.k = 1 + rng.NextUint32(12);
+    q.radius = 0.005 + rng.NextDouble() * 0.08;
+    q.keywords = text::KeywordSet(
+        {rng.NextUint32(vocab), rng.NextUint32(vocab), rng.NextUint32(vocab)});
+    auto got = evaluator.Execute(q);
+    auto oracle = BruteForceSpq(dataset, q);
+    ASSERT_EQ(got.size(), oracle.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      // Same score at every rank (ids may differ among exact ties).
+      EXPECT_DOUBLE_EQ(got[i].score, oracle[i].score)
+          << "trial " << trial << " rank " << i;
+    }
+    // Truthfulness of every reported pair.
+    for (const auto& e : got) {
+      const core::DataObject* obj = nullptr;
+      for (const auto& p : dataset.data) {
+        if (p.id == e.id) {
+          obj = &p;
+          break;
+        }
+      }
+      ASSERT_NE(obj, nullptr);
+      EXPECT_DOUBLE_EQ(e.score, core::BruteForceScore(*obj, dataset, q));
+    }
+  }
+}
+
+TEST(CentralizedSpqIndexTest, EmptyQueryKeywords) {
+  Dataset dataset = TestDataset(33, 500, 20);
+  CentralizedSpqIndex evaluator(&dataset);
+  Query q;
+  q.k = 5;
+  q.radius = 0.1;
+  EXPECT_TRUE(evaluator.Execute(q).empty());
+}
+
+TEST(CentralizedSpqIndexTest, StatsReflectPostingsAndScoring) {
+  Dataset dataset = TestDataset(34, 2000, 30);
+  CentralizedSpqIndex evaluator(&dataset);
+  Query q;
+  q.k = 5;
+  q.radius = 0.05;
+  q.keywords = text::KeywordSet({1, 2});
+  evaluator.Execute(q);
+  const auto& stats = evaluator.last_stats();
+  EXPECT_GT(stats.candidate_features, 0u);
+  // Candidate set == scored set (any shared term gives Jaccard > 0).
+  EXPECT_EQ(stats.scored_features, stats.candidate_features);
+  EXPECT_LT(stats.candidate_features, dataset.features.size());
+}
+
+TEST(CentralizedSpqIndexTest, MatchesParallelEngineScores) {
+  Dataset dataset = TestDataset(35, 2500, 40);
+  CentralizedSpqIndex evaluator(&dataset);
+  core::SpqEngine engine(dataset, core::EngineOptions{.grid_size = 6});
+  Query q;
+  q.k = 10;
+  q.radius = 0.04;
+  q.keywords = text::KeywordSet({3, 7, 9});
+  auto central = evaluator.Execute(q);
+  auto parallel = engine.Execute(q, core::Algorithm::kESPQSco);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(central.size(), parallel->entries.size());
+  for (std::size_t i = 0; i < central.size(); ++i) {
+    EXPECT_DOUBLE_EQ(central[i].score, parallel->entries[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace spq::index

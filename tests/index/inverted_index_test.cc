@@ -1,0 +1,61 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spq::index {
+namespace {
+
+using text::KeywordSet;
+
+TEST(InvertedIndexTest, EmptyCorpus) {
+  InvertedIndex index{std::vector<KeywordSet>{}};
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_TRUE(index.CandidatesFor(KeywordSet({1, 2})).empty());
+  EXPECT_TRUE(index.Postings(5).empty());
+}
+
+TEST(InvertedIndexTest, PostingsAreSortedDocumentIds) {
+  std::vector<KeywordSet> docs{KeywordSet({1, 2}), KeywordSet({2, 3}),
+                               KeywordSet({1, 3})};
+  InvertedIndex index(docs);
+  EXPECT_EQ(index.Postings(1), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(index.Postings(2), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(index.Postings(3), (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(index.Postings(9).empty());
+}
+
+TEST(InvertedIndexTest, CandidatesAreUnionWithoutDuplicates) {
+  std::vector<KeywordSet> docs{KeywordSet({1, 2}), KeywordSet({2}),
+                               KeywordSet({3}), KeywordSet({4})};
+  InvertedIndex index(docs);
+  // Query {1, 2}: docs 0 (both terms — must appear once) and 1.
+  EXPECT_EQ(index.CandidatesFor(KeywordSet({1, 2})),
+            (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(index.CandidatesFor(KeywordSet({9})).empty());
+  EXPECT_TRUE(index.CandidatesFor(KeywordSet()).empty());
+}
+
+TEST(InvertedIndexTest, CandidatesMatchLinearScan) {
+  Rng rng(77);
+  std::vector<KeywordSet> docs;
+  for (int d = 0; d < 500; ++d) {
+    std::vector<text::TermId> ids;
+    const int n = 1 + static_cast<int>(rng.NextUint32(10));
+    for (int i = 0; i < n; ++i) ids.push_back(rng.NextUint32(60));
+    docs.emplace_back(std::move(ids));
+  }
+  InvertedIndex index(docs);
+  for (int trial = 0; trial < 50; ++trial) {
+    KeywordSet query({rng.NextUint32(60), rng.NextUint32(60)});
+    std::vector<uint32_t> expected;
+    for (uint32_t d = 0; d < docs.size(); ++d) {
+      if (docs[d].Intersects(query)) expected.push_back(d);
+    }
+    EXPECT_EQ(index.CandidatesFor(query), expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace spq::index

@@ -1,0 +1,206 @@
+#include "io/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datagen/generator.h"
+
+namespace spq::io {
+namespace {
+
+using core::Dataset;
+
+Dataset SampleDataset() {
+  auto dataset = datagen::MakeUniformDataset(
+      {.num_objects = 500, .seed = 21, .vocab_size = 40,
+       .min_keywords = 1, .max_keywords = 6});
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.bounds, b.bounds);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_EQ(a.data[i].id, b.data[i].id);
+    EXPECT_EQ(a.data[i].pos, b.data[i].pos);
+  }
+  ASSERT_EQ(a.features.size(), b.features.size());
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_EQ(a.features[i].id, b.features[i].id);
+    EXPECT_EQ(a.features[i].pos, b.features[i].pos);
+    EXPECT_EQ(a.features[i].keywords, b.features[i].keywords);
+  }
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(BinaryFormatTest, EncodeDecodeRoundTrip) {
+  Dataset dataset = SampleDataset();
+  auto decoded = DecodeDataset(EncodeDataset(dataset));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectDatasetsEqual(dataset, *decoded);
+}
+
+TEST(BinaryFormatTest, EmptyDatasetRoundTrip) {
+  Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  auto decoded = DecodeDataset(EncodeDataset(dataset));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->data.empty());
+  EXPECT_TRUE(decoded->features.empty());
+}
+
+TEST(BinaryFormatTest, RejectsBadMagic) {
+  std::vector<uint8_t> bytes = EncodeDataset(SampleDataset());
+  bytes[0] = 'X';
+  EXPECT_TRUE(DecodeDataset(bytes).status().IsInvalidArgument());
+}
+
+TEST(BinaryFormatTest, RejectsTruncation) {
+  std::vector<uint8_t> bytes = EncodeDataset(SampleDataset());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DecodeDataset(bytes).ok());
+}
+
+TEST(BinaryFormatTest, RejectsTrailingGarbage) {
+  std::vector<uint8_t> bytes = EncodeDataset(SampleDataset());
+  bytes.push_back(0xFF);
+  EXPECT_TRUE(DecodeDataset(bytes).status().IsInvalidArgument());
+}
+
+TEST(DfsDatasetTest, StoreAndLoadThroughDfs) {
+  dfs::MiniDfs dfs({.num_datanodes = 5, .block_size = 4096,
+                    .replication = 3});
+  Dataset dataset = SampleDataset();
+  ASSERT_TRUE(StoreDataset(dfs, "datasets/un", dataset).ok());
+  auto loaded = LoadDataset(dfs, "datasets/un");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(dataset, *loaded);
+  // Dataset spans multiple blocks (block_size is small).
+  auto meta = dfs.GetMetadata("datasets/un");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_GT(meta->blocks.size(), 1u);
+}
+
+TEST(DfsDatasetTest, LoadSurvivesNodeFailures) {
+  dfs::MiniDfs dfs({.num_datanodes = 6, .block_size = 2048,
+                    .replication = 3, .seed = 5});
+  Dataset dataset = SampleDataset();
+  ASSERT_TRUE(StoreDataset(dfs, "d", dataset).ok());
+  dfs.datanode(0).Kill();
+  dfs.datanode(3).Kill();
+  auto loaded = LoadDataset(dfs, "d");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(dataset, *loaded);
+}
+
+TEST(TsvFormatTest, RoundTripWithNumericIds) {
+  const std::string path = TempPath("spq_tsv_numeric.tsv");
+  Dataset dataset = SampleDataset();
+  ASSERT_TRUE(SaveDatasetTsv(path, dataset).ok());
+  auto loaded = LoadDatasetTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(dataset, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TsvFormatTest, RoundTripWithVocabulary) {
+  const std::string path = TempPath("spq_tsv_vocab.tsv");
+  text::Vocabulary vocab;
+  Dataset dataset;
+  dataset.bounds = {0, 0, 10, 10};
+  dataset.data = {{1, {4.6, 4.8}}};
+  core::FeatureObject f;
+  f.id = 2;
+  f.pos = {3.8, 5.5};
+  f.keywords = text::KeywordSet(
+      {vocab.Intern("italian"), vocab.Intern("gourmet")});
+  dataset.features.push_back(f);
+  ASSERT_TRUE(SaveDatasetTsv(path, dataset, &vocab).ok());
+
+  text::Vocabulary fresh;
+  auto loaded = LoadDatasetTsv(path, &fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->features.size(), 1u);
+  EXPECT_EQ(loaded->features[0].keywords.size(), 2u);
+  EXPECT_TRUE(fresh.Lookup("italian").ok());
+  EXPECT_TRUE(fresh.Lookup("gourmet").ok());
+  std::remove(path.c_str());
+}
+
+TEST(TsvFormatTest, MissingBoundsHeaderRejected) {
+  const std::string path = TempPath("spq_tsv_nobounds.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("D\t1\t0.5\t0.5\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(LoadDatasetTsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(TsvFormatTest, BadRowsRejected) {
+  const std::string path = TempPath("spq_tsv_bad.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# bounds\t0\t0\t1\t1\n", f);
+    std::fputs("Q\t1\t0.5\t0.5\n", f);  // unknown tag
+    std::fclose(f);
+  }
+  EXPECT_TRUE(LoadDatasetTsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(TsvFormatTest, NonNumericTermWithoutVocabRejected) {
+  const std::string path = TempPath("spq_tsv_terms.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# bounds\t0\t0\t1\t1\n", f);
+    std::fputs("F\t1\t0.5\t0.5\titalian\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(LoadDatasetTsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(TsvFormatTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadDatasetTsv("/nonexistent/path.tsv").status().IsIOError());
+}
+
+TEST(MakeEngineFromDfsTest, LoadsAndAnswersQueries) {
+  dfs::MiniDfs cluster({.num_datanodes = 4, .block_size = 8192,
+                        .replication = 2});
+  Dataset dataset = SampleDataset();
+  ASSERT_TRUE(StoreDataset(cluster, "d", dataset).ok());
+  auto engine = MakeEngineFromDfs(cluster, "d",
+                                  core::EngineOptions{.grid_size = 5});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  core::Query q;
+  q.k = 3;
+  q.radius = 0.05;
+  q.keywords = text::KeywordSet({1, 2});
+  auto result = (*engine)->Execute(q, core::Algorithm::kESPQSco);
+  ASSERT_TRUE(result.ok());
+  // Matches an engine built directly from the dataset.
+  core::SpqEngine direct(dataset, core::EngineOptions{.grid_size = 5});
+  auto expected = direct.Execute(q, core::Algorithm::kESPQSco);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(result->entries.size(), expected->entries.size());
+  for (std::size_t i = 0; i < result->entries.size(); ++i) {
+    EXPECT_EQ(result->entries[i].id, expected->entries[i].id);
+    EXPECT_DOUBLE_EQ(result->entries[i].score, expected->entries[i].score);
+  }
+}
+
+TEST(MakeEngineFromDfsTest, MissingFilePropagates) {
+  dfs::MiniDfs cluster;
+  EXPECT_TRUE(MakeEngineFromDfs(cluster, "nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace spq::io

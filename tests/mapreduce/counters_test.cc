@@ -1,0 +1,70 @@
+#include "mapreduce/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace spq::mapreduce {
+namespace {
+
+TEST(CountersTest, GetOfUnknownCounterIsZero) {
+  Counters counters;
+  EXPECT_EQ(counters.Get("nope"), 0u);
+}
+
+TEST(CountersTest, IncrementAccumulates) {
+  Counters counters;
+  counters.Increment("a");
+  counters.Increment("a", 4);
+  counters.Increment("b", 2);
+  EXPECT_EQ(counters.Get("a"), 5u);
+  EXPECT_EQ(counters.Get("b"), 2u);
+}
+
+TEST(CountersTest, MergeFromAddsCounters) {
+  Counters a, b;
+  a.Increment("x", 1);
+  a.Increment("y", 2);
+  b.Increment("y", 3);
+  b.Increment("z", 4);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("x"), 1u);
+  EXPECT_EQ(a.Get("y"), 5u);
+  EXPECT_EQ(a.Get("z"), 4u);
+  // b unchanged.
+  EXPECT_EQ(b.Get("y"), 3u);
+}
+
+TEST(CountersTest, SnapshotIsSortedByName) {
+  Counters counters;
+  counters.Increment("zeta");
+  counters.Increment("alpha");
+  auto snapshot = counters.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.begin()->first, "alpha");
+}
+
+TEST(CountersTest, CopyIsIndependent) {
+  Counters a;
+  a.Increment("k", 7);
+  Counters b = a;
+  b.Increment("k", 1);
+  EXPECT_EQ(a.Get("k"), 7u);
+  EXPECT_EQ(b.Get("k"), 8u);
+}
+
+TEST(CountersTest, ConcurrentIncrementsAreAtomic) {
+  Counters counters;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counters] {
+      for (int i = 0; i < 10000; ++i) counters.Increment("hot");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counters.Get("hot"), 80000u);
+}
+
+}  // namespace
+}  // namespace spq::mapreduce

@@ -1,0 +1,130 @@
+#include "mapreduce/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace spq::mapreduce {
+namespace {
+
+using Record = std::pair<uint32_t, uint64_t>;
+
+SortedSegment MakeSegment(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.first < b.first; });
+  Buffer buf;
+  for (const auto& [k, v] : records) {
+    Codec<uint32_t>::Encode(k, buf);
+    Codec<uint64_t>::Encode(v, buf);
+  }
+  SortedSegment seg;
+  seg.num_records = records.size();
+  seg.bytes = buf.TakeBytes();
+  return seg;
+}
+
+std::vector<Record> Drain(MergeStream<uint32_t, uint64_t>& stream) {
+  std::vector<Record> out;
+  while (stream.Advance()) out.emplace_back(stream.key(), stream.value());
+  return out;
+}
+
+auto KeyLess = [](const uint32_t& a, const uint32_t& b) { return a < b; };
+
+TEST(MergeStreamTest, EmptyInput) {
+  std::vector<const SortedSegment*> segments;
+  MergeStream<uint32_t, uint64_t> stream(segments, KeyLess);
+  EXPECT_FALSE(stream.Advance());
+  EXPECT_TRUE(stream.status().ok());
+}
+
+TEST(MergeStreamTest, SingleSegmentPreservesOrder) {
+  SortedSegment seg = MakeSegment({{3, 30}, {1, 10}, {2, 20}});
+  MergeStream<uint32_t, uint64_t> stream({&seg}, KeyLess);
+  auto out = Drain(stream);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], Record(1, 10));
+  EXPECT_EQ(out[1], Record(2, 20));
+  EXPECT_EQ(out[2], Record(3, 30));
+}
+
+TEST(MergeStreamTest, MergesTwoSegments) {
+  SortedSegment a = MakeSegment({{1, 1}, {3, 3}, {5, 5}});
+  SortedSegment b = MakeSegment({{2, 2}, {4, 4}, {6, 6}});
+  MergeStream<uint32_t, uint64_t> stream({&a, &b}, KeyLess);
+  auto out = Drain(stream);
+  ASSERT_EQ(out.size(), 6u);
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i].first, i + 1);
+  }
+}
+
+TEST(MergeStreamTest, EqualKeysBreakTiesBySegmentIndex) {
+  SortedSegment a = MakeSegment({{7, 100}});
+  SortedSegment b = MakeSegment({{7, 200}});
+  MergeStream<uint32_t, uint64_t> stream({&a, &b}, KeyLess);
+  auto out = Drain(stream);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 100u);  // segment 0 first
+  EXPECT_EQ(out[1].second, 200u);
+}
+
+TEST(MergeStreamTest, ManySegmentsRandomized) {
+  Rng rng(55);
+  std::vector<SortedSegment> segments;
+  std::vector<Record> all;
+  for (int s = 0; s < 13; ++s) {
+    std::vector<Record> records;
+    const int n = static_cast<int>(rng.NextUint32(50));
+    for (int i = 0; i < n; ++i) {
+      Record r{rng.NextUint32(100), rng.NextUint64()};
+      records.push_back(r);
+      all.push_back(r);
+    }
+    segments.push_back(MakeSegment(std::move(records)));
+  }
+  std::vector<const SortedSegment*> ptrs;
+  for (const auto& s : segments) ptrs.push_back(&s);
+  MergeStream<uint32_t, uint64_t> stream(ptrs, KeyLess);
+  auto out = Drain(stream);
+  ASSERT_EQ(out.size(), all.size());
+  // Keys must be non-decreasing and form the same multiset.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].first, out[i].first);
+  }
+  auto key_multiset = [](std::vector<Record> v) {
+    std::vector<uint32_t> keys;
+    for (auto& r : v) keys.push_back(r.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(key_multiset(out), key_multiset(all));
+}
+
+TEST(MergeStreamTest, CorruptSegmentSurfacesStatus) {
+  // Values use multi-byte varints so truncation hits the second record.
+  SortedSegment seg = MakeSegment({{1, 1ULL << 40}, {2, 1ULL << 41}});
+  seg.bytes.resize(seg.bytes.size() - 3);  // truncate mid-record
+  MergeStream<uint32_t, uint64_t> stream({&seg}, KeyLess);
+  // First record decodes fine; the second fails.
+  EXPECT_TRUE(stream.Advance());
+  EXPECT_EQ(stream.key(), 1u);
+  EXPECT_FALSE(stream.Advance());
+  EXPECT_FALSE(stream.status().ok());
+}
+
+TEST(MergeStreamTest, SegmentWithZeroRecords) {
+  SortedSegment empty = MakeSegment({});
+  SortedSegment one = MakeSegment({{4, 40}});
+  MergeStream<uint32_t, uint64_t> stream({&empty, &one}, KeyLess);
+  auto out = Drain(stream);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Record(4, 40));
+}
+
+}  // namespace
+}  // namespace spq::mapreduce

@@ -1,0 +1,381 @@
+#include "mapreduce/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spq::mapreduce {
+namespace {
+
+// ---------------------------------------------------------------- word count
+
+/// Classic word count: proves the map -> shuffle -> sort -> group -> reduce
+/// pipeline end to end.
+class WordCountMapper : public Mapper<std::string, std::string, uint64_t> {
+ public:
+  void Map(const std::string& line,
+           MapContext<std::string, uint64_t>& ctx) override {
+    std::string word;
+    for (char c : line) {
+      if (c == ' ') {
+        if (!word.empty()) ctx.Emit(word, 1);
+        word.clear();
+      } else {
+        word.push_back(c);
+      }
+    }
+    if (!word.empty()) ctx.Emit(word, 1);
+  }
+};
+
+struct WordCount {
+  std::string word;
+  uint64_t count;
+};
+
+class WordCountReducer
+    : public Reducer<std::string, uint64_t, WordCount> {
+ public:
+  void Reduce(const std::string& word,
+              GroupValues<std::string, uint64_t>& values,
+              ReduceContext<WordCount>& ctx) override {
+    uint64_t total = 0;
+    while (values.Next()) total += values.value();
+    ctx.Emit({word, total});
+  }
+};
+
+JobSpec<std::string, std::string, uint64_t, WordCount> WordCountSpec() {
+  JobSpec<std::string, std::string, uint64_t, WordCount> spec;
+  spec.mapper_factory = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<WordCountReducer>(); };
+  spec.partitioner = [](const std::string& key, uint32_t n) {
+    return static_cast<uint32_t>(std::hash<std::string>{}(key) % n);
+  };
+  spec.sort_less = [](const std::string& a, const std::string& b) {
+    return a < b;
+  };
+  spec.group_equal = [](const std::string& a, const std::string& b) {
+    return a == b;
+  };
+  return spec;
+}
+
+std::map<std::string, uint64_t> RunWordCount(const std::vector<std::string>& lines,
+                                             const JobConfig& config) {
+  auto result = RunJob(WordCountSpec(), config, lines);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::string, uint64_t> counts;
+  for (const auto& wc : result->records) counts[wc.word] = wc.count;
+  return counts;
+}
+
+TEST(RuntimeTest, WordCountBasics) {
+  JobConfig config;
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 2;
+  config.num_workers = 4;
+  auto counts = RunWordCount(
+      {"the quick brown fox", "the lazy dog", "the fox"}, config);
+  EXPECT_EQ(counts["the"], 3u);
+  EXPECT_EQ(counts["fox"], 2u);
+  EXPECT_EQ(counts["dog"], 1u);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(RuntimeTest, EmptyInputYieldsEmptyOutput) {
+  JobConfig config;
+  auto result = RunJob(WordCountSpec(), config, std::vector<std::string>{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->records.empty());
+  EXPECT_EQ(result->stats.input_records, 0u);
+}
+
+TEST(RuntimeTest, MoreTasksThanRecords) {
+  JobConfig config;
+  config.num_map_tasks = 16;
+  config.num_reduce_tasks = 16;
+  config.num_workers = 4;
+  auto counts = RunWordCount({"solo"}, config);
+  EXPECT_EQ(counts["solo"], 1u);
+}
+
+TEST(RuntimeTest, SingleWorkerMatchesParallel) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i) {
+    lines.push_back("w" + std::to_string(i % 17) + " w" +
+                    std::to_string(i % 5));
+  }
+  JobConfig serial;
+  serial.num_workers = 1;
+  JobConfig parallel;
+  parallel.num_workers = 8;
+  EXPECT_EQ(RunWordCount(lines, serial), RunWordCount(lines, parallel));
+}
+
+TEST(RuntimeTest, StatsArepopulated) {
+  JobConfig config;
+  config.num_map_tasks = 2;
+  config.num_reduce_tasks = 3;
+  auto result =
+      RunJob(WordCountSpec(), config, std::vector<std::string>{"a b", "c a"});
+  ASSERT_TRUE(result.ok());
+  const JobStats& stats = result->stats;
+  EXPECT_EQ(stats.input_records, 2u);
+  EXPECT_EQ(stats.map_output_records, 4u);
+  EXPECT_GT(stats.shuffle_bytes, 0u);
+  EXPECT_EQ(stats.reduce_input_records.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t v : stats.reduce_input_records) total += v;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(stats.map_task_failures, 0u);
+  EXPECT_EQ(stats.reduce_task_failures, 0u);
+}
+
+TEST(RuntimeTest, InvalidConfigRejected) {
+  JobConfig config;
+  config.num_map_tasks = 0;
+  auto result = RunJob(WordCountSpec(), config, std::vector<std::string>{"x"});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(RuntimeTest, IncompleteSpecRejected) {
+  JobSpec<std::string, std::string, uint64_t, WordCount> spec;  // all empty
+  JobConfig config;
+  auto result = RunJob(spec, config, std::vector<std::string>{"x"});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+// ------------------------------------------------- secondary sort semantics
+
+struct TestKey {
+  uint32_t group = 0;
+  double order = 0.0;
+};
+
+}  // namespace
+}  // namespace spq::mapreduce
+
+namespace spq::mapreduce {
+template <>
+struct Codec<spq::mapreduce::TestKey> {
+  static void Encode(const TestKey& k, Buffer& buf) {
+    buf.PutUint32(k.group);
+    buf.PutDouble(k.order);
+  }
+  static Status Decode(BufferReader& reader, TestKey* out) {
+    SPQ_RETURN_NOT_OK(reader.GetUint32(&out->group));
+    return reader.GetDouble(&out->order);
+  }
+};
+}  // namespace spq::mapreduce
+
+namespace spq::mapreduce {
+namespace {
+
+struct OrderedInput {
+  uint32_t group;
+  double order;
+  uint64_t payload;
+};
+
+class PassThroughMapper : public Mapper<OrderedInput, TestKey, uint64_t> {
+ public:
+  void Map(const OrderedInput& in,
+           MapContext<TestKey, uint64_t>& ctx) override {
+    ctx.Emit(TestKey{in.group, in.order}, in.payload);
+  }
+};
+
+/// Emits values in arrival order, recording the composite key's secondary
+/// component so tests can assert the sort order within the group.
+struct SeenValue {
+  uint32_t group;
+  double order;
+  uint64_t payload;
+};
+
+class CollectingReducer : public Reducer<TestKey, uint64_t, SeenValue> {
+ public:
+  explicit CollectingReducer(int limit = -1) : limit_(limit) {}
+  void Reduce(const TestKey& group_key, GroupValues<TestKey, uint64_t>& values,
+              ReduceContext<SeenValue>& ctx) override {
+    int taken = 0;
+    while (values.Next()) {
+      ctx.Emit({group_key.group, values.key().order, values.value()});
+      if (limit_ > 0 && ++taken >= limit_) break;  // early termination
+    }
+  }
+
+ private:
+  int limit_;
+};
+
+JobSpec<OrderedInput, TestKey, uint64_t, SeenValue> SecondarySortSpec(
+    int limit = -1) {
+  JobSpec<OrderedInput, TestKey, uint64_t, SeenValue> spec;
+  spec.mapper_factory = [] { return std::make_unique<PassThroughMapper>(); };
+  spec.reducer_factory = [limit] {
+    return std::make_unique<CollectingReducer>(limit);
+  };
+  spec.partitioner = [](const TestKey& k, uint32_t n) { return k.group % n; };
+  spec.sort_less = [](const TestKey& a, const TestKey& b) {
+    if (a.group != b.group) return a.group < b.group;
+    return a.order < b.order;
+  };
+  spec.group_equal = [](const TestKey& a, const TestKey& b) {
+    return a.group == b.group;
+  };
+  return spec;
+}
+
+TEST(RuntimeTest, SecondarySortOrdersValuesWithinGroup) {
+  std::vector<OrderedInput> input;
+  // Interleave groups and emit orders descending so sorting must work.
+  for (int i = 9; i >= 0; --i) {
+    input.push_back({0, static_cast<double>(i), static_cast<uint64_t>(i)});
+    input.push_back({1, static_cast<double>(-i), static_cast<uint64_t>(i)});
+  }
+  JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 2;
+  auto result = RunJob(SecondarySortSpec(), config, input);
+  ASSERT_TRUE(result.ok());
+  std::map<uint32_t, std::vector<double>> orders;
+  for (const auto& seen : result->records) {
+    orders[seen.group].push_back(seen.order);
+  }
+  ASSERT_EQ(orders.size(), 2u);
+  for (const auto& [group, seq] : orders) {
+    ASSERT_EQ(seq.size(), 10u) << "group " << group;
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      EXPECT_LE(seq[i - 1], seq[i]) << "group " << group;
+    }
+  }
+}
+
+TEST(RuntimeTest, ReducerSeesCompositeKeyOfCurrentValue) {
+  std::vector<OrderedInput> input{{5, 0.25, 1}, {5, 0.75, 2}};
+  JobConfig config;
+  config.num_reduce_tasks = 1;
+  auto result = RunJob(SecondarySortSpec(), config, input);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->records[0].order, 0.25);
+  EXPECT_DOUBLE_EQ(result->records[1].order, 0.75);
+}
+
+TEST(RuntimeTest, EarlyTerminationSkipsToNextGroup) {
+  // Reducer takes only the first (smallest-order) value per group; the
+  // runtime must still deliver every group.
+  std::vector<OrderedInput> input;
+  for (uint32_t g = 0; g < 8; ++g) {
+    for (int i = 0; i < 20; ++i) {
+      input.push_back({g, static_cast<double>((i * 7) % 20), i * 100ull + g});
+    }
+  }
+  JobConfig config;
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 4;
+  auto result = RunJob(SecondarySortSpec(/*limit=*/1), config, input);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 8u);
+  for (const auto& seen : result->records) {
+    EXPECT_DOUBLE_EQ(seen.order, 0.0) << "group " << seen.group;
+  }
+}
+
+TEST(RuntimeTest, GroupsWithSingleValue) {
+  std::vector<OrderedInput> input;
+  for (uint32_t g = 0; g < 100; ++g) input.push_back({g, 1.0, g});
+  JobConfig config;
+  config.num_map_tasks = 7;
+  config.num_reduce_tasks = 5;
+  auto result = RunJob(SecondarySortSpec(), config, input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records.size(), 100u);
+}
+
+TEST(RuntimeTest, DeterministicAcrossRuns) {
+  std::vector<OrderedInput> input;
+  for (int i = 0; i < 500; ++i) {
+    input.push_back({static_cast<uint32_t>(i % 13),
+                     static_cast<double>((i * 31) % 97), static_cast<uint64_t>(i)});
+  }
+  JobConfig config;
+  config.num_map_tasks = 8;
+  config.num_reduce_tasks = 6;
+  config.num_workers = 8;
+  auto a = RunJob(SecondarySortSpec(), config, input);
+  auto b = RunJob(SecondarySortSpec(), config, input);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->records.size(), b->records.size());
+  for (std::size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_EQ(a->records[i].group, b->records[i].group);
+    EXPECT_DOUBLE_EQ(a->records[i].order, b->records[i].order);
+    EXPECT_EQ(a->records[i].payload, b->records[i].payload);
+  }
+}
+
+// ---- parameterized sweep: cluster shape must never change results ----
+
+class ClusterShapeTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>> {
+};
+
+TEST_P(ClusterShapeTest, WordCountInvariantUnderClusterShape) {
+  const auto [maps, reduces, workers] = GetParam();
+  std::vector<std::string> lines;
+  for (int i = 0; i < 300; ++i) {
+    lines.push_back("alpha w" + std::to_string(i % 23) + " w" +
+                    std::to_string(i % 7));
+  }
+  JobConfig reference;
+  reference.num_map_tasks = 1;
+  reference.num_reduce_tasks = 1;
+  reference.num_workers = 1;
+  JobConfig config;
+  config.num_map_tasks = maps;
+  config.num_reduce_tasks = reduces;
+  config.num_workers = workers;
+  EXPECT_EQ(RunWordCount(lines, config), RunWordCount(lines, reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterShapeTest,
+    ::testing::Combine(::testing::Values(1u, 3u, 16u),
+                       ::testing::Values(1u, 4u, 13u),
+                       ::testing::Values(1u, 8u)),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(RuntimeTest, CountersFlowFromTasksToJob) {
+  JobSpec<std::string, std::string, uint64_t, WordCount> spec = WordCountSpec();
+  spec.mapper_factory = [] {
+    class CountingMapper : public WordCountMapper {
+     public:
+      void Map(const std::string& line,
+               MapContext<std::string, uint64_t>& ctx) override {
+        ctx.counters().Increment("lines");
+        WordCountMapper::Map(line, ctx);
+      }
+    };
+    return std::make_unique<CountingMapper>();
+  };
+  JobConfig config;
+  config.num_map_tasks = 3;
+  auto result =
+      RunJob(spec, config, std::vector<std::string>{"a", "b", "c", "d"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.counters.Get("lines"), 4u);
+}
+
+}  // namespace
+}  // namespace spq::mapreduce

@@ -1,0 +1,160 @@
+#include "mapreduce/spill.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "mapreduce/runtime.h"
+
+namespace spq::mapreduce {
+namespace {
+
+std::string SpillTestDir() {
+  return (std::filesystem::temp_directory_path() / "spq_spill_test").string();
+}
+
+TEST(SpillFileTest, WriteReadRoundTrip) {
+  const std::string path = SpillPath(SpillTestDir(), NextSpillRunId(), 0, 0);
+  std::vector<uint8_t> bytes{1, 2, 3, 0, 255};
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+  auto read = ReadSpillFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, bytes);
+  RemoveSpillFile(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(SpillFileTest, CreatesParentDirectories) {
+  const std::string dir = SpillTestDir() + "/nested/deeper";
+  const std::string path = SpillPath(dir, NextSpillRunId(), 1, 2);
+  ASSERT_TRUE(WriteSpillFile(path, {42}).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  RemoveSpillFile(path);
+}
+
+TEST(SpillFileTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(ReadSpillFile("/nonexistent/spq.seg").status().IsIOError());
+}
+
+TEST(SpillFileTest, RemoveMissingFileIsNoop) {
+  RemoveSpillFile("/nonexistent/spq.seg");  // must not crash
+}
+
+TEST(SpillFileTest, PathsAreUniquePerRunTaskPartition) {
+  const std::string dir = SpillTestDir();
+  EXPECT_NE(SpillPath(dir, 1, 0, 0), SpillPath(dir, 2, 0, 0));
+  EXPECT_NE(SpillPath(dir, 1, 0, 0), SpillPath(dir, 1, 1, 0));
+  EXPECT_NE(SpillPath(dir, 1, 0, 0), SpillPath(dir, 1, 0, 1));
+}
+
+// ----- end-to-end: jobs with the out-of-core shuffle -----
+
+class TensMapper : public Mapper<uint64_t, uint32_t, uint64_t> {
+ public:
+  void Map(const uint64_t& v, MapContext<uint32_t, uint64_t>& ctx) override {
+    ctx.Emit(static_cast<uint32_t>(v % 7), v);
+  }
+};
+
+struct GroupSum {
+  uint32_t group;
+  uint64_t sum;
+};
+
+class SumReducer : public Reducer<uint32_t, uint64_t, GroupSum> {
+ public:
+  void Reduce(const uint32_t& group, GroupValues<uint32_t, uint64_t>& values,
+              ReduceContext<GroupSum>& ctx) override {
+    uint64_t sum = 0;
+    while (values.Next()) sum += values.value();
+    ctx.Emit({group, sum});
+  }
+};
+
+JobSpec<uint64_t, uint32_t, uint64_t, GroupSum> SumSpec() {
+  JobSpec<uint64_t, uint32_t, uint64_t, GroupSum> spec;
+  spec.mapper_factory = [] { return std::make_unique<TensMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.partitioner = [](const uint32_t& k, uint32_t n) { return k % n; };
+  spec.sort_less = [](const uint32_t& a, const uint32_t& b) { return a < b; };
+  spec.group_equal = [](const uint32_t& a, const uint32_t& b) {
+    return a == b;
+  };
+  return spec;
+}
+
+std::map<uint32_t, uint64_t> ToMap(const std::vector<GroupSum>& records) {
+  std::map<uint32_t, uint64_t> m;
+  for (const auto& r : records) m[r.group] = r.sum;
+  return m;
+}
+
+TEST(SpillShuffleTest, SpilledJobMatchesInMemoryJob) {
+  std::vector<uint64_t> input;
+  for (uint64_t i = 0; i < 5000; ++i) input.push_back(i);
+
+  JobConfig in_memory;
+  in_memory.num_map_tasks = 6;
+  in_memory.num_reduce_tasks = 4;
+  auto expected = RunJob(SumSpec(), in_memory, input);
+  ASSERT_TRUE(expected.ok());
+
+  JobConfig spilled = in_memory;
+  spilled.spill_dir = SpillTestDir();
+  auto result = RunJob(SumSpec(), spilled, input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(ToMap(result->records), ToMap(expected->records));
+  EXPECT_EQ(result->stats.shuffle_bytes, expected->stats.shuffle_bytes);
+}
+
+TEST(SpillShuffleTest, SpillFilesRemovedAfterJob) {
+  const std::string dir = SpillTestDir() + "/cleanup";
+  std::vector<uint64_t> input;
+  for (uint64_t i = 0; i < 100; ++i) input.push_back(i);
+  JobConfig config;
+  config.spill_dir = dir;
+  auto result = RunJob(SumSpec(), config, input);
+  ASSERT_TRUE(result.ok());
+  std::size_t remaining = 0;
+  if (std::filesystem::exists(dir)) {
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator(dir)) {
+      ++remaining;
+    }
+  }
+  EXPECT_EQ(remaining, 0u);
+  std::filesystem::remove_all(SpillTestDir());
+}
+
+TEST(SpillShuffleTest, SpilledJobSurvivesReduceRetries) {
+  std::vector<uint64_t> input;
+  for (uint64_t i = 0; i < 2000; ++i) input.push_back(i);
+  JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 3;
+  config.spill_dir = SpillTestDir();
+  config.faults.reduce_failure_prob = 0.5;
+  config.faults.seed = 17;
+  config.max_task_attempts = 30;
+  auto result = RunJob(SumSpec(), config, input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  uint64_t total = 0;
+  for (const auto& r : result->records) total += r.sum;
+  EXPECT_EQ(total, 1999ull * 2000 / 2);
+  EXPECT_GT(result->stats.reduce_task_failures, 0u);
+  std::filesystem::remove_all(SpillTestDir());
+}
+
+TEST(SpillShuffleTest, UnwritableSpillDirFailsJob) {
+  std::vector<uint64_t> input{1, 2, 3};
+  JobConfig config;
+  config.spill_dir = "/proc/definitely_unwritable/spills";
+  auto result = RunJob(SumSpec(), config, input);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace spq::mapreduce

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "mapreduce/job.h"
+
+namespace spq::mapreduce {
+namespace {
+
+TEST(JobStatsTest, EmptyStatsHaveNeutralRatios) {
+  JobStats stats;
+  EXPECT_DOUBLE_EQ(stats.ReduceSkew(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.ReduceStragglerRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.MaxReduceTaskSeconds(), 0.0);
+  EXPECT_EQ(stats.MaxReduceRecords(), 0u);
+}
+
+TEST(JobStatsTest, ReduceSkewIsMaxOverMean) {
+  JobStats stats;
+  stats.reduce_input_records = {10, 10, 40};  // mean 20, max 40
+  EXPECT_DOUBLE_EQ(stats.ReduceSkew(), 2.0);
+  EXPECT_EQ(stats.MaxReduceRecords(), 40u);
+}
+
+TEST(JobStatsTest, PerfectBalanceIsOne) {
+  JobStats stats;
+  stats.reduce_input_records = {25, 25, 25, 25};
+  EXPECT_DOUBLE_EQ(stats.ReduceSkew(), 1.0);
+}
+
+TEST(JobStatsTest, StragglerRatio) {
+  JobStats stats;
+  stats.reduce_task_seconds = {1.0, 1.0, 4.0};  // mean 2, max 4
+  EXPECT_DOUBLE_EQ(stats.ReduceStragglerRatio(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.MaxReduceTaskSeconds(), 4.0);
+}
+
+TEST(JobStatsTest, AllZeroTimesAreNeutral) {
+  JobStats stats;
+  stats.reduce_task_seconds = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(stats.ReduceStragglerRatio(), 1.0);
+}
+
+TEST(FormatJobStatsTest, IncludesKeyFigures) {
+  JobStats stats;
+  stats.input_records = 123;
+  stats.map_output_records = 456;
+  stats.shuffle_bytes = 789;
+  stats.reduce_input_records = {10, 20};
+  stats.counters.Increment("reduce.features_examined", 7);
+  std::string text = FormatJobStats(stats);
+  EXPECT_NE(text.find("123"), std::string::npos);
+  EXPECT_NE(text.find("456"), std::string::npos);
+  EXPECT_NE(text.find("789"), std::string::npos);
+  EXPECT_NE(text.find("reduce.features_examined"), std::string::npos);
+}
+
+TEST(FormatJobStatsTest, MentionsFailuresOnlyWhenPresent) {
+  JobStats stats;
+  EXPECT_EQ(FormatJobStats(stats).find("failures"), std::string::npos);
+  stats.map_task_failures = 2;
+  EXPECT_NE(FormatJobStats(stats).find("failures"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spq::mapreduce

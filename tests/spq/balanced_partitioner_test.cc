@@ -1,0 +1,188 @@
+#include "spq/balanced_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "spq/engine.h"
+#include "spq/sequential.h"
+
+namespace spq::core {
+namespace {
+
+TEST(CellCostTest, FollowsSection61Model) {
+  // |O_i| * (|F_i|+1) + |O_i| + |F_i|
+  EXPECT_EQ(CellCost(0, 0), 0u);
+  EXPECT_EQ(CellCost(10, 0), 10u * 1 + 10);
+  EXPECT_EQ(CellCost(0, 10), 10u);
+  EXPECT_EQ(CellCost(100, 50), 100u * 51 + 150);
+}
+
+TEST(ComputeCellLoadTest, CountsPerCell) {
+  Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  dataset.data = {{1, {0.1, 0.1}}, {2, {0.1, 0.15}}, {3, {0.9, 0.9}}};
+  dataset.features = {{4, {0.9, 0.85}, text::KeywordSet({1})}};
+  auto grid = geo::UniformGrid::Make(dataset.bounds, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  CellLoad load = ComputeCellLoad(dataset, *grid);
+  EXPECT_EQ(load.data_count[grid->CellAt(0, 0)], 2u);
+  EXPECT_EQ(load.data_count[grid->CellAt(1, 1)], 1u);
+  EXPECT_EQ(load.feature_count[grid->CellAt(1, 1)], 1u);
+  EXPECT_EQ(load.feature_count[grid->CellAt(0, 0)], 0u);
+}
+
+uint64_t MaxPartitionCost(const CellLoad& load,
+                          const std::vector<uint32_t>& assignment,
+                          uint32_t parts) {
+  std::vector<uint64_t> totals(parts, 0);
+  for (std::size_t c = 0; c < assignment.size(); ++c) {
+    totals[assignment[c]] +=
+        CellCost(load.data_count[c], load.feature_count[c]);
+  }
+  return *std::max_element(totals.begin(), totals.end());
+}
+
+TEST(BalancedAssignmentTest, CoversAllPartitionsUnderUniformLoad) {
+  CellLoad load;
+  load.data_count.assign(100, 10);
+  load.feature_count.assign(100, 10);
+  auto assignment = BalancedAssignment(load, 4);
+  ASSERT_EQ(assignment.size(), 100u);
+  std::vector<int> counts(4, 0);
+  for (uint32_t p : assignment) {
+    ASSERT_LT(p, 4u);
+    ++counts[p];
+  }
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(BalancedAssignmentTest, SinglePartitionIsTrivial) {
+  CellLoad load;
+  load.data_count.assign(10, 5);
+  load.feature_count.assign(10, 5);
+  auto assignment = BalancedAssignment(load, 1);
+  for (uint32_t p : assignment) EXPECT_EQ(p, 0u);
+}
+
+TEST(BalancedAssignmentTest, HotCellsSpreadAcrossPartitions) {
+  // 4 hot cells + 60 cold ones, 4 partitions: each hot cell must land on a
+  // different partition (LPT places the 4 biggest first).
+  CellLoad load;
+  load.data_count.assign(64, 1);
+  load.feature_count.assign(64, 1);
+  for (std::size_t hot : {3u, 17u, 33u, 48u}) {
+    load.data_count[hot] = 1000;
+    load.feature_count[hot] = 1000;
+  }
+  auto assignment = BalancedAssignment(load, 4);
+  std::vector<uint32_t> hot_parts = {assignment[3], assignment[17],
+                                     assignment[33], assignment[48]};
+  std::sort(hot_parts.begin(), hot_parts.end());
+  EXPECT_EQ(hot_parts, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(BalancedAssignmentTest, BeatsModuloOnSkewedLoad) {
+  // Adversarial for modulo: all heavy cells share cell % 4 == 0.
+  const uint32_t parts = 4;
+  CellLoad load;
+  load.data_count.assign(64, 1);
+  load.feature_count.assign(64, 0);
+  for (std::size_t c = 0; c < 64; c += 4) load.data_count[c] = 500;
+  std::vector<uint32_t> modulo(64);
+  for (std::size_t c = 0; c < 64; ++c) modulo[c] = c % parts;
+  auto balanced = BalancedAssignment(load, parts);
+  EXPECT_LT(MaxPartitionCost(load, balanced, parts),
+            MaxPartitionCost(load, modulo, parts) / 2);
+}
+
+TEST(BalancedAssignmentTest, DeterministicForEqualCosts) {
+  CellLoad load;
+  load.data_count.assign(20, 7);
+  load.feature_count.assign(20, 7);
+  EXPECT_EQ(BalancedAssignment(load, 3), BalancedAssignment(load, 3));
+}
+
+// ---- through the engine ----
+
+TEST(BalancedEngineTest, ResultsIdenticalToModulo) {
+  auto dataset = datagen::MakeClusteredDataset(
+      {.num_objects = 5000, .seed = 13, .vocab_size = 40,
+       .min_keywords = 1, .max_keywords = 8, .num_clusters = 4,
+       .cluster_sigma = 0.02});
+  ASSERT_TRUE(dataset.ok());
+  Query q;
+  q.k = 10;
+  q.radius = 0.02;
+  q.keywords = text::KeywordSet({1, 2, 3});
+
+  EngineOptions modulo;
+  modulo.grid_size = 12;
+  modulo.num_reduce_tasks = 8;
+  EngineOptions balanced = modulo;
+  balanced.partitioner = PartitionerKind::kBalanced;
+
+  SpqEngine a(*dataset, modulo), b(*dataset, balanced);
+  for (Algorithm algo :
+       {Algorithm::kPSPQ, Algorithm::kESPQLen, Algorithm::kESPQSco}) {
+    auto ra = a.Execute(q, algo);
+    auto rb = b.Execute(q, algo);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    ASSERT_EQ(ra->entries.size(), rb->entries.size()) << AlgorithmName(algo);
+    for (std::size_t i = 0; i < ra->entries.size(); ++i) {
+      EXPECT_EQ(ra->entries[i].id, rb->entries[i].id);
+      EXPECT_DOUBLE_EQ(ra->entries[i].score, rb->entries[i].score);
+    }
+  }
+}
+
+TEST(BalancedEngineTest, ReducesRecordSkewOnClusteredData) {
+  auto dataset = datagen::MakeClusteredDataset(
+      {.num_objects = 40000, .seed = 14, .num_clusters = 4,
+       .cluster_sigma = 0.015});
+  ASSERT_TRUE(dataset.ok());
+  Query q;
+  q.k = 10;
+  q.radius = 0.005;
+  q.keywords = text::KeywordSet({1, 2, 3});
+
+  EngineOptions modulo;
+  modulo.grid_size = 20;
+  modulo.num_reduce_tasks = 8;
+  EngineOptions balanced = modulo;
+  balanced.partitioner = PartitionerKind::kBalanced;
+
+  SpqEngine a(*dataset, modulo), b(*dataset, balanced);
+  auto ra = a.Execute(q, Algorithm::kESPQSco);
+  auto rb = b.Execute(q, Algorithm::kESPQSco);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_LT(rb->info.job.ReduceSkew(), ra->info.job.ReduceSkew());
+}
+
+TEST(BalancedEngineTest, FallsBackWhenReducersCoverCells) {
+  // R == cells: balanced mode must not change anything.
+  auto dataset = datagen::MakeUniformDataset({.num_objects = 1000, .seed = 15});
+  ASSERT_TRUE(dataset.ok());
+  EngineOptions options;
+  options.grid_size = 4;
+  options.partitioner = PartitionerKind::kBalanced;
+  SpqEngine engine(*dataset, options);
+  Query q;
+  q.k = 3;
+  q.radius = 0.05;
+  q.keywords = text::KeywordSet({1});
+  auto result = engine.Execute(q, Algorithm::kESPQSco);
+  ASSERT_TRUE(result.ok());
+  auto oracle = BruteForceSpq(*dataset, q);
+  ASSERT_EQ(result->entries.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result->entries[i].score, oracle[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace spq::core

@@ -1,0 +1,139 @@
+#include "spq/duplication.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geo/grid.h"
+
+namespace spq::core {
+namespace {
+
+TEST(CellAreasTest, PartitionTheCell) {
+  // A1 + A2 + A3 + A4 must tile the full cell for any r <= a/2 (Sec 6.2).
+  for (double a : {1.0, 2.5, 10.0}) {
+    for (double frac : {0.0, 0.1, 0.25, 0.5}) {
+      const double r = frac * a;
+      CellAreas areas = ComputeCellAreas(r, a);
+      EXPECT_NEAR(areas.total(), a * a, 1e-9) << "a=" << a << " r=" << r;
+      EXPECT_GE(areas.a1, 0.0);
+      EXPECT_GE(areas.a2, 0.0);
+      EXPECT_GE(areas.a3, 0.0);
+      EXPECT_GE(areas.a4, 0.0);
+    }
+  }
+}
+
+TEST(CellAreasTest, ClosedForms) {
+  const double r = 0.1, a = 1.0;
+  CellAreas areas = ComputeCellAreas(r, a);
+  EXPECT_DOUBLE_EQ(areas.a1, M_PI * r * r);
+  EXPECT_DOUBLE_EQ(areas.a2, (4.0 - M_PI) * r * r);
+  EXPECT_DOUBLE_EQ(areas.a3, 4.0 * (a - 2 * r) * r);
+  EXPECT_DOUBLE_EQ(areas.a4, (a - 2 * r) * (a - 2 * r));
+}
+
+TEST(DuplicationFactorTest, ZeroRadiusMeansNoDuplication) {
+  EXPECT_DOUBLE_EQ(AnalyticDuplicationFactor(0.0, 1.0), 1.0);
+}
+
+TEST(DuplicationFactorTest, WorstCaseAtHalfCell) {
+  // df at a = 2r is 3 + π/4 (Section 6.2).
+  EXPECT_NEAR(AnalyticDuplicationFactor(0.5, 1.0), MaxDuplicationFactor(),
+              1e-12);
+  EXPECT_NEAR(MaxDuplicationFactor(), 3.0 + M_PI / 4.0, 1e-12);
+}
+
+TEST(DuplicationFactorTest, MonotoneIncreasingInRadius) {
+  double prev = 1.0;
+  for (double r = 0.01; r <= 0.5; r += 0.01) {
+    const double df = AnalyticDuplicationFactor(r, 1.0);
+    EXPECT_GT(df, prev);
+    prev = df;
+  }
+}
+
+TEST(DuplicationFactorTest, DependsOnlyOnRatio) {
+  EXPECT_NEAR(AnalyticDuplicationFactor(0.1, 1.0),
+              AnalyticDuplicationFactor(1.0, 10.0), 1e-12);
+  EXPECT_NEAR(AnalyticDuplicationFactor(0.05, 0.25),
+              AnalyticDuplicationFactor(2.0, 10.0), 1e-12);
+}
+
+TEST(DuplicationFactorTest, EqualsExpectedDuplicatesFromAreas) {
+  // df = (3·P(A1) + 2·P(A2) + P(A3) + 1) per the derivation.
+  for (double r : {0.05, 0.2, 0.4}) {
+    const double a = 1.0;
+    CellAreas areas = ComputeCellAreas(r, a);
+    const double df_from_areas =
+        (3 * areas.a1 + 2 * areas.a2 + areas.a3) / (a * a) + 1.0;
+    EXPECT_NEAR(AnalyticDuplicationFactor(r, a), df_from_areas, 1e-12);
+  }
+}
+
+TEST(DuplicationFactorTest, MatchesMeasuredDuplicationOnUniformPoints) {
+  // Empirical check of the Section 6.2 estimate: place uniform points in an
+  // interior cell of a grid and count actual Lemma-1 duplicates.
+  auto grid_or = geo::UniformGrid::Make(geo::Rect{0, 0, 1, 1}, 10, 10);
+  ASSERT_TRUE(grid_or.ok());
+  const geo::UniformGrid& grid = *grid_or;
+  const double a = grid.cell_width();
+  Rng rng(2024);
+  for (double frac : {0.1, 0.25, 0.5}) {
+    const double r = frac * a;
+    // Interior cell (4,4): all neighbors exist, matching the analysis.
+    const geo::Rect cell = grid.CellRect(grid.CellAt(4, 4));
+    uint64_t copies = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      geo::Point p{rng.NextDouble(cell.min_x, cell.max_x),
+                   rng.NextDouble(cell.min_y, cell.max_y)};
+      copies += 1 + grid.CellsWithinDist(p, r).size();
+    }
+    const double measured = static_cast<double>(copies) / n;
+    const double predicted = AnalyticDuplicationFactor(r, a);
+    EXPECT_NEAR(measured, predicted, predicted * 0.01)
+        << "r/a=" << frac;
+  }
+}
+
+TEST(ReducerCostModelTest, IncreasesWithCellSize) {
+  // Section 6.3: for fixed r, df·a⁴ grows with a — bigger cells cost more.
+  const double r = 0.01;
+  double prev = 0.0;
+  for (double a = 0.02; a <= 1.0; a += 0.02) {
+    const double cost = ReducerCostModel(r, a);
+    EXPECT_GT(cost, prev) << "a=" << a;
+    prev = cost;
+  }
+}
+
+TEST(ReducerCostModelTest, ClosedForm) {
+  const double r = 0.1, a = 0.5;
+  EXPECT_NEAR(ReducerCostModel(r, a),
+              M_PI * r * r * a * a + 4 * r * a * a * a + a * a * a * a,
+              1e-12);
+}
+
+TEST(AdviseGridSizeTest, RespectsTwoRLowerBound) {
+  // a = extent/G >= 2r  =>  G <= extent/(2r).
+  EXPECT_EQ(AdviseGridSize(0.01, 1.0, 1000), 50u);
+  EXPECT_EQ(AdviseGridSize(0.005, 1.0, 1000), 100u);
+}
+
+TEST(AdviseGridSizeTest, ClampsToMax) {
+  EXPECT_EQ(AdviseGridSize(0.0001, 1.0, 128), 128u);
+}
+
+TEST(AdviseGridSizeTest, HugeRadiusFallsBackToOneCell) {
+  EXPECT_EQ(AdviseGridSize(0.9, 1.0, 128), 1u);
+}
+
+TEST(AdviseGridSizeTest, DegenerateInputs) {
+  EXPECT_EQ(AdviseGridSize(0.0, 1.0, 64), 64u);
+  EXPECT_EQ(AdviseGridSize(0.01, 0.0, 64), 64u);
+}
+
+}  // namespace
+}  // namespace spq::core

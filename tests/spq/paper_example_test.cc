@@ -1,0 +1,156 @@
+// Reproduces Example 1 of the paper (Figure 1 / Table 2): five hotels
+// (data objects), eight restaurants (feature objects), query "italian"
+// with k=1 and r=1.5 over a [0,10]² space. The paper's stated answer:
+// p4 scores 0.5 (via f1), p1 scores 1.0 (via f4), p5 scores 0.5 (via f7),
+// and the top-1 result is p1.
+
+#include <gtest/gtest.h>
+
+#include "spq/engine.h"
+#include "spq/sequential.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace spq::core {
+namespace {
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_.bounds = {0, 0, 10, 10};
+    dataset_.data = {
+        {1, {4.6, 4.8}},  // p1
+        {2, {7.5, 1.7}},  // p2
+        {3, {8.9, 5.2}},  // p3
+        {4, {1.8, 1.8}},  // p4
+        {5, {1.9, 9.0}},  // p5
+    };
+    auto feature = [this](ObjectId id, double x, double y,
+                          const std::string& text) {
+      FeatureObject f;
+      f.id = id;
+      f.pos = {x, y};
+      f.keywords = text::TokenizeToSet(text, vocab_);
+      dataset_.features.push_back(std::move(f));
+    };
+    feature(101, 2.8, 1.2, "italian,gourmet");      // f1
+    feature(102, 5.0, 3.8, "chinese,cheap");        // f2
+    feature(103, 8.7, 1.9, "sushi,wine");           // f3
+    feature(104, 3.8, 5.5, "italian");              // f4
+    feature(105, 5.2, 5.1, "mexican,exotic");       // f5
+    feature(106, 7.4, 5.4, "greek,traditional");    // f6
+    feature(107, 3.0, 8.1, "italian,spaghetti");    // f7
+    feature(108, 9.5, 7.0, "indian");               // f8
+  }
+
+  Query ItalianQuery(uint32_t k) const {
+    Query q;
+    q.k = k;
+    q.radius = 1.5;
+    q.keywords = text::TokenizeToSetReadOnly("italian", vocab_);
+    return q;
+  }
+
+  text::Vocabulary vocab_;
+  Dataset dataset_;
+};
+
+TEST_F(PaperExampleTest, BruteForceTop1IsP1) {
+  auto results = BruteForceSpq(dataset_, ItalianQuery(1));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+}
+
+TEST_F(PaperExampleTest, BruteForceScoresMatchTable2) {
+  Query q = ItalianQuery(5);
+  // τ(p1)=1 (f4), τ(p4)=0.5 (f1), τ(p5)=0.5 (f7); p2, p3 score 0.
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset_.data[0], dataset_, q), 1.0);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset_.data[1], dataset_, q), 0.0);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset_.data[2], dataset_, q), 0.0);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset_.data[3], dataset_, q), 0.5);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset_.data[4], dataset_, q), 0.5);
+}
+
+TEST_F(PaperExampleTest, AllThreeAlgorithmsReturnP1) {
+  EngineOptions options;
+  options.grid_size = 4;  // the 4x4 grid of Figure 2
+  options.num_workers = 4;
+  SpqEngine engine(dataset_, options);
+  for (Algorithm algo :
+       {Algorithm::kPSPQ, Algorithm::kESPQLen, Algorithm::kESPQSco}) {
+    auto result = engine.Execute(ItalianQuery(1), algo);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    ASSERT_EQ(result->entries.size(), 1u) << AlgorithmName(algo);
+    EXPECT_EQ(result->entries[0].id, 1u) << AlgorithmName(algo);
+    EXPECT_DOUBLE_EQ(result->entries[0].score, 1.0) << AlgorithmName(algo);
+  }
+}
+
+TEST_F(PaperExampleTest, Top3IsP1ThenP4ThenP5) {
+  EngineOptions options;
+  options.grid_size = 4;
+  SpqEngine engine(dataset_, options);
+  for (Algorithm algo :
+       {Algorithm::kPSPQ, Algorithm::kESPQLen, Algorithm::kESPQSco}) {
+    auto result = engine.Execute(ItalianQuery(3), algo);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    ASSERT_EQ(result->entries.size(), 3u) << AlgorithmName(algo);
+    EXPECT_EQ(result->entries[0].id, 1u);
+    EXPECT_DOUBLE_EQ(result->entries[0].score, 1.0);
+    // p4 and p5 tie at 0.5; id ascending breaks the tie.
+    EXPECT_EQ(result->entries[1].id, 4u);
+    EXPECT_DOUBLE_EQ(result->entries[1].score, 0.5);
+    EXPECT_EQ(result->entries[2].id, 5u);
+    EXPECT_DOUBLE_EQ(result->entries[2].score, 0.5);
+  }
+}
+
+TEST_F(PaperExampleTest, OnlyRelevantFeaturesAreShuffled) {
+  // Only f1, f4, f7 share a term with {italian}; the other five features
+  // must be pruned map-side (line 9 of Algorithm 1).
+  EngineOptions options;
+  options.grid_size = 4;
+  SpqEngine engine(dataset_, options);
+  auto result = engine.Execute(ItalianQuery(1), Algorithm::kPSPQ);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->info.features_kept, 3u);
+  EXPECT_EQ(result->info.features_pruned, 5u);
+}
+
+TEST_F(PaperExampleTest, F7DuplicationMatchesFigure2) {
+  // The paper walks through f7=(3.0, 8.1): with r=1.5 on the 4x4 grid it
+  // must be duplicated into exactly 3 neighboring cells (C9, C10, C13).
+  // f1=(2.8,1.2) touches C1's neighbors C2, C5, C6 (3 copies);
+  // f4=(3.8,5.5) sits near the C10/C11 border (…). Rather than hardcode
+  // every feature, check the total duplicate count against geometry.
+  auto grid_or = geo::UniformGrid::Make(dataset_.bounds, 4, 4);
+  ASSERT_TRUE(grid_or.ok());
+  uint64_t expected_duplicates = 0;
+  for (const auto& f : dataset_.features) {
+    if (!f.keywords.Intersects(ItalianQuery(1).keywords)) continue;
+    expected_duplicates += grid_or->CellsWithinDist(f.pos, 1.5).size();
+  }
+  EngineOptions options;
+  options.grid_size = 4;
+  SpqEngine engine(dataset_, options);
+  auto result = engine.Execute(ItalianQuery(1), Algorithm::kESPQSco);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->info.feature_duplicates, expected_duplicates);
+  // And f7 specifically contributes 3 (the paper's walkthrough).
+  EXPECT_EQ(grid_or->CellsWithinDist({3.0, 8.1}, 1.5).size(), 3u);
+}
+
+TEST_F(PaperExampleTest, UnknownQueryTermMatchesNothing) {
+  Query q;
+  q.k = 3;
+  q.radius = 1.5;
+  q.keywords = text::TokenizeToSetReadOnly("klingon", vocab_);
+  SpqEngine engine(dataset_, EngineOptions{.grid_size = 4});
+  auto result = engine.Execute(q, Algorithm::kESPQSco);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->entries.empty());
+}
+
+}  // namespace
+}  // namespace spq::core

@@ -1,0 +1,118 @@
+#include "spq/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+
+namespace spq::core {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  dataset.data = {{1, {0.1, 0.1}}, {2, {0.5, 0.5}}, {3, {0.9, 0.9}}};
+  dataset.features = {
+      {10, {0.12, 0.1}, text::KeywordSet({0})},        // near p1, w=1 for q={0}
+      {11, {0.5, 0.52}, text::KeywordSet({0, 1})},     // near p2, w=0.5
+      {12, {0.9, 0.88}, text::KeywordSet({5})},        // near p3, w=0
+  };
+  return dataset;
+}
+
+Query MakeQuery(uint32_t k, double r) {
+  Query q;
+  q.k = k;
+  q.radius = r;
+  q.keywords = text::KeywordSet({0});
+  return q;
+}
+
+TEST(BruteForceTest, ScoresAndRanksCorrectly) {
+  auto results = BruteForceSpq(SmallDataset(), MakeQuery(3, 0.05));
+  ASSERT_EQ(results.size(), 2u);  // p3 has no relevant feature in range
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+  EXPECT_EQ(results[1].id, 2u);
+  EXPECT_DOUBLE_EQ(results[1].score, 0.5);
+}
+
+TEST(BruteForceTest, RadiusIsInclusive) {
+  Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  dataset.data = {{1, {0.0, 0.0}}};
+  dataset.features = {{2, {0.3, 0.4}, text::KeywordSet({0})}};  // dist 0.5
+  auto at = BruteForceSpq(dataset, MakeQuery(1, 0.5));
+  ASSERT_EQ(at.size(), 1u);
+  auto below = BruteForceSpq(dataset, MakeQuery(1, 0.499));
+  EXPECT_TRUE(below.empty());
+}
+
+TEST(BruteForceTest, KTruncates) {
+  auto results = BruteForceSpq(SmallDataset(), MakeQuery(1, 0.05));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+}
+
+TEST(BruteForceTest, EmptyQueryKeywordsGiveEmptyResult) {
+  Query q;
+  q.k = 5;
+  q.radius = 1.0;
+  auto results = BruteForceSpq(SmallDataset(), q);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(BruteForceTest, ZeroRadiusOnlyCoLocated) {
+  Dataset dataset;
+  dataset.bounds = {0, 0, 1, 1};
+  dataset.data = {{1, {0.5, 0.5}}, {2, {0.6, 0.6}}};
+  dataset.features = {{3, {0.5, 0.5}, text::KeywordSet({0})}};
+  auto results = BruteForceSpq(dataset, MakeQuery(2, 0.0));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+}
+
+TEST(BruteForceScoreTest, MatchesPerObjectMax) {
+  Dataset dataset = SmallDataset();
+  Query q = MakeQuery(3, 0.05);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset.data[0], dataset, q), 1.0);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset.data[1], dataset, q), 0.5);
+  EXPECT_DOUBLE_EQ(BruteForceScore(dataset.data[2], dataset, q), 0.0);
+}
+
+TEST(SequentialGridTest, AgreesWithBruteForceOnRandomData) {
+  auto dataset_or = datagen::MakeUniformDataset(
+      {.num_objects = 2000, .seed = 7, .vocab_size = 50,
+       .min_keywords = 2, .max_keywords = 8});
+  ASSERT_TRUE(dataset_or.ok());
+  const Dataset& dataset = *dataset_or;
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Query q;
+    q.k = 1 + rng.NextUint32(10);
+    q.radius = 0.01 + rng.NextDouble() * 0.1;
+    q.keywords = text::KeywordSet(
+        {rng.NextUint32(50), rng.NextUint32(50), rng.NextUint32(50)});
+    auto brute = BruteForceSpq(dataset, q);
+    for (uint32_t grid : {1u, 5u, 20u}) {
+      auto seq = SequentialGridSpq(dataset, q, grid);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_EQ(seq->size(), brute.size()) << "trial " << trial
+                                           << " grid " << grid;
+      for (std::size_t i = 0; i < brute.size(); ++i) {
+        EXPECT_EQ((*seq)[i].id, brute[i].id) << "trial " << trial;
+        EXPECT_DOUBLE_EQ((*seq)[i].score, brute[i].score);
+      }
+    }
+  }
+}
+
+TEST(SequentialGridTest, RejectsZeroGrid) {
+  EXPECT_FALSE(SequentialGridSpq(SmallDataset(), MakeQuery(1, 0.1), 0).ok());
+}
+
+}  // namespace
+}  // namespace spq::core

@@ -1,0 +1,93 @@
+#include "spq/shuffle_types.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace spq::core {
+namespace {
+
+TEST(CellKeySortTest, CellIsThePrimaryComponent) {
+  EXPECT_TRUE(CellKeySortLess({1, 9.0}, {2, 0.0}));
+  EXPECT_FALSE(CellKeySortLess({2, 0.0}, {1, 9.0}));
+}
+
+TEST(CellKeySortTest, OrderBreaksTiesWithinCell) {
+  EXPECT_TRUE(CellKeySortLess({5, 0.0}, {5, 1.0}));
+  EXPECT_FALSE(CellKeySortLess({5, 1.0}, {5, 0.0}));
+  EXPECT_FALSE(CellKeySortLess({5, 1.0}, {5, 1.0}));  // irreflexive
+}
+
+TEST(CellKeySortTest, GroupEqualIgnoresOrder) {
+  EXPECT_TRUE(CellKeyGroupEqual({3, 0.1}, {3, 0.9}));
+  EXPECT_FALSE(CellKeyGroupEqual({3, 0.1}, {4, 0.1}));
+}
+
+TEST(CellKeySortTest, PspqTagOrderPutsDataFirst) {
+  // pSPQ: data objects carry 0, features 1.
+  std::vector<CellKey> keys{{7, 1.0}, {7, 0.0}, {7, 1.0}, {7, 0.0}};
+  std::sort(keys.begin(), keys.end(), CellKeySortLess);
+  EXPECT_DOUBLE_EQ(keys[0].order, 0.0);
+  EXPECT_DOUBLE_EQ(keys[1].order, 0.0);
+  EXPECT_DOUBLE_EQ(keys[2].order, 1.0);
+}
+
+TEST(CellKeySortTest, EspqLenOrderIsIncreasingKeywordLength) {
+  // eSPQlen: data 0, features |f.W| >= 1; shorter feature lists first.
+  std::vector<CellKey> keys{{7, 12.0}, {7, 0.0}, {7, 3.0}, {7, 1.0}};
+  std::sort(keys.begin(), keys.end(), CellKeySortLess);
+  EXPECT_DOUBLE_EQ(keys[0].order, 0.0);   // the data object
+  EXPECT_DOUBLE_EQ(keys[1].order, 1.0);
+  EXPECT_DOUBLE_EQ(keys[2].order, 3.0);
+  EXPECT_DOUBLE_EQ(keys[3].order, 12.0);
+}
+
+TEST(CellKeySortTest, EspqScoOrderIsDecreasingScoreWithDataFirst) {
+  // eSPQsco: data objects carry kDataOrderScore (< -1), features -w.
+  std::vector<CellKey> keys{
+      {7, -0.25}, {7, kDataOrderScore}, {7, -1.0}, {7, -0.5}};
+  std::sort(keys.begin(), keys.end(), CellKeySortLess);
+  EXPECT_DOUBLE_EQ(keys[0].order, kDataOrderScore);  // data first
+  EXPECT_DOUBLE_EQ(keys[1].order, -1.0);             // score 1.0
+  EXPECT_DOUBLE_EQ(keys[2].order, -0.5);             // score 0.5
+  EXPECT_DOUBLE_EQ(keys[3].order, -0.25);            // score 0.25
+}
+
+TEST(CellKeySortTest, DataSentinelPrecedesAnyFeatureScore) {
+  // Jaccard lies in (0, 1], so feature orders lie in [-1, 0).
+  for (double w : {1e-9, 0.5, 1.0}) {
+    EXPECT_TRUE(CellKeySortLess({1, kDataOrderScore}, {1, -w})) << w;
+  }
+}
+
+TEST(CellPartitionerTest, StaysInRangeAndIsDeterministic) {
+  for (uint32_t parts : {1u, 3u, 16u, 2500u}) {
+    for (geo::CellId cell = 0; cell < 100; ++cell) {
+      const uint32_t p = CellPartitioner({cell, 0.5}, parts);
+      EXPECT_LT(p, parts);
+      EXPECT_EQ(p, CellPartitioner({cell, -0.7}, parts))
+          << "partition must ignore the secondary key";
+    }
+  }
+}
+
+TEST(CellPartitionerTest, IdentityWhenOnePartitionPerCell) {
+  // The paper's setting: R == number of cells.
+  for (geo::CellId cell = 0; cell < 2500; ++cell) {
+    EXPECT_EQ(CellPartitioner({cell, 0.0}, 2500), cell);
+  }
+}
+
+TEST(ShuffleObjectTest, KindPredicates) {
+  ShuffleObject obj;
+  obj.kind = ShuffleObject::kData;
+  EXPECT_TRUE(obj.is_data());
+  EXPECT_FALSE(obj.is_feature());
+  obj.kind = ShuffleObject::kFeature;
+  EXPECT_TRUE(obj.is_feature());
+  EXPECT_FALSE(obj.is_data());
+}
+
+}  // namespace
+}  // namespace spq::core

@@ -1,0 +1,132 @@
+#include "spq/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace spq::core {
+namespace {
+
+TEST(TopKListTest, ThresholdIsZeroUntilFull) {
+  TopKList lk(3);
+  EXPECT_DOUBLE_EQ(lk.Threshold(), 0.0);
+  lk.Update(1, 0.9);
+  lk.Update(2, 0.8);
+  EXPECT_DOUBLE_EQ(lk.Threshold(), 0.0);
+  EXPECT_FALSE(lk.full());
+  lk.Update(3, 0.7);
+  EXPECT_TRUE(lk.full());
+  EXPECT_DOUBLE_EQ(lk.Threshold(), 0.7);
+}
+
+TEST(TopKListTest, KeepsBestK) {
+  TopKList lk(2);
+  lk.Update(1, 0.1);
+  lk.Update(2, 0.5);
+  lk.Update(3, 0.3);
+  lk.Update(4, 0.9);
+  const auto& entries = lk.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 4u);
+  EXPECT_DOUBLE_EQ(entries[0].score, 0.9);
+  EXPECT_EQ(entries[1].id, 2u);
+  EXPECT_DOUBLE_EQ(entries[1].score, 0.5);
+}
+
+TEST(TopKListTest, UpdatingExistingObjectRaisesScore) {
+  TopKList lk(2);
+  lk.Update(1, 0.2);
+  lk.Update(2, 0.4);
+  lk.Update(1, 0.8);  // object 1 improves
+  const auto& entries = lk.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 1u);
+  EXPECT_DOUBLE_EQ(entries[0].score, 0.8);
+  // No duplicate entry for object 1.
+  EXPECT_EQ(entries[1].id, 2u);
+}
+
+TEST(TopKListTest, LowerUpdateForTrackedObjectIgnored) {
+  TopKList lk(2);
+  lk.Update(1, 0.8);
+  lk.Update(1, 0.3);
+  ASSERT_EQ(lk.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(lk.entries()[0].score, 0.8);
+}
+
+TEST(TopKListTest, TieBreaksByIdAscending) {
+  TopKList lk(2);
+  lk.Update(9, 0.5);
+  lk.Update(3, 0.5);
+  lk.Update(6, 0.5);
+  const auto& entries = lk.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 3u);
+  EXPECT_EQ(entries[1].id, 6u);
+}
+
+TEST(TopKListTest, EvictedObjectCanReturn) {
+  TopKList lk(1);
+  lk.Update(1, 0.5);
+  lk.Update(2, 0.7);  // evicts 1
+  lk.Update(1, 0.9);  // 1 returns with a higher score
+  ASSERT_EQ(lk.entries().size(), 1u);
+  EXPECT_EQ(lk.entries()[0].id, 1u);
+  EXPECT_DOUBLE_EQ(lk.entries()[0].score, 0.9);
+}
+
+TEST(TopKListTest, MatchesSortReferenceUnderRandomUpdates) {
+  // Property: after any sequence of monotone score updates, the list equals
+  // the top-k of the per-object max scores.
+  Rng rng(91);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint32_t k = 1 + rng.NextUint32(5);
+    TopKList lk(k);
+    std::map<ObjectId, double> best;
+    for (int u = 0; u < 200; ++u) {
+      ObjectId id = rng.NextUint64(30);
+      auto it = best.find(id);
+      // Scores only increase, mirroring τ(p) = max over features.
+      double score = it == best.end() ? rng.NextDouble()
+                                      : it->second + rng.NextDouble() * 0.2;
+      best[id] = std::max(best.count(id) ? best[id] : 0.0, score);
+      lk.Update(id, best[id]);
+    }
+    std::vector<ResultEntry> reference;
+    for (const auto& [id, score] : best) reference.push_back({id, score});
+    std::sort(reference.begin(), reference.end(), ResultBetter);
+    if (reference.size() > k) reference.resize(k);
+    const auto& entries = lk.entries();
+    ASSERT_EQ(entries.size(), reference.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(entries[i].id, reference[i].id) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(entries[i].score, reference[i].score);
+    }
+  }
+}
+
+TEST(MergeTopKTest, MergesAndTruncates) {
+  std::vector<ResultEntry> candidates{
+      {1, 0.5}, {2, 0.9}, {3, 0.1}, {4, 0.9}, {5, 0.7}};
+  auto merged = MergeTopK(candidates, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 2u);  // 0.9, id tie-break
+  EXPECT_EQ(merged[1].id, 4u);
+  EXPECT_EQ(merged[2].id, 5u);
+}
+
+TEST(MergeTopKTest, FewerThanKKeepsAll) {
+  auto merged = MergeTopK({{1, 0.5}}, 10);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeTopKTest, EmptyInput) {
+  EXPECT_TRUE(MergeTopK({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace spq::core

@@ -1,0 +1,102 @@
+#include "text/jaccard.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace spq::text {
+namespace {
+
+TEST(JaccardTest, PaperTable2Scores) {
+  // Example 1 / Table 2 of the paper: q.W = {italian}.
+  // Terms: italian=0, gourmet=1, chinese=2, cheap=3, sushi=4, wine=5,
+  // mexican=6, exotic=7, greek=8, traditional=9, spaghetti=10, indian=11.
+  KeywordSet query({0});
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({0, 1}), query), 0.5);   // f1
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({2, 3}), query), 0.0);   // f2
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({4, 5}), query), 0.0);   // f3
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({0}), query), 1.0);      // f4
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({6, 7}), query), 0.0);   // f5
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({0, 10}), query), 0.5);  // f7
+  EXPECT_DOUBLE_EQ(Jaccard(KeywordSet({11}), query), 0.0);     // f8
+}
+
+TEST(JaccardTest, SymmetricAndBounded) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<TermId> a_ids, b_ids;
+    for (int i = 0; i < 10; ++i) {
+      a_ids.push_back(rng.NextUint32(20));
+      b_ids.push_back(rng.NextUint32(20));
+    }
+    KeywordSet a(a_ids), b(b_ids);
+    const double ab = Jaccard(a, b);
+    EXPECT_DOUBLE_EQ(ab, Jaccard(b, a));
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST(JaccardTest, IdenticalSetsScoreOne) {
+  KeywordSet a({4, 8, 15, 16, 23, 42});
+  EXPECT_DOUBLE_EQ(Jaccard(a, a), 1.0);
+}
+
+TEST(JaccardTest, EmptySetsScoreZero) {
+  KeywordSet empty;
+  KeywordSet a({1});
+  EXPECT_DOUBLE_EQ(Jaccard(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard(a, empty), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard(empty, a), 0.0);
+}
+
+TEST(JaccardUpperBoundTest, ShortFeaturesAreUnbounded) {
+  // |f.W| < |q.W| -> bound 1 (Eq. 1, first branch).
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(3, 1), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(3, 2), 1.0);
+}
+
+TEST(JaccardUpperBoundTest, LongFeaturesBoundedByRatio) {
+  // |f.W| >= |q.W| -> |q.W| / |f.W| (Eq. 1, second branch).
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(3, 6), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(1, 10), 0.1);
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(5, 100), 0.05);
+}
+
+TEST(JaccardUpperBoundTest, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(JaccardUpperBound(0, 0), 0.0);
+}
+
+TEST(JaccardUpperBoundTest, MonotoneNonIncreasingInFeatureLength) {
+  // The property Lemma 2 relies on: once |f.W| >= |q.W|, longer features
+  // can only have lower bounds.
+  const std::size_t qlen = 4;
+  double prev = JaccardUpperBound(qlen, qlen);
+  for (std::size_t flen = qlen + 1; flen <= 200; ++flen) {
+    const double cur = JaccardUpperBound(qlen, flen);
+    EXPECT_LE(cur, prev) << "flen=" << flen;
+    prev = cur;
+  }
+}
+
+TEST(JaccardUpperBoundTest, DominatesActualJaccard) {
+  // Property: w(f,q) <= w̄(f,q) for every pair of sets (random sweep).
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<TermId> q_ids, f_ids;
+    const int qn = 1 + static_cast<int>(rng.NextUint32(5));
+    const int fn = static_cast<int>(rng.NextUint32(30));
+    for (int i = 0; i < qn; ++i) q_ids.push_back(rng.NextUint32(40));
+    for (int i = 0; i < fn; ++i) f_ids.push_back(rng.NextUint32(40));
+    KeywordSet q(q_ids), f(f_ids);
+    EXPECT_LE(Jaccard(f, q), JaccardUpperBound(q.size(), f.size()) + 1e-12)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace spq::text

@@ -1,0 +1,87 @@
+#include "text/keyword_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spq::text {
+namespace {
+
+TEST(KeywordSetTest, SortsAndDeduplicates) {
+  KeywordSet set({5, 1, 3, 1, 5, 5});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.ids(), (std::vector<TermId>{1, 3, 5}));
+}
+
+TEST(KeywordSetTest, EmptySet) {
+  KeywordSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+}
+
+TEST(KeywordSetTest, ContainsBinarySearches) {
+  KeywordSet set({10, 20, 30});
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_TRUE(set.Contains(20));
+  EXPECT_TRUE(set.Contains(30));
+  EXPECT_FALSE(set.Contains(15));
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(31));
+}
+
+TEST(KeywordSetTest, IntersectionSize) {
+  KeywordSet a({1, 2, 3, 4});
+  KeywordSet b({3, 4, 5, 6});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+  EXPECT_EQ(a.IntersectionSize(a), 4u);
+}
+
+TEST(KeywordSetTest, IntersectionWithEmptyIsZero) {
+  KeywordSet a({1, 2});
+  KeywordSet empty;
+  EXPECT_EQ(a.IntersectionSize(empty), 0u);
+  EXPECT_EQ(empty.IntersectionSize(a), 0u);
+  EXPECT_EQ(empty.IntersectionSize(empty), 0u);
+}
+
+TEST(KeywordSetTest, IntersectsMatchesIntersectionSize) {
+  KeywordSet a({1, 5, 9});
+  KeywordSet b({2, 5, 8});
+  KeywordSet c({2, 4, 8});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+}
+
+TEST(KeywordSetTest, DisjointSets) {
+  KeywordSet a({1, 3, 5});
+  KeywordSet b({2, 4, 6});
+  EXPECT_EQ(a.IntersectionSize(b), 0u);
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(KeywordSetTest, EqualityIsValueBased) {
+  EXPECT_EQ(KeywordSet({3, 1, 2}), KeywordSet({1, 2, 3}));
+  EXPECT_FALSE(KeywordSet({1}) == KeywordSet({2}));
+}
+
+TEST(SortedHelpersTest, SortedIntersectionSizeMatchesKeywordSet) {
+  KeywordSet a({1, 2, 3, 7});
+  KeywordSet b({2, 3, 4, 7, 9});
+  EXPECT_EQ(SortedIntersectionSize(a.ids(), b.ids()), a.IntersectionSize(b));
+}
+
+TEST(SortedHelpersTest, JaccardSortedBasics) {
+  std::vector<TermId> a{1, 2, 3};
+  std::vector<TermId> b{2, 3, 4};
+  // |∩|=2, |∪|=4.
+  EXPECT_DOUBLE_EQ(JaccardSorted(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSorted(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace spq::text

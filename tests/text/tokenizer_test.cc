@@ -1,0 +1,59 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace spq::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  auto tokens = Tokenize("italian, gourmet!");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "italian");
+  EXPECT_EQ(tokens[1], "gourmet");
+}
+
+TEST(TokenizerTest, LowercasesAscii) {
+  auto tokens = Tokenize("Italian SPAGHETTI");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "italian");
+  EXPECT_EQ(tokens[1], "spaghetti");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto tokens = Tokenize("route66 a1");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "route66");
+  EXPECT_EQ(tokens[1], "a1");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnlyInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ,,, ---").empty());
+}
+
+TEST(TokenizerTest, TokenizeToSetInternsAndDeduplicates) {
+  Vocabulary vocab;
+  KeywordSet set = TokenizeToSet("pizza pasta pizza", vocab);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(vocab.size(), 2u);
+  ASSERT_TRUE(vocab.Lookup("pizza").ok());
+  EXPECT_TRUE(set.Contains(*vocab.Lookup("pizza")));
+  EXPECT_TRUE(set.Contains(*vocab.Lookup("pasta")));
+}
+
+TEST(TokenizerTest, ReadOnlyTokenizerSkipsUnknownTerms) {
+  Vocabulary vocab;
+  vocab.Intern("known");
+  KeywordSet set = TokenizeToSetReadOnly("known unknown", vocab);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(vocab.size(), 1u);  // unchanged
+}
+
+TEST(TokenizerTest, ReadOnlyWithAllUnknownGivesEmptySet) {
+  Vocabulary vocab;
+  KeywordSet set = TokenizeToSetReadOnly("a b c", vocab);
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace spq::text

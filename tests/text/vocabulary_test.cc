@@ -1,0 +1,127 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace spq::text {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("italian"), 0u);
+  EXPECT_EQ(vocab.Intern("gourmet"), 1u);
+  EXPECT_EQ(vocab.Intern("sushi"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("pizza");
+  EXPECT_EQ(vocab.Intern("pizza"), id);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupFindsInternedTerm) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("wine");
+  auto found = vocab.Lookup("wine");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, id);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsNotFound) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.Lookup("nope").status().IsNotFound());
+}
+
+TEST(VocabularyTest, TermRoundTrip) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("cheap");
+  auto term = vocab.Term(id);
+  ASSERT_TRUE(term.ok());
+  EXPECT_EQ(*term, "cheap");
+}
+
+TEST(VocabularyTest, TermOutOfRange) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.Term(99).status().IsOutOfRange());
+}
+
+TEST(VocabularyTest, FillSyntheticCreatesNTerms) {
+  Vocabulary vocab;
+  vocab.FillSynthetic(1000);
+  EXPECT_EQ(vocab.size(), 1000u);
+  auto t0 = vocab.Term(0);
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(*t0, "t0");
+  auto t999 = vocab.Term(999);
+  ASSERT_TRUE(t999.ok());
+  EXPECT_EQ(*t999, "t999");
+}
+
+TEST(VocabularyTest, EmptyByDefault) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  EXPECT_EQ(vocab.size(), 0u);
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spq_vocab.txt").string();
+  Vocabulary vocab;
+  vocab.Intern("italian");
+  vocab.Intern("gourmet");
+  vocab.Intern("sushi");
+  ASSERT_TRUE(vocab.Save(path).ok());
+
+  Vocabulary loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  // Ids are preserved (line order = id order).
+  ASSERT_TRUE(loaded.Lookup("italian").ok());
+  EXPECT_EQ(*loaded.Lookup("italian"), 0u);
+  EXPECT_EQ(*loaded.Lookup("sushi"), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(VocabularyTest, LoadIntoNonEmptyRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spq_vocab2.txt").string();
+  Vocabulary vocab;
+  vocab.Intern("a");
+  ASSERT_TRUE(vocab.Save(path).ok());
+  Vocabulary occupied;
+  occupied.Intern("x");
+  EXPECT_TRUE(occupied.Load(path).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(VocabularyTest, LoadRejectsDuplicatesAndBlankLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spq_vocab3.txt").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a\na\n", f);
+    std::fclose(f);
+  }
+  Vocabulary dup;
+  EXPECT_TRUE(dup.Load(path).IsInvalidArgument());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a\n\nb\n", f);
+    std::fclose(f);
+  }
+  Vocabulary blank;
+  EXPECT_TRUE(blank.Load(path).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(VocabularyTest, LoadMissingFileIsIOError) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.Load("/nonexistent/vocab.txt").IsIOError());
+}
+
+}  // namespace
+}  // namespace spq::text
