@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "geo/grid.h"
 #include "mapreduce/merge.h"
+#include "mapreduce/runtime.h"
 #include "spq/shuffle_types.h"
 #include "spq/topk.h"
 #include "text/jaccard.h"
@@ -33,6 +34,36 @@ void BM_JaccardSorted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JaccardSorted)->Arg(8)->Arg(55)->Arg(100);
+
+// The reducers' shape: a short query (first arg) against long feature
+// keyword lists — the case the galloping intersection targets.
+void BM_JaccardSortedAsymmetric(benchmark::State& state) {
+  Rng rng(11);
+  text::KeywordSet q(RandomTerms(rng, state.range(0), 100'000));
+  text::KeywordSet f(RandomTerms(rng, state.range(1), 100'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaccardSorted(q.ids(), f.ids()));
+  }
+}
+BENCHMARK(BM_JaccardSortedAsymmetric)
+    ->Args({3, 100})
+    ->Args({3, 1000})
+    ->Args({10, 1000});
+
+// Same shape through the threshold-aware entry: with a tight threshold
+// the size-ratio bound skips the merge entirely.
+void BM_JaccardSortedBounded(benchmark::State& state) {
+  Rng rng(12);
+  text::KeywordSet q(RandomTerms(rng, 3, 100'000));
+  text::KeywordSet f(RandomTerms(rng, state.range(0), 100'000));
+  const double threshold = 0.5;  // > min/max for every arg below
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::JaccardSortedBounded(q.ids().data(), q.ids().size(),
+                                   f.ids().data(), f.ids().size(), threshold));
+  }
+}
+BENCHMARK(BM_JaccardSortedBounded)->Arg(100)->Arg(1000);
 
 void BM_JaccardUpperBound(benchmark::State& state) {
   for (auto _ : state) {
@@ -128,6 +159,129 @@ void BM_MergeStream(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8000);
 }
 BENCHMARK(BM_MergeStream);
+
+// Same merge with the comparator as a concrete template parameter (direct
+// calls) instead of the defaulted std::function — the indirection cost the
+// Less parameter exists to avoid.
+void BM_MergeStreamConcreteLess(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<mapreduce::SortedSegment> segments(8);
+  for (auto& seg : segments) {
+    std::vector<std::pair<uint32_t, uint64_t>> records(1000);
+    for (auto& r : records) r = {rng.NextUint32(10000), rng.NextUint64()};
+    std::sort(records.begin(), records.end());
+    Buffer buf;
+    for (const auto& [k, v] : records) {
+      mapreduce::Codec<uint32_t>::Encode(k, buf);
+      mapreduce::Codec<uint64_t>::Encode(v, buf);
+    }
+    seg.num_records = records.size();
+    seg.bytes = buf.TakeBytes();
+  }
+  std::vector<const mapreduce::SortedSegment*> ptrs;
+  for (const auto& s : segments) ptrs.push_back(&s);
+  struct Less {
+    bool operator()(const uint32_t& a, const uint32_t& b) const {
+      return a < b;
+    }
+  };
+  for (auto _ : state) {
+    mapreduce::MergeStream<uint32_t, uint64_t, Less> stream(ptrs, Less{});
+    uint64_t sum = 0;
+    while (stream.Advance()) sum += stream.value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_MergeStreamConcreteLess);
+
+// The flat-arena twin of BM_MergeStream on realistic SPQ records: 8
+// segments of pre-bucketed (CellKey, ShuffleObject) runs merged with the
+// integer-key heap and zero-copy views.
+void BM_FlatMergeStream(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<mapreduce::FlatSegment> segments;
+  for (int s = 0; s < 8; ++s) {
+    std::vector<std::pair<core::CellKey, core::ShuffleObject>> records(1000);
+    for (auto& [k, v] : records) {
+      k.cell = rng.NextUint32(100);
+      k.order = -rng.NextDouble();
+      v.kind = core::ShuffleObject::kFeature;
+      v.id = rng.NextUint64();
+      v.pos = {rng.NextDouble(), rng.NextDouble()};
+      v.keywords = text::KeywordSet(RandomTerms(rng, 8, 10'000)).ids();
+    }
+    segments.push_back(
+        *mapreduce::internal::BuildFlatSegment<core::CellKey,
+                                               core::ShuffleObject>(records));
+  }
+  std::vector<const mapreduce::FlatSegment*> ptrs;
+  for (const auto& s : segments) ptrs.push_back(&s);
+  for (auto _ : state) {
+    mapreduce::FlatMergeStream<core::CellKey, core::ShuffleObject> stream(
+        ptrs);
+    uint64_t sum = 0;
+    while (stream.Advance()) sum += stream.value().id;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_FlatMergeStream);
+
+// Map-side layout step A/B: comparison stable_sort + Codec encode (legacy)
+// vs. cell bucketing + u64 order-key sort into the flat arena. Both
+// variants copy the emitted records inside the timed loop (the legacy sort
+// must mutate; the bucketed path gets the same copy so the ratio reflects
+// only the layout step).
+void BM_MapSortEncodeLegacy(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<std::pair<core::CellKey, core::ShuffleObject>> records(4096);
+  for (auto& [k, v] : records) {
+    k.cell = rng.NextUint32(100);
+    k.order = -rng.NextDouble();
+    v.kind = core::ShuffleObject::kFeature;
+    v.id = rng.NextUint64();
+    v.keywords = text::KeywordSet(RandomTerms(rng, 8, 10'000)).ids();
+  }
+  std::function<bool(const core::CellKey&, const core::CellKey&)> less =
+      core::CellKeySortLess;
+  for (auto _ : state) {
+    auto copy = records;
+    std::stable_sort(copy.begin(), copy.end(),
+                     [&](const auto& a, const auto& b) {
+                       return less(a.first, b.first);
+                     });
+    Buffer buf;
+    for (const auto& [k, v] : copy) {
+      mapreduce::Codec<core::CellKey>::Encode(k, buf);
+      mapreduce::Codec<core::ShuffleObject>::Encode(v, buf);
+    }
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MapSortEncodeLegacy);
+
+void BM_MapSortEncodeBucketed(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<std::pair<core::CellKey, core::ShuffleObject>> records(4096);
+  for (auto& [k, v] : records) {
+    k.cell = rng.NextUint32(100);
+    k.order = -rng.NextDouble();
+    v.kind = core::ShuffleObject::kFeature;
+    v.id = rng.NextUint64();
+    v.keywords = text::KeywordSet(RandomTerms(rng, 8, 10'000)).ids();
+  }
+  for (auto _ : state) {
+    auto copy = records;
+    auto seg = mapreduce::internal::BuildFlatSegment<core::CellKey,
+                                                     core::ShuffleObject>(
+        copy);
+    benchmark::DoNotOptimize(seg->byte_size);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MapSortEncodeBucketed);
 
 }  // namespace
 }  // namespace spq

@@ -2,6 +2,7 @@
 #define SPQ_MAPREDUCE_CODEC_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,35 @@
 #include "common/status.h"
 
 namespace spq::mapreduce {
+
+/// Raw fixed-width scalar access for the flat-arena segment format
+/// (merge.h). Unlike the Buffer/Codec varint encoding, these write host
+/// byte order at fixed strides, so a record header can be decoded with
+/// plain loads and no per-field bounds checks. Spill files written this
+/// way are read back on the same host, exactly like Buffer's doubles.
+namespace wire {
+
+inline void StoreU32(uint8_t* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void StoreU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+inline void StoreF64(uint8_t* dst, double v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t LoadU32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t LoadU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+inline double LoadF64(const uint8_t* src) {
+  double v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace wire
 
 /// \brief Serialization trait for shuffle keys and values.
 ///

@@ -2,6 +2,8 @@
 #define SPQ_MAPREDUCE_MERGE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -10,6 +12,7 @@
 #include "common/buffer.h"
 #include "common/status.h"
 #include "mapreduce/codec.h"
+#include "mapreduce/job.h"
 #include "mapreduce/spill.h"
 
 namespace spq::mapreduce {
@@ -26,23 +29,91 @@ struct SortedSegment {
   uint64_t byte_size = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Flat-arena shuffle (ShuffleMode::kCellBucketed)
+// ---------------------------------------------------------------------------
+
+/// \brief Radix-structure trait enabling the sort-free, flat-arena shuffle
+/// for a (K, V) record type. The primary template is disabled; jobs opt in
+/// by specializing it (see spq/shuffle_types.h and spq/batch.h).
+///
+/// An enabled specialization must provide:
+///
+///   static constexpr bool kEnabled = true;
+///   static constexpr uint32_t kPayloadStride;   // fixed bytes per payload
+///
+///   // Radix decomposition of the composite key. The derived order —
+///   // (Bucket asc, OrderKey asc, emission index asc) — must equal a
+///   // stable sort under the job's sort comparator, and Bucket equality
+///   // must equal the job's grouping comparator (flat groups are
+///   // delimited by bucket changes).
+///   static uint64_t Bucket(const K&);
+///   static uint64_t OrderKey(const K&);
+///   static K MakeKey(uint64_t bucket, uint64_t order_key);
+///
+///   // Zero-copy record view; plain value struct whose varlen fields
+///   // point into the segment pool (or a streaming buffer, valid until
+///   // the owning stream advances).
+///   struct View;  // or `using View = ...;`
+///
+///   // Exact pool bytes the record's varlen data will occupy; lets the
+///   // segment builder allocate the whole byte image once, up front.
+///   static uint64_t PoolBytes(const V&);
+///
+///   // Writes exactly kPayloadStride bytes at `dst`. Varlen data is
+///   // written at `pool + *pool_pos` (advancing *pool_pos by PoolBytes),
+///   // and the payload's trailing 8 bytes MUST be the record's pool
+///   // slice as (u32 byte offset, u32 byte length) — the generic readers
+///   // use that contract to locate and stream the pool.
+///   static void EncodePayload(const V&, uint8_t* dst, uint8_t* pool,
+///                             uint64_t* pool_pos);
+///
+///   // `span` points at the record's pool slice (nullptr when empty).
+///   static View MakeView(const uint8_t* payload, const uint8_t* span);
+template <typename K, typename V>
+struct FlatShuffleTraits {
+  static constexpr bool kEnabled = false;
+};
+
+/// \brief One sorted run in the flat-arena layout. The byte image (also
+/// the spill-file image) has three regions:
+///
+///   [ key rows : num_records x 16  — (u64 bucket, u64 order key) each ]
+///   [ payloads : num_records x FlatShuffleTraits::kPayloadStride      ]
+///   [ pool     : pool_bytes of varlen data (e.g. the TermId pool)     ]
+///
+/// Key rows live apart from payloads so the k-way merge touches only 16
+/// hot bytes per record; payloads decode with plain loads into Views whose
+/// varlen fields alias the shared pool (no per-record heap allocation).
+/// Pool slices are appended in record order, so offsets are monotone and a
+/// spilled segment streams through three sequential fixed-size cursors.
+struct FlatSegment {
+  std::vector<uint8_t> bytes;  ///< empty when the segment was spilled
+  uint64_t num_records = 0;
+  uint64_t pool_bytes = 0;
+  std::string spill_path;
+  uint64_t byte_size = 0;
+
+  static constexpr uint64_t kKeyRowBytes = 16;
+};
+
 namespace internal {
 
-/// Decodes records lazily off a SortedSegment, transparently reading
-/// spilled segments back from disk.
+/// Decodes records lazily off a SortedSegment. In-memory segments are read
+/// in place; spilled segments stream through a fixed-size window (grown
+/// only when a single record exceeds it) instead of being slurped whole.
+/// Like SpillRegionReader, the file is opened transiently per window
+/// refill so a wide merge pins no descriptors between reads.
 template <typename K, typename V>
 class SegmentReader {
  public:
+  static constexpr std::size_t kWindowBytes = 64 * 1024;
+
   explicit SegmentReader(const SortedSegment* segment)
       : segment_(segment), reader_(nullptr, 0) {
     if (!segment->spill_path.empty()) {
-      auto bytes = ReadSpillFile(segment->spill_path);
-      if (!bytes.ok()) {
-        status_ = bytes.status();
-        return;
-      }
-      owned_bytes_ = *std::move(bytes);
-      reader_ = BufferReader(owned_bytes_.data(), owned_bytes_.size());
+      spilled_ = true;
+      window_.resize(kWindowBytes);
     } else {
       reader_ = BufferReader(segment->bytes.data(), segment->bytes.size());
     }
@@ -52,14 +123,55 @@ class SegmentReader {
   /// Decode errors are latched into status().
   bool Next() {
     if (!status_.ok() || read_ >= segment_->num_records) return false;
-    Status st = Codec<K>::Decode(reader_, &key_);
-    if (st.ok()) st = Codec<V>::Decode(reader_, &value_);
-    if (!st.ok()) {
-      status_ = st;
-      return false;
+    if (!spilled_) {
+      Status st = Codec<K>::Decode(reader_, &key_);
+      if (st.ok()) st = Codec<V>::Decode(reader_, &value_);
+      if (!st.ok()) {
+        status_ = st;
+        return false;
+      }
+      ++read_;
+      return true;
     }
-    ++read_;
-    return true;
+    // Spilled: decode from the window; OutOfRange means the record is
+    // split across the window edge — compact, refill and retry.
+    for (;;) {
+      BufferReader r(window_.data() + window_pos_,
+                     window_len_ - window_pos_);
+      K k{};
+      V v{};
+      Status st = Codec<K>::Decode(r, &k);
+      if (st.ok()) st = Codec<V>::Decode(r, &v);
+      if (st.ok()) {
+        window_pos_ += r.position();
+        key_ = std::move(k);
+        value_ = std::move(v);
+        ++read_;
+        return true;
+      }
+      if (!st.IsOutOfRange() || eof_) {
+        status_ = st;
+        return false;
+      }
+      std::memmove(window_.data(), window_.data() + window_pos_,
+                   window_len_ - window_pos_);
+      window_len_ -= window_pos_;
+      window_pos_ = 0;
+      if (window_len_ == window_.size()) window_.resize(window_.size() * 2);
+      std::ifstream file(segment_->spill_path, std::ios::binary);
+      if (!file) {
+        status_ = Status::IOError("cannot open spill file: " +
+                                  segment_->spill_path);
+        return false;
+      }
+      file.seekg(static_cast<std::streamoff>(file_offset_));
+      file.read(reinterpret_cast<char*>(window_.data() + window_len_),
+                static_cast<std::streamsize>(window_.size() - window_len_));
+      const std::size_t got = static_cast<std::size_t>(file.gcount());
+      if (got == 0) eof_ = true;
+      file_offset_ += got;
+      window_len_ += got;
+    }
   }
 
   const K& key() const { return key_; }
@@ -68,11 +180,129 @@ class SegmentReader {
 
  private:
   const SortedSegment* segment_;
-  std::vector<uint8_t> owned_bytes_;  // backing store for spilled segments
-  BufferReader reader_;
+  BufferReader reader_;  // over segment_->bytes (in-memory segments)
+  bool spilled_ = false;
+  uint64_t file_offset_ = 0;  ///< next unread byte of the spill file
+  std::vector<uint8_t> window_;
+  std::size_t window_pos_ = 0;
+  std::size_t window_len_ = 0;
+  bool eof_ = false;
   uint64_t read_ = 0;
   K key_{};
   V value_{};
+  Status status_;
+};
+
+/// Cursor over one FlatSegment: in-memory segments are walked zero-copy;
+/// spilled segments stream through three SpillRegionReaders (key rows,
+/// payloads, pool), each with a fixed-size buffer.
+template <typename K, typename V>
+class FlatSegmentReader {
+  using Traits = FlatShuffleTraits<K, V>;
+  static constexpr uint64_t kStride = Traits::kPayloadStride;
+
+ public:
+  explicit FlatSegmentReader(const FlatSegment* segment)
+      : n_(segment->num_records) {
+    const uint64_t keys_bytes = n_ * FlatSegment::kKeyRowBytes;
+    const uint64_t payload_bytes = n_ * kStride;
+    const uint64_t expected = keys_bytes + payload_bytes + segment->pool_bytes;
+    if (segment->byte_size != expected) {
+      status_ = Status::Internal("flat segment size mismatch");
+      return;
+    }
+    if (!segment->spill_path.empty()) {
+      spilled_ = true;
+      // Cursors open the file transiently per refill, so a reduce task
+      // merging many spilled segments holds no descriptors between reads.
+      keys_cursor_.Open(segment->spill_path, 0, keys_bytes);
+      payload_cursor_.Open(segment->spill_path, keys_bytes, payload_bytes);
+      pool_cursor_.Open(segment->spill_path, keys_bytes + payload_bytes,
+                        segment->pool_bytes);
+    } else {
+      keys_ = segment->bytes.data();
+      payloads_ = keys_ + keys_bytes;
+      pool_ = payloads_ + payload_bytes;
+      pool_len_ = segment->pool_bytes;
+    }
+  }
+
+  /// Advances to the next record; accessors are valid after a true return
+  /// and stay valid until the next call. Errors latch into status().
+  bool Next() {
+    if (!status_.ok() || read_ >= n_) return false;
+    if (spilled_) {
+      const uint8_t* krow = nullptr;
+      Status st = keys_cursor_.Fetch(FlatSegment::kKeyRowBytes, &krow);
+      if (st.ok()) {
+        bucket_ = wire::LoadU64(krow);
+        order_key_ = wire::LoadU64(krow + 8);
+        st = payload_cursor_.Fetch(kStride, &payload_);
+      }
+      if (st.ok()) {
+        const uint32_t span_off = wire::LoadU32(payload_ + kStride - 8);
+        const uint32_t span_len = wire::LoadU32(payload_ + kStride - 4);
+        span_ = nullptr;
+        if (span_len > 0) {
+          // The sequential pool cursor is only sound when slices really
+          // are appended in record order; verify against the stored
+          // offset so a violating writer (or a corrupt file) fails loudly
+          // instead of scoring against the wrong keywords.
+          if (span_off != pool_pos_) {
+            status_ = Status::Internal("flat segment pool not sequential");
+            return false;
+          }
+          st = pool_cursor_.Fetch(span_len, &span_);
+          pool_pos_ += span_len;
+        }
+      }
+      if (!st.ok()) {
+        status_ = st;
+        return false;
+      }
+    } else {
+      const uint8_t* krow = keys_ + read_ * FlatSegment::kKeyRowBytes;
+      bucket_ = wire::LoadU64(krow);
+      order_key_ = wire::LoadU64(krow + 8);
+      payload_ = payloads_ + read_ * kStride;
+      const uint32_t span_off = wire::LoadU32(payload_ + kStride - 8);
+      const uint32_t span_len = wire::LoadU32(payload_ + kStride - 4);
+      if (static_cast<uint64_t>(span_off) + span_len > pool_len_) {
+        status_ = Status::Internal("flat segment pool span out of range");
+        return false;
+      }
+      span_ = span_len > 0 ? pool_ + span_off : nullptr;
+    }
+    ++read_;
+    return true;
+  }
+
+  uint64_t bucket() const { return bucket_; }
+  uint64_t order_key() const { return order_key_; }
+  typename Traits::View view() const {
+    return Traits::MakeView(payload_, span_);
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  uint64_t n_;
+  uint64_t read_ = 0;
+  // In-memory segment:
+  const uint8_t* keys_ = nullptr;
+  const uint8_t* payloads_ = nullptr;
+  const uint8_t* pool_ = nullptr;
+  uint64_t pool_len_ = 0;
+  // Spilled segment:
+  bool spilled_ = false;
+  SpillRegionReader keys_cursor_;
+  SpillRegionReader payload_cursor_;
+  SpillRegionReader pool_cursor_;
+  uint64_t pool_pos_ = 0;  ///< pool bytes consumed; must match span offsets
+  // Current record:
+  uint64_t bucket_ = 0;
+  uint64_t order_key_ = 0;
+  const uint8_t* payload_ = nullptr;
+  const uint8_t* span_ = nullptr;
   Status status_;
 };
 
@@ -83,12 +313,15 @@ class SegmentReader {
 ///
 /// Records come out in sort_less order; ties across segments break by
 /// segment index, so the merge is deterministic and stable with respect to
-/// map task order.
-template <typename K, typename V>
+/// map task order. The comparator is a template parameter so concrete
+/// comparators merge with direct calls; it defaults to std::function for
+/// type-erased job specs (the legacy shuffle path).
+template <typename K, typename V,
+          typename Less = std::function<bool(const K&, const K&)>>
 class MergeStream {
  public:
   MergeStream(const std::vector<const SortedSegment*>& segments,
-              std::function<bool(const K&, const K&)> sort_less)
+              Less sort_less)
       : sort_less_(std::move(sort_less)) {
     readers_.reserve(segments.size());
     for (const SortedSegment* seg : segments) {
@@ -164,12 +397,162 @@ class MergeStream {
     }
   }
 
-  std::function<bool(const K&, const K&)> sort_less_;
+  Less sort_less_;
   std::vector<std::unique_ptr<internal::SegmentReader<K, V>>> readers_;
   std::vector<std::size_t> heap_;
   K key_{};
   V value_{};
   Status status_;
+};
+
+/// \brief K-way merge over flat-arena segments. The heap compares raw
+/// (bucket, order key, segment index) integer triples — no comparator
+/// indirection and no key/value copies: value() hands out a zero-copy View
+/// that stays valid until the next Advance (the winning reader refills
+/// lazily, on the *following* Advance).
+template <typename K, typename V>
+class FlatMergeStream {
+  using Traits = FlatShuffleTraits<K, V>;
+
+ public:
+  explicit FlatMergeStream(const std::vector<const FlatSegment*>& segments) {
+    readers_.reserve(segments.size());
+    for (const FlatSegment* seg : segments) {
+      readers_.push_back(
+          std::make_unique<internal::FlatSegmentReader<K, V>>(seg));
+    }
+    for (std::size_t i = 0; i < readers_.size(); ++i) {
+      if (readers_[i]->Next()) {
+        heap_.push_back(i);
+      } else if (!readers_[i]->status().ok()) {
+        status_ = readers_[i]->status();
+      }
+    }
+    BuildHeap();
+  }
+
+  /// Loads the next record in global sorted order. False when exhausted or
+  /// after a read error (check status()).
+  bool Advance() {
+    if (!status_.ok()) return false;
+    if (current_loaded_) {
+      current_loaded_ = false;
+      const std::size_t top = heap_.front();
+      if (readers_[top]->Next()) {
+        SiftDown(0);
+      } else if (!readers_[top]->status().ok()) {
+        status_ = readers_[top]->status();
+        heap_.clear();
+        return false;
+      } else {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) SiftDown(0);
+      }
+    }
+    if (heap_.empty()) return false;
+    const auto* r = readers_[heap_.front()].get();
+    key_ = Traits::MakeKey(r->bucket(), r->order_key());
+    current_loaded_ = true;
+    return true;
+  }
+
+  uint64_t bucket() const { return readers_[heap_.front()]->bucket(); }
+  const K& key() const { return key_; }
+  typename Traits::View value() const {
+    return readers_[heap_.front()]->view();
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  bool ReaderLess(std::size_t a, std::size_t b) const {
+    const auto* ra = readers_[a].get();
+    const auto* rb = readers_[b].get();
+    if (ra->bucket() != rb->bucket()) return ra->bucket() < rb->bucket();
+    if (ra->order_key() != rb->order_key()) {
+      return ra->order_key() < rb->order_key();
+    }
+    return a < b;  // deterministic tie-break by map task index
+  }
+
+  void BuildHeap() {
+    if (heap_.empty()) return;
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && ReaderLess(heap_[l], heap_[smallest])) smallest = l;
+      if (r < n && ReaderLess(heap_[r], heap_[smallest])) smallest = r;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<std::unique_ptr<internal::FlatSegmentReader<K, V>>> readers_;
+  std::vector<std::size_t> heap_;
+  bool current_loaded_ = false;
+  K key_{};
+  Status status_;
+};
+
+/// \brief GroupValues-shaped cursor over one flat reduce group (declared in
+/// job.h). Groups are delimited by bucket changes — by the traits contract
+/// that equals the job's grouping comparator. Next/key/value are direct
+/// (non-virtual) calls and value() is a zero-copy View, which is what lets
+/// the reduce cores score straight out of the segment arena.
+/// Protocol mirrors the legacy GroupCursor: the group's first record is
+/// already loaded in the stream at construction.
+template <typename K, typename V>
+class FlatGroupCursor {
+ public:
+  using View = typename FlatShuffleTraits<K, V>::View;
+
+  FlatGroupCursor(FlatMergeStream<K, V>* stream, uint64_t group_bucket)
+      : stream_(stream), group_bucket_(group_bucket) {}
+
+  bool Next() {
+    if (done_) return false;
+    if (first_pending_) {
+      first_pending_ = false;
+      return true;
+    }
+    if (!stream_->Advance()) {
+      done_ = true;
+      next_group_loaded_ = false;
+      return false;
+    }
+    if (stream_->bucket() != group_bucket_) {
+      done_ = true;
+      next_group_loaded_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const K& key() const { return stream_->key(); }
+  View value() const { return stream_->value(); }
+
+  /// Drains any values the reducer did not consume (early termination) and
+  /// reports whether the stream stopped on the first record of the next
+  /// group (true) or at end-of-stream (false).
+  bool FinishGroup() {
+    while (Next()) {
+    }
+    return next_group_loaded_;
+  }
+
+ private:
+  FlatMergeStream<K, V>* stream_;
+  uint64_t group_bucket_;
+  bool first_pending_ = true;
+  bool done_ = false;
+  bool next_group_loaded_ = false;
 };
 
 }  // namespace spq::mapreduce

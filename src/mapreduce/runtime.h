@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -119,37 +121,94 @@ class GroupCursor : public GroupValues<K, V> {
   bool next_group_loaded_ = false;
 };
 
-}  // namespace internal
+/// Sort-free map-output layout step of the cell-bucketed shuffle: group
+/// the partition's records by Traits::Bucket (a hash map — the paper's
+/// setup has only a handful of cells per reduce partition), emit buckets
+/// in ascending bucket id, and sort *within* each bucket on the 8-byte
+/// order key (plus emission index for stability) — a cheap integer sort
+/// that replaces the comparison stable_sort over decoded composite keys.
+/// Records are written straight into the flat-arena segment image; there
+/// is no Codec round trip.
+template <typename K, typename V>
+StatusOr<FlatSegment> BuildFlatSegment(
+    const std::vector<std::pair<K, V>>& records) {
+  using Traits = FlatShuffleTraits<K, V>;
+  FlatSegment seg;
+  const std::size_t n = records.size();
+  seg.num_records = n;
+  if (n == 0) return seg;
 
-/// \brief Executes a MapReduce job on the simulated cluster.
-///
-/// Phases, mirroring Hadoop with an in-memory "network":
-///  1. The input is split into `num_map_tasks` contiguous splits.
-///  2. Map tasks run on `num_workers` threads. Each task partitions its
-///     emissions with the job's Partitioner, sorts each partition with the
-///     sort comparator (map-side spill sort) and serializes it into a
-///     SortedSegment through the key/value Codecs.
-///  3. Shuffle: each reduce partition collects its segment from every map
-///     task; segment bytes are the job's shuffle traffic.
-///  4. Reduce tasks k-way-merge their segments lazily and invoke the
-///     reducer once per group (grouping comparator), with Hadoop
-///     secondary-sort semantics; reducers may stop consuming a group early.
-///
-/// Task attempts can fail via `config.faults`; failed attempts are retried
-/// up to `config.max_task_attempts` times with their partial output and
-/// counters discarded. Deterministic for fixed config, spec, and input.
-template <typename In, typename K, typename V, typename Out>
-StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
-                                const JobConfig& config,
-                                const std::vector<In>& input) {
-  if (config.num_map_tasks == 0 || config.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("task counts must be >= 1");
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  std::vector<uint64_t> order_keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order_keys[i] = Traits::OrderKey(records[i].first);
+    buckets[Traits::Bucket(records[i].first)].push_back(
+        static_cast<uint32_t>(i));
   }
-  if (!spec.mapper_factory || !spec.reducer_factory || !spec.partitioner ||
-      !spec.sort_less || !spec.group_equal) {
-    return Status::InvalidArgument("incomplete JobSpec");
-  }
+  std::vector<uint64_t> bucket_ids;
+  bucket_ids.reserve(buckets.size());
+  for (const auto& [b, unused] : buckets) bucket_ids.push_back(b);
+  std::sort(bucket_ids.begin(), bucket_ids.end());
 
+  // Exact-size the whole byte image up front (Traits::PoolBytes pre-pass)
+  // so the segment is written in one allocation with no trailing copy.
+  uint64_t pool_bytes = 0;
+  for (const auto& [key, value] : records) {
+    pool_bytes += Traits::PoolBytes(value);
+  }
+  if (pool_bytes > std::numeric_limits<uint32_t>::max()) {
+    // Pool slices are addressed by u32 offsets; wrapping would silently
+    // alias spans. Such a segment must use ShuffleMode::kLegacySort.
+    return Status::InvalidArgument(
+        "flat segment pool exceeds 4 GiB; run with ShuffleMode::kLegacySort");
+  }
+  const std::size_t keys_bytes = n * FlatSegment::kKeyRowBytes;
+  const std::size_t payload_bytes = n * Traits::kPayloadStride;
+  std::vector<uint8_t> bytes(keys_bytes + payload_bytes + pool_bytes);
+  uint8_t* key_dst = bytes.data();
+  uint8_t* payload_dst = bytes.data() + keys_bytes;
+  uint8_t* pool = bytes.data() + keys_bytes + payload_bytes;
+  uint64_t pool_pos = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> order;  // (order key, index)
+  std::size_t out = 0;
+  for (uint64_t b : bucket_ids) {
+    const auto& idxs = buckets[b];
+    order.clear();
+    order.reserve(idxs.size());
+    for (uint32_t idx : idxs) order.emplace_back(order_keys[idx], idx);
+    std::sort(order.begin(), order.end());
+    for (const auto& [okey, idx] : order) {
+      wire::StoreU64(key_dst + out * FlatSegment::kKeyRowBytes, b);
+      wire::StoreU64(key_dst + out * FlatSegment::kKeyRowBytes + 8, okey);
+      Traits::EncodePayload(records[idx].second,
+                            payload_dst + out * Traits::kPayloadStride, pool,
+                            &pool_pos);
+      ++out;
+    }
+  }
+  seg.pool_bytes = pool_pos;
+  seg.bytes = std::move(bytes);
+  seg.byte_size = seg.bytes.size();
+  return seg;
+}
+
+/// Shared job orchestration: runs the map phase (with fault retries and
+/// optional spilling), the shuffle accounting and the reduce phase (with
+/// fault retries) for either segment representation. `SpillPartition`
+/// turns one map partition's records into a StatusOr<Segment>;
+/// `ReducePartition` consumes one reduce partition's segments.
+///
+/// The legacy and flat pipelines below differ only in those two callables
+/// — keeping a single driver guarantees both modes share fault injection,
+/// retry, stats and cleanup semantics exactly (the equivalence tests rely
+/// on it).
+template <typename Segment, typename In, typename K, typename V,
+          typename Out, typename SpillPartitionFn, typename ReducePartitionFn>
+StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
+                                    const JobConfig& config,
+                                    const std::vector<In>& input,
+                                    SpillPartitionFn&& spill_partition,
+                                    ReducePartitionFn&& reduce_partition) {
   JobOutput<Out> result;
   JobStats& stats = result.stats;
   stats.input_records = input.size();
@@ -163,7 +222,7 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
 
   // ---------------------------------------------------------------- map --
   // segments[m][r]: the sorted run map task m produced for reduce r.
-  std::vector<std::vector<SortedSegment>> segments(num_maps);
+  std::vector<std::vector<Segment>> segments(num_maps);
   std::vector<Counters> map_counters(num_maps);
   std::atomic<uint64_t> map_output_records{0};
   std::atomic<uint32_t> map_failures{0};
@@ -188,7 +247,7 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
       const bool fail_this_attempt =
           AttemptFails(config.faults, /*kind=*/0,
                        static_cast<uint32_t>(m), attempt);
-      internal::MapContextImpl<K, V> ctx(num_reduces, &spec.partitioner);
+      MapContextImpl<K, V> ctx(num_reduces, &spec.partitioner);
       auto mapper = spec.mapper_factory();
       // A failing attempt dies halfway through its split.
       const std::size_t stop =
@@ -200,26 +259,20 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
         ++map_failures;
         continue;  // discard attempt state, retry
       }
-      // Spill: sort each partition and serialize it (to disk when the job
-      // requests an out-of-core shuffle).
+      // Spill: lay out each partition's sorted run and serialize it (to
+      // disk when the job requests an out-of-core shuffle).
       auto& parts = ctx.partitions();
-      std::vector<SortedSegment> task_segments(num_reduces);
+      std::vector<Segment> task_segments(num_reduces);
       bool spill_failed = false;
       for (uint32_t r = 0; r < num_reduces; ++r) {
-        auto& records = parts[r];
-        std::stable_sort(records.begin(), records.end(),
-                         [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                           return spec.sort_less(a.first, b.first);
-                         });
-        Buffer buf;
-        for (const auto& [key, value] : records) {
-          Codec<K>::Encode(key, buf);
-          Codec<V>::Encode(value, buf);
+        StatusOr<Segment> seg_or = spill_partition(parts[r]);
+        if (!seg_or.ok()) {
+          record_error(seg_or.status());
+          spill_failed = true;
+          break;
         }
-        SortedSegment& seg = task_segments[r];
-        seg.num_records = records.size();
-        seg.bytes = buf.TakeBytes();
-        seg.byte_size = seg.bytes.size();
+        Segment& seg = task_segments[r];
+        seg = *std::move(seg_or);
         if (!config.spill_dir.empty() && seg.num_records > 0) {
           seg.spill_path = SpillPath(config.spill_dir, spill_run_id,
                                      static_cast<uint32_t>(m), r);
@@ -250,7 +303,7 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
 
   // Spill files live until the job completes (reduce retries re-read them).
   struct SpillCleanup {
-    std::vector<std::vector<SortedSegment>>* segments;
+    std::vector<std::vector<Segment>>* segments;
     ~SpillCleanup() {
       for (auto& task_segments : *segments) {
         for (auto& seg : task_segments) {
@@ -269,11 +322,11 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
   // ------------------------------------------------------------- shuffle --
   // Reduce partition r reads segments[m][r] for every m. Bytes are counted
   // as shuffle traffic; in Hadoop these cross the network.
-  std::vector<std::vector<const SortedSegment*>> reduce_inputs(num_reduces);
+  std::vector<std::vector<const Segment*>> reduce_inputs(num_reduces);
   stats.reduce_input_records.assign(num_reduces, 0);
   for (uint32_t r = 0; r < num_reduces; ++r) {
     for (uint32_t m = 0; m < num_maps; ++m) {
-      const SortedSegment& seg = segments[m][r];
+      const Segment& seg = segments[m][r];
       if (seg.num_records == 0) continue;
       reduce_inputs[r].push_back(&seg);
       stats.shuffle_bytes += seg.byte_size;
@@ -297,19 +350,10 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
         ++reduce_failures;
         continue;
       }
-      internal::ReduceContextImpl<Out> ctx;
-      auto reducer = spec.reducer_factory();
-      MergeStream<K, V> stream(reduce_inputs[r], spec.sort_less);
-      bool has = stream.Advance();
-      while (has) {
-        const K group_key = stream.key();
-        internal::GroupCursor<K, V> cursor(&stream, &group_key,
-                                           &spec.group_equal);
-        reducer->Reduce(group_key, cursor, ctx);
-        has = cursor.FinishGroup();
-      }
-      if (!stream.status().ok()) {
-        record_error(stream.status());
+      ReduceContextImpl<Out> ctx;
+      Status st = reduce_partition(reduce_inputs[r], ctx);
+      if (!st.ok()) {
+        record_error(st);
         return;
       }
       reduce_outputs[r] = std::move(ctx.records());
@@ -341,6 +385,109 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
                 << " map-output, " << stats.shuffle_bytes
                 << " shuffle bytes, " << stats.total_seconds << "s";
   return result;
+}
+
+}  // namespace internal
+
+/// \brief Executes a MapReduce job on the simulated cluster.
+///
+/// Phases, mirroring Hadoop with an in-memory "network":
+///  1. The input is split into `num_map_tasks` contiguous splits.
+///  2. Map tasks run on `num_workers` threads. Each task partitions its
+///     emissions with the job's Partitioner and lays each partition out as
+///     a sorted segment. On the legacy path that is a comparison
+///     stable_sort plus Codec serialization; on the cell-bucketed path
+///     (ShuffleMode::kCellBucketed + FlatShuffleTraits) it is sort-free
+///     per-bucket grouping with an integer order-key sort, written
+///     directly in the flat-arena layout.
+///  3. Shuffle: each reduce partition collects its segment from every map
+///     task; segment bytes are the job's shuffle traffic.
+///  4. Reduce tasks k-way-merge their segments lazily and invoke the
+///     reducer once per group (grouping comparator), with Hadoop
+///     secondary-sort semantics; reducers may stop consuming a group
+///     early. Flat-mode reducers consume zero-copy record views.
+///
+/// Task attempts can fail via `config.faults`; failed attempts are retried
+/// up to `config.max_task_attempts` times with their partial output and
+/// counters discarded. Deterministic for fixed config, spec, and input —
+/// including across shuffle modes (the equivalence property tests assert
+/// identical results and counters for both).
+template <typename In, typename K, typename V, typename Out>
+StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
+                                const JobConfig& config,
+                                const std::vector<In>& input) {
+  if (config.num_map_tasks == 0 || config.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("task counts must be >= 1");
+  }
+  if (!spec.mapper_factory || !spec.reducer_factory || !spec.partitioner ||
+      !spec.sort_less || !spec.group_equal) {
+    return Status::InvalidArgument("incomplete JobSpec");
+  }
+
+  if constexpr (FlatShuffleTraits<K, V>::kEnabled) {
+    if (config.shuffle_mode == ShuffleMode::kCellBucketed &&
+        spec.flat_reducer_factory) {
+      // ---- sort-free cell-bucketed pipeline over flat-arena segments ----
+      auto spill_partition =
+          [](const std::vector<std::pair<K, V>>& records) {
+            return internal::BuildFlatSegment<K, V>(records);
+          };
+      auto reduce_partition =
+          [&spec](const std::vector<const FlatSegment*>& segments,
+                  ReduceContext<Out>& ctx) {
+            FlatMergeStream<K, V> stream(segments);
+            auto reduce_group = spec.flat_reducer_factory();
+            bool has = stream.Advance();
+            while (has) {
+              const K group_key = stream.key();
+              FlatGroupCursor<K, V> cursor(&stream, stream.bucket());
+              reduce_group(group_key, cursor, ctx);
+              has = cursor.FinishGroup();
+            }
+            return stream.status();
+          };
+      return internal::RunJobWith<FlatSegment>(spec, config, input,
+                                               spill_partition,
+                                               reduce_partition);
+    }
+  }
+
+  // ------------------- legacy comparison-sort + Codec pipeline -------------
+  auto spill_partition =
+      [&spec](std::vector<std::pair<K, V>>& records) -> StatusOr<SortedSegment> {
+    std::stable_sort(records.begin(), records.end(),
+                     [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                       return spec.sort_less(a.first, b.first);
+                     });
+    Buffer buf;
+    for (const auto& [key, value] : records) {
+      Codec<K>::Encode(key, buf);
+      Codec<V>::Encode(value, buf);
+    }
+    SortedSegment seg;
+    seg.num_records = records.size();
+    seg.bytes = buf.TakeBytes();
+    seg.byte_size = seg.bytes.size();
+    return seg;
+  };
+  auto reduce_partition =
+      [&spec](const std::vector<const SortedSegment*>& segments,
+              ReduceContext<Out>& ctx) {
+        auto reducer = spec.reducer_factory();
+        MergeStream<K, V> stream(segments, spec.sort_less);
+        bool has = stream.Advance();
+        while (has) {
+          const K group_key = stream.key();
+          internal::GroupCursor<K, V> cursor(&stream, &group_key,
+                                             &spec.group_equal);
+          reducer->Reduce(group_key, cursor, ctx);
+          has = cursor.FinishGroup();
+        }
+        return stream.status();
+      };
+  return internal::RunJobWith<SortedSegment>(spec, config, input,
+                                             spill_partition,
+                                             reduce_partition);
 }
 
 }  // namespace spq::mapreduce

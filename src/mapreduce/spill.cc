@@ -1,7 +1,9 @@
 #include "mapreduce/spill.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -54,6 +56,64 @@ std::string SpillPath(const std::string& dir, uint64_t run_id,
 uint64_t NextSpillRunId() {
   static std::atomic<uint64_t> counter{0};
   return counter.fetch_add(1);
+}
+
+void SpillRegionReader::Open(std::string path, uint64_t offset,
+                             uint64_t length, std::size_t buffer_capacity) {
+  path_ = std::move(path);
+  next_read_offset_ = offset;
+  capacity_ = buffer_capacity > 0 ? buffer_capacity : kDefaultBufferBytes;
+  buf_.clear();
+  pos_ = len_ = 0;
+  file_remaining_ = length;
+  region_remaining_ = length;
+}
+
+Status SpillRegionReader::Refill(std::size_t need) {
+  // Compact the unconsumed tail to the front, then top up from disk.
+  if (pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, len_ - pos_);
+    len_ -= pos_;
+    pos_ = 0;
+  }
+  const std::size_t want = std::max(need, capacity_);
+  if (buf_.size() != want) buf_.resize(want);
+  // Transient handle: opened for this refill only (see class comment).
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot open spill file: " + path_);
+  in.seekg(static_cast<std::streamoff>(next_read_offset_));
+  if (!in) return Status::IOError("cannot seek spill file: " + path_);
+  while (len_ < need && file_remaining_ > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<uint64_t>(file_remaining_, buf_.size() - len_));
+    if (chunk == 0) break;
+    in.read(reinterpret_cast<char*>(buf_.data() + len_),
+            static_cast<std::streamsize>(chunk));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) {
+      return Status::OutOfRange("spill region truncated on disk");
+    }
+    len_ += got;
+    file_remaining_ -= got;
+    next_read_offset_ += got;
+  }
+  if (len_ < need) {
+    return Status::OutOfRange("spill region exhausted mid-record");
+  }
+  return Status::OK();
+}
+
+Status SpillRegionReader::Fetch(std::size_t n, const uint8_t** out) {
+  if (n > region_remaining_) {
+    return Status::OutOfRange("fetch past end of spill region");
+  }
+  if (len_ - pos_ < n) {
+    SPQ_RETURN_NOT_OK(Refill(n));
+  }
+  *out = buf_.data() + pos_;
+  pos_ += n;
+  region_remaining_ -= n;
+  return Status::OK();
 }
 
 }  // namespace spq::mapreduce

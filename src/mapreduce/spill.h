@@ -2,6 +2,7 @@
 #define SPQ_MAPREDUCE_SPILL_H_
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,57 @@ std::string SpillPath(const std::string& dir, uint64_t run_id,
 
 /// Process-unique run id for spill file naming.
 uint64_t NextSpillRunId();
+
+/// \brief Sequential reader over one byte region of a spill file through a
+/// fixed-size buffer, so reduce tasks never hold whole segments in memory.
+///
+/// Fetch(n) returns a pointer to the region's next n contiguous bytes,
+/// refilling the buffer from disk as needed; the pointer stays valid until
+/// the next Fetch. The buffer grows beyond `buffer_capacity` only when a
+/// single Fetch asks for more than the capacity (one oversized record),
+/// and shrinks back on the next refill cycle. As long as every Fetch size
+/// is a multiple of A and the region offset is A-aligned, returned
+/// pointers are A-aligned (refills compact to the buffer front).
+///
+/// The file is opened transiently per refill (open, seek, read one
+/// buffer, close), never held across Fetches: a reduce task merging M
+/// spilled segments with 3 region cursors each would otherwise pin 3*M
+/// descriptors for the whole merge and exhaust the fd limit under high
+/// fan-in — the open cost is a few microseconds per 64 KiB, only on the
+/// out-of-core path.
+class SpillRegionReader {
+ public:
+  static constexpr std::size_t kDefaultBufferBytes = 64 * 1024;
+
+  SpillRegionReader() = default;
+  SpillRegionReader(SpillRegionReader&&) = default;
+  SpillRegionReader& operator=(SpillRegionReader&&) = default;
+
+  /// Positions the reader at byte `offset` of `path`; the region spans
+  /// `length` bytes. Fetching past the region fails OutOfRange; a
+  /// missing/unreadable file surfaces as IOError on the first Fetch that
+  /// needs it.
+  void Open(std::string path, uint64_t offset, uint64_t length,
+            std::size_t buffer_capacity = kDefaultBufferBytes);
+
+  /// Next `n` bytes of the region; valid until the next Fetch.
+  Status Fetch(std::size_t n, const uint8_t** out);
+
+  /// Bytes of the region not yet returned by Fetch.
+  uint64_t remaining() const { return region_remaining_; }
+
+ private:
+  Status Refill(std::size_t need);
+
+  std::string path_;
+  uint64_t next_read_offset_ = 0;  ///< file offset of the next refill
+  std::vector<uint8_t> buf_;
+  std::size_t capacity_ = 0;
+  std::size_t pos_ = 0;            ///< consumed bytes within buf_
+  std::size_t len_ = 0;            ///< valid bytes within buf_
+  uint64_t file_remaining_ = 0;    ///< region bytes not yet read from disk
+  uint64_t region_remaining_ = 0;  ///< region bytes not yet fetched
+};
 
 }  // namespace spq::mapreduce
 

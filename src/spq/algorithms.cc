@@ -133,6 +133,17 @@ MakeSpqJobSpec(Algorithm algo, const Query& query,
   spec.partitioner = CellPartitioner;
   spec.sort_less = CellKeySortLess;
   spec.group_equal = CellKeyGroupEqual;
+  // Flat-arena path (ShuffleMode::kCellBucketed): same reduce cores, fed
+  // zero-copy ShuffleObjectViews through the non-virtual cursor.
+  spec.flat_reducer_factory = [algo, query]() {
+    return [algo, query](
+               const CellKey&,
+               mapreduce::FlatGroupCursor<CellKey, ShuffleObject>& values,
+               mapreduce::ReduceContext<ResultEntry>& ctx) {
+      reduce_core::RunReduce(algo, query, values, ctx.counters(),
+                             [&ctx](const ResultEntry& e) { ctx.Emit(e); });
+    };
+  };
   return spec;
 }
 

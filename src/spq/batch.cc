@@ -105,11 +105,104 @@ class ReplayedGroupValues final : public BatchGroupValues {
   const ShuffleObject* current_ = nullptr;  // non-null while replaying
 };
 
-/// Groups arrive per cell as: (cell, 0) = the cell's data objects, then
-/// (cell, q+1) = query q's sorted features. The reducer instance lives for
-/// the whole reduce task, so the cache carries across the groups of one
-/// cell (and is invalidated when the cell changes — cells without data
-/// objects produce no sentinel group).
+/// Flat-path twin of ReplayedGroupValues: replays cached data-object
+/// *views* (safe to retain — data views hold no pool reference) before
+/// delegating to the live zero-copy group cursor.
+class FlatReplayedValues {
+ public:
+  using Cursor = mapreduce::FlatGroupCursor<BatchCellKey, ShuffleObject>;
+
+  FlatReplayedValues(const std::vector<ShuffleObjectView>* cached,
+                     const BatchCellKey* group_key, Cursor* features)
+      : cached_(cached), group_key_(group_key), features_(features) {}
+
+  bool Next() {
+    if (next_cached_ < cached_->size()) {
+      replaying_ = true;
+      ++next_cached_;
+      return true;
+    }
+    replaying_ = false;
+    return features_->Next();
+  }
+
+  const BatchCellKey& key() const {
+    return replaying_ ? *group_key_ : features_->key();
+  }
+  ShuffleObjectView value() const {
+    return replaying_ ? (*cached_)[next_cached_ - 1] : features_->value();
+  }
+
+ private:
+  const std::vector<ShuffleObjectView>* cached_;
+  const BatchCellKey* group_key_;
+  Cursor* features_;
+  std::size_t next_cached_ = 0;
+  bool replaying_ = false;
+};
+
+/// Shared group protocol of both shuffle paths: groups arrive per cell as
+/// (cell, 0) = the cell's data objects, then (cell, q+1) = query q's
+/// sorted features. The state outlives one group (it is owned by the
+/// reducer / per-task closure), so the cache carries across the groups of
+/// one cell and is invalidated when the cell changes — cells without data
+/// objects produce no sentinel group. `CachedValue` is the record
+/// representation the cache retains (owning ShuffleObject on the legacy
+/// path, ShuffleObjectView on the flat path) and `Replay` the matching
+/// replay adapter.
+template <typename CachedValue>
+struct BatchCacheState {
+  std::vector<CachedValue> cached_data;
+  geo::CellId cache_cell = 0;
+  bool has_cache = false;
+};
+
+/// Severs any borrowed storage before a record enters the cross-group
+/// cache. Owning ShuffleObjects need nothing; a ShuffleObjectView's
+/// keyword span aliases the segment arena (or a streaming buffer), which
+/// does not outlive the group — data objects carry no keywords, so
+/// dropping the span loses nothing, and a mis-keyed keyword-bearing
+/// record cannot dangle.
+inline void DetachForCache(ShuffleObject&) {}
+inline void DetachForCache(ShuffleObjectView& v) {
+  v.keywords = nullptr;
+  v.num_keywords = 0;
+}
+
+template <typename Replay, typename CachedValue, typename Values>
+void BatchReduceGroup(Algorithm algo, const std::vector<Query>& queries,
+                      BatchCacheState<CachedValue>& state,
+                      const BatchCellKey& group_key, Values& values,
+                      BatchReduceContext& ctx) {
+  if (group_key.query == BatchMapper::kDataQuery) {
+    state.cached_data.clear();
+    state.cache_cell = group_key.cell;
+    state.has_cache = true;
+    while (values.Next()) {
+      CachedValue v = values.value();
+      DetachForCache(v);
+      state.cached_data.push_back(std::move(v));
+    }
+    return;
+  }
+  if (!state.has_cache || state.cache_cell != group_key.cell) {
+    // No data objects in this cell: results are necessarily empty, but
+    // the group must still be drained consistently (the runtime skips
+    // leftovers anyway). Run with an empty cache for uniformity.
+    state.cached_data.clear();
+    state.cache_cell = group_key.cell;
+    state.has_cache = true;
+  }
+  const uint32_t q = group_key.query - 1;
+  if (q >= queries.size()) return;  // defensive
+  const Query& query = queries[q];
+  Replay replayed(&state.cached_data, &group_key, &values);
+  reduce_core::RunReduce(algo, query, replayed, ctx.counters(),
+                         [&ctx, q](const ResultEntry& e) {
+                           ctx.Emit(BatchResultEntry{q, e});
+                         });
+}
+
 class BatchReducer final
     : public mapreduce::Reducer<BatchCellKey, ShuffleObject,
                                 BatchResultEntry> {
@@ -120,37 +213,14 @@ class BatchReducer final
 
   void Reduce(const BatchCellKey& group_key, BatchGroupValues& values,
               BatchReduceContext& ctx) override {
-    if (group_key.query == BatchMapper::kDataQuery) {
-      cached_data_.clear();
-      cache_cell_ = group_key.cell;
-      has_cache_ = true;
-      while (values.Next()) cached_data_.push_back(values.value());
-      return;
-    }
-    if (!has_cache_ || cache_cell_ != group_key.cell) {
-      // No data objects in this cell: results are necessarily empty, but
-      // the group must still be drained consistently (the runtime skips
-      // leftovers anyway). Run with an empty cache for uniformity.
-      cached_data_.clear();
-      cache_cell_ = group_key.cell;
-      has_cache_ = true;
-    }
-    const uint32_t q = group_key.query - 1;
-    if (q >= queries_->size()) return;  // defensive
-    const Query& query = (*queries_)[q];
-    ReplayedGroupValues replayed(&cached_data_, &group_key, &values);
-    reduce_core::RunReduce(algo_, query, replayed, ctx.counters(),
-                           [&ctx, q](const ResultEntry& e) {
-                             ctx.Emit(BatchResultEntry{q, e});
-                           });
+    BatchReduceGroup<ReplayedGroupValues>(algo_, *queries_, state_,
+                                          group_key, values, ctx);
   }
 
  private:
   Algorithm algo_;
   std::shared_ptr<const std::vector<Query>> queries_;
-  std::vector<ShuffleObject> cached_data_;
-  geo::CellId cache_cell_ = 0;
-  bool has_cache_ = false;
+  BatchCacheState<ShuffleObject> state_;
 };
 
 }  // namespace
@@ -173,6 +243,18 @@ MakeBatchSpqJobSpec(Algorithm algo, const std::vector<Query>& queries,
   spec.partitioner = BatchPartitioner;
   spec.sort_less = BatchKeySortLess;
   spec.group_equal = BatchKeyGroupEqual;
+  // Flat-arena path: the same group protocol with the data-object cache
+  // held as zero-copy views in per-task state captured by the closure.
+  spec.flat_reducer_factory = [algo, shared_queries]() {
+    auto state = std::make_shared<BatchCacheState<ShuffleObjectView>>();
+    return [algo, shared_queries, state](
+               const BatchCellKey& group_key,
+               FlatReplayedValues::Cursor& values,
+               BatchReduceContext& ctx) {
+      BatchReduceGroup<FlatReplayedValues>(algo, *shared_queries, *state,
+                                           group_key, values, ctx);
+    };
+  };
   return spec;
 }
 

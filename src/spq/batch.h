@@ -85,6 +85,40 @@ struct Codec<core::BatchCellKey> {
   }
 };
 
+/// Flat-shuffle radix structure of the batched job: the bucket packs
+/// (cell, query index) into one u64 — both CellId and the query index are
+/// 32-bit — so bucket order equals (cell, query) order, bucket equality
+/// equals BatchKeyGroupEqual, and the order key covers the remaining
+/// secondary component exactly as in the single-query job.
+template <>
+struct FlatShuffleTraits<core::BatchCellKey, core::ShuffleObject> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint32_t kPayloadStride = core::kShufflePayloadStride;
+  using View = core::ShuffleObjectView;
+
+  static uint64_t Bucket(const core::BatchCellKey& k) {
+    return (static_cast<uint64_t>(k.cell) << 32) | k.query;
+  }
+  static uint64_t OrderKey(const core::BatchCellKey& k) {
+    return core::OrderedDoubleKey(k.order);
+  }
+  static core::BatchCellKey MakeKey(uint64_t bucket, uint64_t order_key) {
+    return core::BatchCellKey{static_cast<geo::CellId>(bucket >> 32),
+                              static_cast<uint32_t>(bucket & 0xffffffffull),
+                              core::OrderedKeyToDouble(order_key)};
+  }
+  static uint64_t PoolBytes(const core::ShuffleObject& v) {
+    return core::ShufflePoolBytes(v);
+  }
+  static void EncodePayload(const core::ShuffleObject& v, uint8_t* dst,
+                            uint8_t* pool, uint64_t* pool_pos) {
+    core::EncodeShufflePayload(v, dst, pool, pool_pos);
+  }
+  static View MakeView(const uint8_t* payload, const uint8_t* span) {
+    return core::MakeShuffleView(payload, span);
+  }
+};
+
 }  // namespace spq::mapreduce
 
 #endif  // SPQ_SPQ_BATCH_H_

@@ -65,6 +65,7 @@ StatusOr<SpqResult> SpqEngine::Execute(const Query& query, Algorithm algo,
   config.max_task_attempts = options_.max_task_attempts;
   config.job_name = AlgorithmName(algo);
   config.spill_dir = options_.spill_dir;
+  config.shuffle_mode = options_.shuffle_mode;
 
   // --- the single MapReduce job ---
   SpqJobOptions job_options;
@@ -141,6 +142,7 @@ StatusOr<SpqBatchResult> SpqEngine::ExecuteBatch(
   config.max_task_attempts = options_.max_task_attempts;
   config.job_name = AlgorithmName(algo) + "-batch";
   config.spill_dir = options_.spill_dir;
+  config.shuffle_mode = options_.shuffle_mode;
 
   SpqJobOptions job_options;
   job_options.keyword_prefilter = options_.keyword_prefilter;

@@ -47,6 +47,11 @@ struct EngineOptions {
   /// Cell-to-reducer assignment policy (only matters when
   /// num_reduce_tasks < grid cells).
   PartitionerKind partitioner = PartitionerKind::kModulo;
+  /// Shuffle pipeline: kCellBucketed (default) is the sort-free flat-arena
+  /// path; kLegacySort is the seed's comparison-sort + Codec path, kept
+  /// for A/B benchmarking (results are identical — see the shuffle
+  /// equivalence tests and bench_shuffle).
+  mapreduce::ShuffleMode shuffle_mode = mapreduce::ShuffleMode::kCellBucketed;
 };
 
 /// \brief Derived, SPQ-specific measurements of one query execution,

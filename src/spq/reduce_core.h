@@ -14,9 +14,14 @@
 namespace spq::core::reduce_core {
 
 /// \brief The reduce-side cores of Algorithms 2, 4 and 6, templated on the
-/// composite key type so the single-query job (CellKey) and the batched
-/// multi-query job (BatchCellKey) share one implementation. The key type
-/// only needs an `order` member carrying the secondary-sort component.
+/// group-values cursor so every pairing of key type (CellKey for the
+/// single-query job, BatchCellKey for the batched job) and record
+/// representation (owning ShuffleObject on the legacy shuffle,
+/// zero-copy ShuffleObjectView on the flat-arena shuffle) shares one
+/// implementation. The cursor only needs Next()/key()/value(), a key with
+/// an `order` member, and a value satisfying the KeywordData/KeywordCount
+/// accessors — keyword scoring runs straight off the spans, so the flat
+/// path never materializes a per-record keyword vector.
 ///
 /// Each function consumes one reduce group (one cell's data + feature
 /// objects in the algorithm's sort order) and emits per-cell results
@@ -28,7 +33,8 @@ struct CellData {
   std::vector<geo::Point> positions;
   std::vector<double> scores;
 
-  void Add(const ShuffleObject& x) {
+  template <typename X>
+  void Add(const X& x) {
     ids.push_back(x.id);
     positions.push_back(x.pos);
     scores.push_back(0.0);
@@ -37,24 +43,26 @@ struct CellData {
 };
 
 /// Algorithm 2 (pSPQ): full scan of the cell's features, threshold-pruned.
-template <typename K, typename EmitFn>
-void RunPspq(const Query& query,
-             mapreduce::GroupValues<K, ShuffleObject>& values,
+template <typename Values, typename EmitFn>
+void RunPspq(const Query& query, Values& values,
              mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   CellData cell;
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
+  const std::vector<text::TermId>& q_ids = query.keywords.ids();
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
-    const ShuffleObject& x = values.value();
+    const auto& x = values.value();
     if (x.is_data()) {
       cell.Add(x);
       continue;
     }
     ++examined;
-    const double w = text::JaccardSorted(x.keywords, query.keywords.ids());
+    const double w =
+        text::JaccardSortedBounded(KeywordData(x), KeywordCount(x),
+                                   q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
       for (std::size_t i = 0; i < cell.size(); ++i) {
         if (w <= cell.scores[i]) continue;  // cannot improve p's score
@@ -72,31 +80,33 @@ void RunPspq(const Query& query,
 }
 
 /// Algorithm 4 (eSPQlen): features by increasing |f.W|; stop at Lemma 2.
-template <typename K, typename EmitFn>
-void RunEspqLen(const Query& query,
-                mapreduce::GroupValues<K, ShuffleObject>& values,
+template <typename Values, typename EmitFn>
+void RunEspqLen(const Query& query, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   CellData cell;
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
-  const std::size_t qlen = query.keywords.size();
+  const std::vector<text::TermId>& q_ids = query.keywords.ids();
+  const std::size_t qlen = q_ids.size();
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
-    const ShuffleObject& x = values.value();
+    const auto& x = values.value();
     if (x.is_data()) {
       cell.Add(x);
       continue;
     }
-    const double upper = text::JaccardUpperBound(qlen, x.keywords.size());
+    const double upper = text::JaccardUpperBound(qlen, KeywordCount(x));
     if (lk.Threshold() >= upper) {
       // Lemma 2: no unseen feature (all at least this long) can beat τ.
       counters.Increment(counter::kEarlyTerminations);
       break;
     }
     ++examined;
-    const double w = text::JaccardSorted(x.keywords, query.keywords.ids());
+    const double w =
+        text::JaccardSortedBounded(KeywordData(x), KeywordCount(x),
+                                   q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
       for (std::size_t i = 0; i < cell.size(); ++i) {
         if (w <= cell.scores[i]) continue;
@@ -115,9 +125,8 @@ void RunEspqLen(const Query& query,
 
 /// Algorithm 6 (eSPQsco): features by decreasing score (read off the
 /// composite key's `order`); stop after k reports (Lemma 3).
-template <typename K, typename EmitFn>
-void RunEspqSco(const Query& query,
-                mapreduce::GroupValues<K, ShuffleObject>& values,
+template <typename Values, typename EmitFn>
+void RunEspqSco(const Query& query, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   CellData cell;
@@ -127,7 +136,7 @@ void RunEspqSco(const Query& query,
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
-    const ShuffleObject& x = values.value();
+    const auto& x = values.value();
     if (x.is_data()) {
       cell.Add(x);
       reported.push_back(false);
@@ -166,9 +175,8 @@ void RunEspqSco(const Query& query,
 }
 
 /// Dispatch by algorithm.
-template <typename K, typename EmitFn>
-void RunReduce(Algorithm algo, const Query& query,
-               mapreduce::GroupValues<K, ShuffleObject>& values,
+template <typename Values, typename EmitFn>
+void RunReduce(Algorithm algo, const Query& query, Values& values,
                mapreduce::Counters& counters, EmitFn&& emit) {
   switch (algo) {
     case Algorithm::kPSPQ:

@@ -40,15 +40,32 @@ class KeywordSet {
   std::vector<TermId> ids_;
 };
 
-/// |a ∩ b| of two *sorted unique* id vectors (the wire form of a
+/// |a ∩ b| of two *sorted unique* id spans (the wire form of a
 /// KeywordSet). Used on the hot map/reduce paths to avoid re-wrapping
-/// deserialized keyword lists.
+/// deserialized keyword lists. Falls back from the linear merge to a
+/// galloping (exponential + binary search) scan of the longer span when
+/// the lengths are very asymmetric, which turns O(|a| + |b|) into
+/// O(|a| log |b|) for the short-query-vs-long-feature case.
+std::size_t SortedIntersectionSize(const TermId* a, std::size_t a_len,
+                                   const TermId* b, std::size_t b_len);
 std::size_t SortedIntersectionSize(const std::vector<TermId>& a,
                                    const std::vector<TermId>& b);
 
-/// Jaccard similarity of two sorted unique id vectors; 0 when both empty.
+/// Jaccard similarity of two sorted unique id spans; 0 when both empty.
+double JaccardSorted(const TermId* a, std::size_t a_len, const TermId* b,
+                     std::size_t b_len);
 double JaccardSorted(const std::vector<TermId>& a,
                      const std::vector<TermId>& b);
+
+/// Threshold-aware Jaccard: when the size-ratio upper bound
+/// min(|a|,|b|) / max(|a|,|b|) already fails to exceed `threshold`, the
+/// bound itself is returned without touching the elements. Callers that
+/// only act on scores strictly greater than `threshold` (the reducers'
+/// top-k pruning test) get identical behavior at a fraction of the cost;
+/// callers that need the exact score must use JaccardSorted.
+double JaccardSortedBounded(const TermId* a, std::size_t a_len,
+                            const TermId* b, std::size_t b_len,
+                            double threshold);
 
 }  // namespace spq::text
 

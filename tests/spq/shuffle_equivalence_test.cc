@@ -1,0 +1,230 @@
+// Property test for the sort-free cell-bucketed shuffle: across all three
+// algorithms, both partitioners, spill/no-spill and both single-query and
+// batched execution, the flat-arena path must return results identical to
+// the legacy comparison-sort path — same ids, bit-identical scores — and
+// identical SpqRunInfo counters (the reducers must have examined exactly
+// the same records in exactly the same order).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <tuple>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "spq/engine.h"
+#include "spq/shuffle_types.h"
+
+namespace spq::core {
+namespace {
+
+using mapreduce::ShuffleMode;
+
+core::Dataset UniformDataset(uint64_t seed) {
+  datagen::UniformSpec spec;
+  spec.num_objects = 4'000;
+  spec.seed = seed;
+  spec.vocab_size = 200;
+  spec.min_keywords = 2;
+  spec.max_keywords = 30;
+  auto dataset = datagen::MakeUniformDataset(spec);
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+core::Dataset ClusteredDataset(uint64_t seed) {
+  datagen::ClusteredSpec spec;
+  spec.num_objects = 4'000;
+  spec.seed = seed;
+  spec.vocab_size = 200;
+  spec.min_keywords = 2;
+  spec.max_keywords = 30;
+  spec.num_clusters = 8;
+  auto dataset = datagen::MakeClusteredDataset(spec);
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+Query MakeTestQuery(uint64_t seed, uint32_t num_keywords) {
+  datagen::WorkloadSpec spec;
+  spec.num_keywords = num_keywords;
+  spec.radius = datagen::RadiusFromCellFraction(0.5, 1.0, 10);
+  spec.k = 5;
+  spec.vocab_size = 200;
+  spec.seed = seed;
+  return datagen::MakeQuery(spec, 0);
+}
+
+void ExpectSameRun(const SpqResult& legacy, const SpqResult& flat,
+                   const std::string& label) {
+  ASSERT_EQ(legacy.entries.size(), flat.entries.size()) << label;
+  for (std::size_t i = 0; i < legacy.entries.size(); ++i) {
+    EXPECT_EQ(legacy.entries[i].id, flat.entries[i].id) << label << " @" << i;
+    // Bit-identical, not approximately equal: both paths must feed the
+    // reducers the same records in the same order.
+    EXPECT_EQ(legacy.entries[i].score, flat.entries[i].score)
+        << label << " @" << i;
+  }
+  const SpqRunInfo& a = legacy.info;
+  const SpqRunInfo& b = flat.info;
+  EXPECT_EQ(a.features_kept, b.features_kept) << label;
+  EXPECT_EQ(a.features_pruned, b.features_pruned) << label;
+  EXPECT_EQ(a.feature_duplicates, b.feature_duplicates) << label;
+  EXPECT_EQ(a.features_examined, b.features_examined) << label;
+  EXPECT_EQ(a.pairs_tested, b.pairs_tested) << label;
+  EXPECT_EQ(a.early_terminations, b.early_terminations) << label;
+  EXPECT_EQ(a.reduce_groups, b.reduce_groups) << label;
+  EXPECT_EQ(a.job.map_output_records, b.job.map_output_records) << label;
+  EXPECT_EQ(a.job.reduce_input_records, b.job.reduce_input_records) << label;
+}
+
+class ShuffleEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<Algorithm, PartitionerKind, bool>> {};
+
+TEST_P(ShuffleEquivalenceTest, FlatPathMatchesLegacy) {
+  const auto [algo, partitioner, spill] = GetParam();
+
+  EngineOptions base;
+  base.grid_size = 10;
+  base.num_workers = 4;
+  base.num_map_tasks = 5;
+  // Fewer reducers than cells so the partitioner choice matters.
+  base.num_reduce_tasks = 7;
+  base.partitioner = partitioner;
+  std::string spill_dir;
+  if (spill) {
+    // Unique per test instance and process: parallel ctest runs must not
+    // share (and tear down) each other's spill directories.
+    std::string unique =
+        "spq_shuffle_equivalence-" +
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+        "-" + std::to_string(static_cast<int>(::getpid()));
+    for (char& c : unique) {
+      if (c == '/') c = '_';
+    }
+    spill_dir =
+        (std::filesystem::temp_directory_path() / unique).string();
+    base.spill_dir = spill_dir;
+  }
+
+  EngineOptions legacy_options = base;
+  legacy_options.shuffle_mode = ShuffleMode::kLegacySort;
+  EngineOptions flat_options = base;
+  flat_options.shuffle_mode = ShuffleMode::kCellBucketed;
+
+  for (uint64_t seed : {11ull, 12ull}) {
+    for (const core::Dataset& dataset :
+         {UniformDataset(seed), ClusteredDataset(seed)}) {
+      SpqEngine legacy_engine(dataset, legacy_options);
+      SpqEngine flat_engine(dataset, flat_options);
+      for (uint32_t kw : {1u, 4u}) {
+        const Query query = MakeTestQuery(seed * 100 + kw, kw);
+        auto legacy = legacy_engine.Execute(query, algo);
+        auto flat = flat_engine.Execute(query, algo);
+        ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+        ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+        ExpectSameRun(*legacy, *flat,
+                      "seed=" + std::to_string(seed) +
+                          " kw=" + std::to_string(kw));
+      }
+    }
+  }
+  if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ShuffleEquivalenceTest,
+    ::testing::Combine(::testing::Values(Algorithm::kPSPQ,
+                                         Algorithm::kESPQLen,
+                                         Algorithm::kESPQSco),
+                       ::testing::Values(PartitionerKind::kModulo,
+                                         PartitionerKind::kBalanced),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = AlgorithmName(std::get<0>(info.param));
+      name += std::get<1>(info.param) == PartitionerKind::kModulo
+                  ? "_modulo"
+                  : "_balanced";
+      name += std::get<2>(info.param) ? "_spill" : "_mem";
+      return name;
+    });
+
+TEST(ShuffleEquivalenceTest, BatchFlatPathMatchesLegacy) {
+  const core::Dataset dataset = ClusteredDataset(77);
+  std::vector<Query> queries;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Query q = MakeTestQuery(500 + i, 1 + i % 3);
+    q.k = 3 + i;
+    queries.push_back(q);
+  }
+
+  EngineOptions base;
+  base.grid_size = 8;
+  base.num_workers = 4;
+  base.num_map_tasks = 3;
+  base.num_reduce_tasks = 5;
+
+  for (bool spill : {false, true}) {
+    EngineOptions legacy_options = base;
+    legacy_options.shuffle_mode = ShuffleMode::kLegacySort;
+    EngineOptions flat_options = base;
+    flat_options.shuffle_mode = ShuffleMode::kCellBucketed;
+    std::string spill_dir;
+    if (spill) {
+      spill_dir = (std::filesystem::temp_directory_path() /
+                   ("spq_shuffle_equivalence_batch-" +
+                    std::to_string(static_cast<int>(::getpid()))))
+                      .string();
+      legacy_options.spill_dir = spill_dir;
+      flat_options.spill_dir = spill_dir;
+    }
+    SpqEngine legacy_engine(dataset, legacy_options);
+    SpqEngine flat_engine(dataset, flat_options);
+    for (Algorithm algo : {Algorithm::kPSPQ, Algorithm::kESPQLen,
+                           Algorithm::kESPQSco}) {
+      auto legacy = legacy_engine.ExecuteBatch(queries, algo);
+      auto flat = flat_engine.ExecuteBatch(queries, algo);
+      ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+      ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+      ASSERT_EQ(legacy->per_query.size(), flat->per_query.size());
+      for (std::size_t q = 0; q < legacy->per_query.size(); ++q) {
+        const auto& le = legacy->per_query[q];
+        const auto& fe = flat->per_query[q];
+        ASSERT_EQ(le.size(), fe.size()) << "query " << q;
+        for (std::size_t i = 0; i < le.size(); ++i) {
+          EXPECT_EQ(le[i].id, fe[i].id) << "query " << q << " @" << i;
+          EXPECT_EQ(le[i].score, fe[i].score) << "query " << q << " @" << i;
+        }
+      }
+      EXPECT_EQ(legacy->job.map_output_records, flat->job.map_output_records);
+      EXPECT_EQ(legacy->job.reduce_input_records,
+                flat->job.reduce_input_records);
+    }
+    if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
+  }
+}
+
+// The double <-> sortable-uint64 key flip must be order-preserving and
+// invertible for every order value the mappers produce.
+TEST(OrderedDoubleKeyTest, PreservesOrderAndRoundTrips) {
+  const std::vector<double> values = {
+      kDataOrderScore, -1.0, -0.75, -0.5, -1.0 / 3.0, -1e-9, -0.0,
+      0.0,  1e-9, 0.5, 1.0, 2.0, 55.0, 1e17};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      EXPECT_EQ(values[i] < values[j],
+                OrderedDoubleKey(values[i]) < OrderedDoubleKey(values[j]))
+          << values[i] << " vs " << values[j];
+    }
+    const double round = OrderedKeyToDouble(OrderedDoubleKey(values[i]));
+    EXPECT_EQ(round, values[i]);  // -0.0 == 0.0 under ==, as required
+  }
+}
+
+}  // namespace
+}  // namespace spq::core
