@@ -228,6 +228,51 @@ void BM_FlatMergeStream(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatMergeStream);
 
+// Merge-structure A/B at configurable fan-in: binary heap (up to two
+// comparisons per level per record) vs. tournament loser tree (exactly
+// one). The fan-ins bracket FlatMergeStream::kLoserTreeMinFanIn, the
+// point where kAuto switches over.
+void FlatMergeStrategyBench(benchmark::State& state,
+                            mapreduce::MergeStrategy strategy) {
+  const std::size_t fan_in = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<mapreduce::FlatSegment> segments;
+  for (std::size_t s = 0; s < fan_in; ++s) {
+    std::vector<std::pair<core::CellKey, core::ShuffleObject>> records(512);
+    for (auto& [k, v] : records) {
+      k.cell = rng.NextUint32(100);
+      k.order = -rng.NextDouble();
+      v.kind = core::ShuffleObject::kFeature;
+      v.id = rng.NextUint64();
+      v.pos = {rng.NextDouble(), rng.NextDouble()};
+      v.keywords = text::KeywordSet(RandomTerms(rng, 8, 10'000)).ids();
+    }
+    segments.push_back(
+        *mapreduce::internal::BuildFlatSegment<core::CellKey,
+                                               core::ShuffleObject>(records));
+  }
+  std::vector<const mapreduce::FlatSegment*> ptrs;
+  for (const auto& s : segments) ptrs.push_back(&s);
+  for (auto _ : state) {
+    mapreduce::FlatMergeStream<core::CellKey, core::ShuffleObject> stream(
+        ptrs, strategy);
+    uint64_t sum = 0;
+    while (stream.Advance()) sum += stream.value().id;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * fan_in * 512);
+}
+
+void BM_FlatMergeHeap(benchmark::State& state) {
+  FlatMergeStrategyBench(state, mapreduce::MergeStrategy::kBinaryHeap);
+}
+BENCHMARK(BM_FlatMergeHeap)->Arg(4)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_FlatMergeLoserTree(benchmark::State& state) {
+  FlatMergeStrategyBench(state, mapreduce::MergeStrategy::kLoserTree);
+}
+BENCHMARK(BM_FlatMergeLoserTree)->Arg(4)->Arg(8)->Arg(32)->Arg(64);
+
 // Map-side layout step A/B: comparison stable_sort + Codec encode (legacy)
 // vs. cell bucketing + u64 order-key sort into the flat arena. Both
 // variants copy the emitted records inside the timed loop (the legacy sort

@@ -108,7 +108,12 @@ template <typename K, typename V>
 class MapContext {
  public:
   virtual ~MapContext() = default;
-  /// Emits one intermediate record.
+  /// Emits one intermediate record. The value is copied into the task's
+  /// partition buffers and serialized when the attempt's segments are laid
+  /// out; a value holding borrowed storage (e.g. a ShuffleObject keyword
+  /// span aliasing the map input — the O(1) duplication path) is therefore
+  /// legal as long as the borrowed storage outlives the job, which the
+  /// runtime guarantees for its input records.
   virtual void Emit(const K& key, const V& value) = 0;
   /// Task-local counters (merged into JobStats on attempt success).
   virtual Counters& counters() = 0;

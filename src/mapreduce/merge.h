@@ -2,8 +2,6 @@
 #define SPQ_MAPREDUCE_MERGE_H_
 
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -100,20 +98,17 @@ struct FlatSegment {
 namespace internal {
 
 /// Decodes records lazily off a SortedSegment. In-memory segments are read
-/// in place; spilled segments stream through a fixed-size window (grown
-/// only when a single record exceeds it) instead of being slurped whole.
-/// Like SpillRegionReader, the file is opened transiently per window
-/// refill so a wide merge pins no descriptors between reads.
+/// in place; spilled segments stream through a SpillRegionReader's
+/// peek-available window (spill.h) — the same compact/refill/grow
+/// primitive the flat cursors use — instead of being slurped whole.
 template <typename K, typename V>
 class SegmentReader {
  public:
-  static constexpr std::size_t kWindowBytes = 64 * 1024;
-
   explicit SegmentReader(const SortedSegment* segment)
       : segment_(segment), reader_(nullptr, 0) {
     if (!segment->spill_path.empty()) {
       spilled_ = true;
-      window_.resize(kWindowBytes);
+      region_.Open(segment->spill_path, 0, segment->byte_size);
     } else {
       reader_ = BufferReader(segment->bytes.data(), segment->bytes.size());
     }
@@ -133,44 +128,33 @@ class SegmentReader {
       ++read_;
       return true;
     }
-    // Spilled: decode from the window; OutOfRange means the record is
-    // split across the window edge — compact, refill and retry.
+    // Spilled: a varint record's size is only known once it parses, so
+    // decode from the peeked window; OutOfRange means the record is split
+    // across the window edge — FetchMore and retry.
     for (;;) {
-      BufferReader r(window_.data() + window_pos_,
-                     window_len_ - window_pos_);
+      BufferReader r(region_.peek_data(), region_.peek_len());
       K k{};
       V v{};
       Status st = Codec<K>::Decode(r, &k);
       if (st.ok()) st = Codec<V>::Decode(r, &v);
       if (st.ok()) {
-        window_pos_ += r.position();
+        region_.Consume(r.position());
         key_ = std::move(k);
         value_ = std::move(v);
         ++read_;
         return true;
       }
-      if (!st.IsOutOfRange() || eof_) {
+      if (!st.IsOutOfRange()) {
         status_ = st;
         return false;
       }
-      std::memmove(window_.data(), window_.data() + window_pos_,
-                   window_len_ - window_pos_);
-      window_len_ -= window_pos_;
-      window_pos_ = 0;
-      if (window_len_ == window_.size()) window_.resize(window_.size() * 2);
-      std::ifstream file(segment_->spill_path, std::ios::binary);
-      if (!file) {
-        status_ = Status::IOError("cannot open spill file: " +
-                                  segment_->spill_path);
+      Status more = region_.FetchMore();
+      if (!more.ok()) {
+        // Region exhausted mid-record (truncated segment) surfaces the
+        // decode error; I/O failures surface as themselves.
+        status_ = more.IsOutOfRange() ? st : more;
         return false;
       }
-      file.seekg(static_cast<std::streamoff>(file_offset_));
-      file.read(reinterpret_cast<char*>(window_.data() + window_len_),
-                static_cast<std::streamsize>(window_.size() - window_len_));
-      const std::size_t got = static_cast<std::size_t>(file.gcount());
-      if (got == 0) eof_ = true;
-      file_offset_ += got;
-      window_len_ += got;
     }
   }
 
@@ -182,11 +166,7 @@ class SegmentReader {
   const SortedSegment* segment_;
   BufferReader reader_;  // over segment_->bytes (in-memory segments)
   bool spilled_ = false;
-  uint64_t file_offset_ = 0;  ///< next unread byte of the spill file
-  std::vector<uint8_t> window_;
-  std::size_t window_pos_ = 0;
-  std::size_t window_len_ = 0;
-  bool eof_ = false;
+  SpillRegionReader region_;  // over the spill file (spilled segments)
   uint64_t read_ = 0;
   K key_{};
   V value_{};
@@ -405,30 +385,69 @@ class MergeStream {
   Status status_;
 };
 
-/// \brief K-way merge over flat-arena segments. The heap compares raw
-/// (bucket, order key, segment index) integer triples — no comparator
-/// indirection and no key/value copies: value() hands out a zero-copy View
-/// that stays valid until the next Advance (the winning reader refills
-/// lazily, on the *following* Advance).
+/// \brief How FlatMergeStream maintains its loser structure.
+enum class MergeStrategy {
+  /// kBinaryHeap below kLoserTreeMinFanIn live segments, kLoserTree from
+  /// there up. The default.
+  kAuto,
+  /// Sift-down binary heap: up to 2·log₂(k) comparisons per record, but
+  /// no per-reader leaf bookkeeping — wins at small fan-in.
+  kBinaryHeap,
+  /// Tournament loser tree: exactly ⌈log₂(k)⌉ comparisons per record
+  /// (each against a precomputed loser on the leaf-to-root path) — wins
+  /// when many map tasks feed one reduce partition.
+  kLoserTree,
+};
+
+/// \brief K-way merge over flat-arena segments. The merge structure
+/// compares raw (bucket, order key, segment index) integer triples — no
+/// comparator indirection and no key/value copies: value() hands out a
+/// zero-copy View that stays valid until the next Advance (the winning
+/// reader refills lazily, on the *following* Advance).
+///
+/// Below kLoserTreeMinFanIn live inputs the structure is a binary heap;
+/// at or above it, a tournament loser tree (exactly one comparison per
+/// level per record instead of the heap's up-to-two). Both produce the
+/// identical, deterministic order — ties break by segment index — so the
+/// strategy is purely a performance knob (bench_micro has the A/B).
 template <typename K, typename V>
 class FlatMergeStream {
   using Traits = FlatShuffleTraits<K, V>;
 
  public:
-  explicit FlatMergeStream(const std::vector<const FlatSegment*>& segments) {
+  /// Fan-in at or above which kAuto switches to the loser tree.
+  static constexpr std::size_t kLoserTreeMinFanIn = 8;
+
+  explicit FlatMergeStream(const std::vector<const FlatSegment*>& segments,
+                           MergeStrategy strategy = MergeStrategy::kAuto) {
     readers_.reserve(segments.size());
     for (const FlatSegment* seg : segments) {
       readers_.push_back(
           std::make_unique<internal::FlatSegmentReader<K, V>>(seg));
     }
+    std::size_t live = 0;
+    exhausted_.assign(readers_.size(), 1);
     for (std::size_t i = 0; i < readers_.size(); ++i) {
       if (readers_[i]->Next()) {
-        heap_.push_back(i);
+        exhausted_[i] = 0;
+        ++live;
       } else if (!readers_[i]->status().ok()) {
         status_ = readers_[i]->status();
       }
     }
-    BuildHeap();
+    use_loser_tree_ =
+        strategy == MergeStrategy::kLoserTree ||
+        (strategy == MergeStrategy::kAuto && live >= kLoserTreeMinFanIn);
+    // The tournament bracket needs at least two leaves.
+    if (readers_.size() < 2) use_loser_tree_ = false;
+    if (use_loser_tree_) {
+      BuildLoserTree();
+    } else {
+      for (std::size_t i = 0; i < readers_.size(); ++i) {
+        if (!exhausted_[i]) heap_.push_back(i);
+      }
+      BuildHeap();
+    }
   }
 
   /// Loads the next record in global sorted order. False when exhausted or
@@ -437,34 +456,31 @@ class FlatMergeStream {
     if (!status_.ok()) return false;
     if (current_loaded_) {
       current_loaded_ = false;
-      const std::size_t top = heap_.front();
-      if (readers_[top]->Next()) {
-        SiftDown(0);
-      } else if (!readers_[top]->status().ok()) {
-        status_ = readers_[top]->status();
-        heap_.clear();
-        return false;
+      if (use_loser_tree_) {
+        if (!AdvanceLoserTop()) return false;
       } else {
-        heap_.front() = heap_.back();
-        heap_.pop_back();
-        if (!heap_.empty()) SiftDown(0);
+        if (!AdvanceHeapTop()) return false;
       }
     }
-    if (heap_.empty()) return false;
-    const auto* r = readers_[heap_.front()].get();
+    if (Empty()) return false;
+    const auto* r = readers_[Top()].get();
     key_ = Traits::MakeKey(r->bucket(), r->order_key());
     current_loaded_ = true;
     return true;
   }
 
-  uint64_t bucket() const { return readers_[heap_.front()]->bucket(); }
+  uint64_t bucket() const { return readers_[Top()]->bucket(); }
   const K& key() const { return key_; }
-  typename Traits::View value() const {
-    return readers_[heap_.front()]->view();
-  }
+  typename Traits::View value() const { return readers_[Top()]->view(); }
   const Status& status() const { return status_; }
+  bool using_loser_tree() const { return use_loser_tree_; }
 
  private:
+  std::size_t Top() const { return use_loser_tree_ ? winner_ : heap_.front(); }
+  bool Empty() const {
+    return use_loser_tree_ ? exhausted_[winner_] : heap_.empty();
+  }
+
   bool ReaderLess(std::size_t a, std::size_t b) const {
     const auto* ra = readers_[a].get();
     const auto* rb = readers_[b].get();
@@ -473,6 +489,33 @@ class FlatMergeStream {
       return ra->order_key() < rb->order_key();
     }
     return a < b;  // deterministic tie-break by map task index
+  }
+
+  /// ReaderLess with exhausted readers ordered after every live one: the
+  /// bracket then seats live readers identically to the heap's order, so
+  /// both strategies emit the same sequence.
+  bool PlayoffLess(std::size_t a, std::size_t b) const {
+    if (exhausted_[a] != exhausted_[b]) return !exhausted_[a];
+    if (exhausted_[a]) return a < b;
+    return ReaderLess(a, b);
+  }
+
+  // ---- binary heap -------------------------------------------------------
+
+  bool AdvanceHeapTop() {
+    const std::size_t top = heap_.front();
+    if (readers_[top]->Next()) {
+      SiftDown(0);
+    } else if (!readers_[top]->status().ok()) {
+      status_ = readers_[top]->status();
+      heap_.clear();
+      return false;
+    } else {
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+    }
+    return true;
   }
 
   void BuildHeap() {
@@ -494,8 +537,52 @@ class FlatMergeStream {
     }
   }
 
+  // ---- loser tree --------------------------------------------------------
+  // Nodes 1..n-1 hold the loser of their subtree's playoff; reader i sits
+  // at implicit leaf n+i (valid for any n >= 2: every internal node has
+  // two children in [2, 2n)). The bracket's shape does not affect the
+  // winner — PlayoffLess is a strict total order, so the minimum always
+  // reaches the top.
+
+  void BuildLoserTree() {
+    const std::size_t n = readers_.size();
+    tree_.assign(n, 0);
+    std::vector<std::size_t> win(2 * n);
+    for (std::size_t j = n; j < 2 * n; ++j) win[j] = j - n;
+    for (std::size_t j = n; j-- > 1;) {
+      const std::size_t a = win[2 * j];
+      const std::size_t b = win[2 * j + 1];
+      const bool a_wins = PlayoffLess(a, b);
+      win[j] = a_wins ? a : b;
+      tree_[j] = a_wins ? b : a;
+    }
+    winner_ = win[1];
+  }
+
+  bool AdvanceLoserTop() {
+    const std::size_t w = winner_;
+    if (!readers_[w]->Next()) {
+      if (!readers_[w]->status().ok()) {
+        status_ = readers_[w]->status();
+        return false;
+      }
+      exhausted_[w] = 1;
+    }
+    // Replay the leaf-to-root path: one comparison per level.
+    std::size_t cur = w;
+    for (std::size_t j = (readers_.size() + w) / 2; j >= 1; j /= 2) {
+      if (PlayoffLess(tree_[j], cur)) std::swap(cur, tree_[j]);
+    }
+    winner_ = cur;
+    return true;
+  }
+
   std::vector<std::unique_ptr<internal::FlatSegmentReader<K, V>>> readers_;
+  std::vector<uint8_t> exhausted_;  ///< per reader; loser tree + Empty()
+  bool use_loser_tree_ = false;
   std::vector<std::size_t> heap_;
+  std::vector<std::size_t> tree_;  ///< loser ids at internal nodes 1..n-1
+  std::size_t winner_ = 0;
   bool current_loaded_ = false;
   K key_{};
   Status status_;

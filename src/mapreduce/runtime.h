@@ -405,7 +405,9 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
 ///  4. Reduce tasks k-way-merge their segments lazily and invoke the
 ///     reducer once per group (grouping comparator), with Hadoop
 ///     secondary-sort semantics; reducers may stop consuming a group
-///     early. Flat-mode reducers consume zero-copy record views.
+///     early. Flat-mode reducers consume zero-copy record views; their
+///     merge upgrades itself from a binary heap to a tournament loser
+///     tree at high fan-in (FlatMergeStream::kLoserTreeMinFanIn).
 ///
 /// Task attempts can fail via `config.faults`; failed attempts are retried
 /// up to `config.max_task_attempts` times with their partial output and

@@ -69,21 +69,21 @@ void SpillRegionReader::Open(std::string path, uint64_t offset,
   region_remaining_ = length;
 }
 
-Status SpillRegionReader::Refill(std::size_t need) {
-  // Compact the unconsumed tail to the front, then top up from disk.
+void SpillRegionReader::Compact() {
   if (pos_ > 0) {
     std::memmove(buf_.data(), buf_.data() + pos_, len_ - pos_);
     len_ -= pos_;
     pos_ = 0;
   }
-  const std::size_t want = std::max(need, capacity_);
-  if (buf_.size() != want) buf_.resize(want);
+}
+
+Status SpillRegionReader::FillTo(std::size_t min_len) {
   // Transient handle: opened for this refill only (see class comment).
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::IOError("cannot open spill file: " + path_);
   in.seekg(static_cast<std::streamoff>(next_read_offset_));
   if (!in) return Status::IOError("cannot seek spill file: " + path_);
-  while (len_ < need && file_remaining_ > 0) {
+  while (len_ < min_len && file_remaining_ > 0) {
     const std::size_t chunk = static_cast<std::size_t>(
         std::min<uint64_t>(file_remaining_, buf_.size() - len_));
     if (chunk == 0) break;
@@ -97,10 +97,17 @@ Status SpillRegionReader::Refill(std::size_t need) {
     file_remaining_ -= got;
     next_read_offset_ += got;
   }
-  if (len_ < need) {
+  if (len_ < min_len) {
     return Status::OutOfRange("spill region exhausted mid-record");
   }
   return Status::OK();
+}
+
+Status SpillRegionReader::Refill(std::size_t need) {
+  Compact();
+  const std::size_t want = std::max(need, capacity_);
+  if (buf_.size() != want) buf_.resize(want);
+  return FillTo(need);
 }
 
 Status SpillRegionReader::Fetch(std::size_t n, const uint8_t** out) {
@@ -114,6 +121,26 @@ Status SpillRegionReader::Fetch(std::size_t n, const uint8_t** out) {
   pos_ += n;
   region_remaining_ -= n;
   return Status::OK();
+}
+
+void SpillRegionReader::Consume(std::size_t n) {
+  pos_ += n;
+  region_remaining_ -= n;
+}
+
+Status SpillRegionReader::FetchMore() {
+  if (file_remaining_ == 0) {
+    return Status::OutOfRange("spill region exhausted");
+  }
+  Compact();
+  if (len_ == buf_.size()) {
+    // The unconsumed window fills the buffer: one record is larger than
+    // it, so grow geometrically (shrunk back by the next Refill cycle).
+    buf_.resize(std::max(buf_.size() * 2, capacity_));
+  } else if (buf_.size() < capacity_) {
+    buf_.resize(capacity_);
+  }
+  return FillTo(len_ + 1);
 }
 
 }  // namespace spq::mapreduce

@@ -38,14 +38,27 @@ uint64_t NextSpillRunId();
 
 /// \brief Sequential reader over one byte region of a spill file through a
 /// fixed-size buffer, so reduce tasks never hold whole segments in memory.
+/// The one windowed-streaming primitive of the runtime: both the flat
+/// segment cursors and the legacy varint SegmentReader (merge.h) sit on
+/// it, so there is a single compact/refill/grow implementation.
 ///
-/// Fetch(n) returns a pointer to the region's next n contiguous bytes,
-/// refilling the buffer from disk as needed; the pointer stays valid until
-/// the next Fetch. The buffer grows beyond `buffer_capacity` only when a
-/// single Fetch asks for more than the capacity (one oversized record),
+/// Two access protocols share the buffer machinery:
+///
+///  - Fetch-at-least-N: Fetch(n) returns a pointer to the region's next n
+///    contiguous bytes, refilling from disk as needed; the pointer stays
+///    valid until the next Fetch/FetchMore. For fixed-stride readers that
+///    know each record's size up front.
+///  - Peek-available: peek_data()/peek_len() expose the buffered,
+///    unconsumed window; Consume(n) retires a decoded prefix and
+///    FetchMore() widens the window by at least one byte (growing the
+///    buffer geometrically when a single record exceeds it). For decoders
+///    that only discover a record's size by attempting to parse it.
+///
+/// The buffer grows beyond `buffer_capacity` only when a single record
+/// needs it (one oversized Fetch, or repeated FetchMore without Consume),
 /// and shrinks back on the next refill cycle. As long as every Fetch size
-/// is a multiple of A and the region offset is A-aligned, returned
-/// pointers are A-aligned (refills compact to the buffer front).
+/// is a multiple of A and the region offset is A-aligned, Fetch pointers
+/// are A-aligned (refills compact to the buffer front).
 ///
 /// The file is opened transiently per refill (open, seek, read one
 /// buffer, close), never held across Fetches: a reduce task merging M
@@ -68,13 +81,33 @@ class SpillRegionReader {
   void Open(std::string path, uint64_t offset, uint64_t length,
             std::size_t buffer_capacity = kDefaultBufferBytes);
 
-  /// Next `n` bytes of the region; valid until the next Fetch.
+  /// Next `n` bytes of the region; valid until the next Fetch/FetchMore.
   Status Fetch(std::size_t n, const uint8_t** out);
 
-  /// Bytes of the region not yet returned by Fetch.
+  /// The buffered, unconsumed window (peek-available protocol). Pointers
+  /// are valid until the next Fetch/FetchMore.
+  const uint8_t* peek_data() const { return buf_.data() + pos_; }
+  std::size_t peek_len() const { return len_ - pos_; }
+
+  /// Retires `n` peeked bytes (n <= peek_len()).
+  void Consume(std::size_t n);
+
+  /// Widens the peek window by at least one byte, reading more of the
+  /// region from disk (doubling the buffer when the window already fills
+  /// it). OutOfRange once the region is fully buffered or consumed —
+  /// callers holding a half-decoded record then know the region is
+  /// truncated.
+  Status FetchMore();
+
+  /// Bytes of the region not yet returned by Fetch/Consume.
   uint64_t remaining() const { return region_remaining_; }
 
  private:
+  /// Moves the unconsumed tail to the buffer front.
+  void Compact();
+  /// Reads from disk until len_ >= min_len, opportunistically filling the
+  /// whole buffer (one transient open/seek per call).
+  Status FillTo(std::size_t min_len);
   Status Refill(std::size_t need);
 
   std::string path_;

@@ -49,11 +49,15 @@ class SpqMapper final
     }
     ctx.counters().Increment(counter::kFeaturesKept);
     const double order = FeatureOrder(algo_, query_, x, common);
-    ctx.Emit(CellKey{cell, order}, x);
+    // Every emission borrows the input record's keyword storage (the map
+    // input is the term pool and outlives the job), so Lemma-1 duplication
+    // below is an O(1) span copy per target cell, not a vector clone.
+    const ShuffleObject borrowed = x.Borrowed();
+    ctx.Emit(CellKey{cell, order}, borrowed);
     // Lemma 1: duplicate into every other cell within MINDIST <= r.
     const auto targets = grid_.CellsWithinDist(x.pos, query_.radius);
     for (geo::CellId target : targets) {
-      ctx.Emit(CellKey{target, order}, x);
+      ctx.Emit(CellKey{target, order}, borrowed);
     }
     ctx.counters().Increment(counter::kFeatureDuplicates, targets.size());
   }
@@ -69,18 +73,19 @@ class SpqMapper final
 class SpqReducer final
     : public mapreduce::Reducer<CellKey, ShuffleObject, ResultEntry> {
  public:
-  SpqReducer(Algorithm algo, Query query)
-      : algo_(algo), query_(std::move(query)) {}
+  SpqReducer(Algorithm algo, Query query, JoinMode join_mode)
+      : algo_(algo), query_(std::move(query)), join_mode_(join_mode) {}
 
   void Reduce(const CellKey&, SpqGroupValues& values,
               SpqReduceContext& ctx) override {
-    reduce_core::RunReduce(algo_, query_, values, ctx.counters(),
+    reduce_core::RunReduce(algo_, join_mode_, query_, values, ctx.counters(),
                            [&ctx](const ResultEntry& e) { ctx.Emit(e); });
   }
 
  private:
   Algorithm algo_;
   Query query_;
+  JoinMode join_mode_;
 };
 
 }  // namespace
@@ -107,12 +112,12 @@ double FeatureOrder(Algorithm algo, const Query& query,
     case Algorithm::kPSPQ:
       return 1.0;  // the tag of Algorithm 1: features after data
     case Algorithm::kESPQLen:
-      return static_cast<double>(x.keywords.size());  // Algorithm 3
+      return static_cast<double>(KeywordCount(x));  // Algorithm 3
     case Algorithm::kESPQSco: {
       // Algorithm 5: exact Jaccard in the Map phase; negated so one
       // ascending comparator yields decreasing score.
       const std::size_t uni =
-          x.keywords.size() + query.keywords.size() - common;
+          KeywordCount(x) + query.keywords.size() - common;
       if (uni == 0) return 0.0;  // both keyword sets empty
       return -(static_cast<double>(common) / static_cast<double>(uni));
     }
@@ -127,20 +132,21 @@ MakeSpqJobSpec(Algorithm algo, const Query& query,
   spec.mapper_factory = [algo, query, grid, options]() {
     return std::make_unique<SpqMapper>(algo, query, grid, options);
   };
-  spec.reducer_factory = [algo, query]() {
-    return std::make_unique<SpqReducer>(algo, query);
+  const JoinMode join_mode = options.join_mode;
+  spec.reducer_factory = [algo, query, join_mode]() {
+    return std::make_unique<SpqReducer>(algo, query, join_mode);
   };
   spec.partitioner = CellPartitioner;
   spec.sort_less = CellKeySortLess;
   spec.group_equal = CellKeyGroupEqual;
   // Flat-arena path (ShuffleMode::kCellBucketed): same reduce cores, fed
   // zero-copy ShuffleObjectViews through the non-virtual cursor.
-  spec.flat_reducer_factory = [algo, query]() {
-    return [algo, query](
+  spec.flat_reducer_factory = [algo, query, join_mode]() {
+    return [algo, query, join_mode](
                const CellKey&,
                mapreduce::FlatGroupCursor<CellKey, ShuffleObject>& values,
                mapreduce::ReduceContext<ResultEntry>& ctx) {
-      reduce_core::RunReduce(algo, query, values, ctx.counters(),
+      reduce_core::RunReduce(algo, join_mode, query, values, ctx.counters(),
                              [&ctx](const ResultEntry& e) { ctx.Emit(e); });
     };
   };

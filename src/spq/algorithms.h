@@ -48,6 +48,23 @@ inline constexpr char kEarlyTerminations[] = "reduce.early_terminations";
 inline constexpr char kGroups[] = "reduce.groups";
 }  // namespace counter
 
+/// \brief How a reduce group joins its surviving features against the
+/// cell's data objects (the |O_i|·|F_i| loop of Algorithms 2/4/6).
+enum class JoinMode {
+  /// The paper's loop: every feature scans every data object of the cell.
+  /// Retained for A/B benchmarking (bench_reduce) and as the reference
+  /// semantics the equivalence tests pin the indexed mode against.
+  kLinearScan,
+  /// Default: the group's data objects are packed into a small SoA
+  /// mini-grid (reduce_core.h, CellGridIndex) and each feature's radius
+  /// probe walks only the buckets overlapping its r-disk. Results, feature
+  /// consumption and early-termination behavior are bit-identical to
+  /// kLinearScan (see join_equivalence_test.cc); only the number of
+  /// distance evaluations (`reduce.pairs_tested`) shrinks — which is the
+  /// point, especially on coarse grids where cells hold many objects.
+  kGridIndex,
+};
+
 /// \brief Tunables of the generated job beyond the algorithm choice.
 struct SpqJobOptions {
   /// The map-side pruning of Algorithm 1 line 9 (drop features sharing no
@@ -55,6 +72,8 @@ struct SpqJobOptions {
   /// results stay correct, but irrelevant features get shuffled, duplicated
   /// and (for pSPQ/eSPQlen) scored in the reducers.
   bool keyword_prefilter = true;
+  /// Reduce-side data↔feature join strategy; see JoinMode.
+  JoinMode join_mode = JoinMode::kGridIndex;
 };
 
 /// \brief Builds the complete MapReduce job (mapper, reducer, partitioner,

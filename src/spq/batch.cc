@@ -39,6 +39,11 @@ class BatchMapper final
       ctx.Emit(BatchCellKey{cell, kDataQuery, 0.0}, x);
       return;
     }
+    // One borrowed alias serves every query's emissions: the batch
+    // multiplies the per-feature emission count by the batch size, so the
+    // O(1) span copy (vs. a keyword-vector clone per copy) matters even
+    // more here than in the single-query mapper.
+    const ShuffleObject borrowed = x.Borrowed();
     for (uint32_t q = 0; q < queries_->size(); ++q) {
       const Query& query = (*queries_)[q];
       const std::size_t common =
@@ -49,10 +54,10 @@ class BatchMapper final
       }
       ctx.counters().Increment(counter::kFeaturesKept);
       const double order = FeatureOrder(algo_, query, x, common);
-      ctx.Emit(BatchCellKey{cell, q + 1, order}, x);
+      ctx.Emit(BatchCellKey{cell, q + 1, order}, borrowed);
       const auto targets = grid_.CellsWithinDist(x.pos, query.radius);
       for (geo::CellId target : targets) {
-        ctx.Emit(BatchCellKey{target, q + 1, order}, x);
+        ctx.Emit(BatchCellKey{target, q + 1, order}, borrowed);
       }
       ctx.counters().Increment(counter::kFeatureDuplicates, targets.size());
     }
@@ -96,6 +101,9 @@ class ReplayedGroupValues final : public BatchGroupValues {
   const ShuffleObject& value() const override {
     return current_ != nullptr ? *current_ : features_->value();
   }
+  /// The group's data-object count, known up front from the replayed
+  /// cache — lets the reduce cores pre-size CellData (reduce_core.h).
+  std::size_t data_count_hint() const { return cached_->size(); }
 
  private:
   const std::vector<ShuffleObject>* cached_;
@@ -132,6 +140,7 @@ class FlatReplayedValues {
   ShuffleObjectView value() const {
     return replaying_ ? (*cached_)[next_cached_ - 1] : features_->value();
   }
+  std::size_t data_count_hint() const { return cached_->size(); }
 
  private:
   const std::vector<ShuffleObjectView>* cached_;
@@ -170,7 +179,8 @@ inline void DetachForCache(ShuffleObjectView& v) {
 }
 
 template <typename Replay, typename CachedValue, typename Values>
-void BatchReduceGroup(Algorithm algo, const std::vector<Query>& queries,
+void BatchReduceGroup(Algorithm algo, JoinMode join_mode,
+                      const std::vector<Query>& queries,
                       BatchCacheState<CachedValue>& state,
                       const BatchCellKey& group_key, Values& values,
                       BatchReduceContext& ctx) {
@@ -197,7 +207,7 @@ void BatchReduceGroup(Algorithm algo, const std::vector<Query>& queries,
   if (q >= queries.size()) return;  // defensive
   const Query& query = queries[q];
   Replay replayed(&state.cached_data, &group_key, &values);
-  reduce_core::RunReduce(algo, query, replayed, ctx.counters(),
+  reduce_core::RunReduce(algo, join_mode, query, replayed, ctx.counters(),
                          [&ctx, q](const ResultEntry& e) {
                            ctx.Emit(BatchResultEntry{q, e});
                          });
@@ -208,18 +218,20 @@ class BatchReducer final
                                 BatchResultEntry> {
  public:
   BatchReducer(Algorithm algo,
-               std::shared_ptr<const std::vector<Query>> queries)
-      : algo_(algo), queries_(std::move(queries)) {}
+               std::shared_ptr<const std::vector<Query>> queries,
+               JoinMode join_mode)
+      : algo_(algo), queries_(std::move(queries)), join_mode_(join_mode) {}
 
   void Reduce(const BatchCellKey& group_key, BatchGroupValues& values,
               BatchReduceContext& ctx) override {
-    BatchReduceGroup<ReplayedGroupValues>(algo_, *queries_, state_,
-                                          group_key, values, ctx);
+    BatchReduceGroup<ReplayedGroupValues>(algo_, join_mode_, *queries_,
+                                          state_, group_key, values, ctx);
   }
 
  private:
   Algorithm algo_;
   std::shared_ptr<const std::vector<Query>> queries_;
+  JoinMode join_mode_;
   BatchCacheState<ShuffleObject> state_;
 };
 
@@ -237,22 +249,23 @@ MakeBatchSpqJobSpec(Algorithm algo, const std::vector<Query>& queries,
   spec.mapper_factory = [algo, shared_queries, grid, options]() {
     return std::make_unique<BatchMapper>(algo, shared_queries, grid, options);
   };
-  spec.reducer_factory = [algo, shared_queries]() {
-    return std::make_unique<BatchReducer>(algo, shared_queries);
+  const JoinMode join_mode = options.join_mode;
+  spec.reducer_factory = [algo, shared_queries, join_mode]() {
+    return std::make_unique<BatchReducer>(algo, shared_queries, join_mode);
   };
   spec.partitioner = BatchPartitioner;
   spec.sort_less = BatchKeySortLess;
   spec.group_equal = BatchKeyGroupEqual;
   // Flat-arena path: the same group protocol with the data-object cache
   // held as zero-copy views in per-task state captured by the closure.
-  spec.flat_reducer_factory = [algo, shared_queries]() {
+  spec.flat_reducer_factory = [algo, shared_queries, join_mode]() {
     auto state = std::make_shared<BatchCacheState<ShuffleObjectView>>();
-    return [algo, shared_queries, state](
+    return [algo, shared_queries, join_mode, state](
                const BatchCellKey& group_key,
                FlatReplayedValues::Cursor& values,
                BatchReduceContext& ctx) {
-      BatchReduceGroup<FlatReplayedValues>(algo, *shared_queries, *state,
-                                           group_key, values, ctx);
+      BatchReduceGroup<FlatReplayedValues>(algo, join_mode, *shared_queries,
+                                           *state, group_key, values, ctx);
     };
   };
   return spec;

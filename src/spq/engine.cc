@@ -70,6 +70,7 @@ StatusOr<SpqResult> SpqEngine::Execute(const Query& query, Algorithm algo,
   // --- the single MapReduce job ---
   SpqJobOptions job_options;
   job_options.keyword_prefilter = options_.keyword_prefilter;
+  job_options.join_mode = options_.join_mode;
   auto spec = MakeSpqJobSpec(algo, query, grid, job_options);
   if (options_.partitioner == PartitionerKind::kBalanced &&
       config.num_reduce_tasks < grid.num_cells()) {
@@ -146,6 +147,7 @@ StatusOr<SpqBatchResult> SpqEngine::ExecuteBatch(
 
   SpqJobOptions job_options;
   job_options.keyword_prefilter = options_.keyword_prefilter;
+  job_options.join_mode = options_.join_mode;
   auto spec = MakeBatchSpqJobSpec(algo, queries, grid, job_options);
   SPQ_ASSIGN_OR_RETURN(auto output, mapreduce::RunJob(spec, config, input_));
 

@@ -52,6 +52,12 @@ struct EngineOptions {
   /// for A/B benchmarking (results are identical — see the shuffle
   /// equivalence tests and bench_shuffle).
   mapreduce::ShuffleMode shuffle_mode = mapreduce::ShuffleMode::kCellBucketed;
+  /// Reduce-side join strategy: kGridIndex (default) answers each
+  /// feature's radius probe off a per-group mini-grid over the cell's
+  /// data objects; kLinearScan is the paper's full |O_i| scan per
+  /// feature, kept for A/B benchmarking (bench_reduce). Results are
+  /// identical — see join_equivalence_test.cc.
+  JoinMode join_mode = JoinMode::kGridIndex;
 };
 
 /// \brief Derived, SPQ-specific measurements of one query execution,

@@ -1,7 +1,10 @@
 #ifndef SPQ_SPQ_REDUCE_CORE_H_
 #define SPQ_SPQ_REDUCE_CORE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "geo/point.h"
@@ -26,12 +29,31 @@ namespace spq::core::reduce_core {
 /// Each function consumes one reduce group (one cell's data + feature
 /// objects in the algorithm's sort order) and emits per-cell results
 /// through `emit(const ResultEntry&)`.
+///
+/// The data↔feature pair loop runs in one of two JoinModes
+/// (algorithms.h): the paper's linear scan, or the default mini-grid
+/// index (CellGridIndex below) that answers each feature's radius probe
+/// with a bucket range walk. Both modes produce bit-identical results and
+/// identical counters except `reduce.pairs_tested`, which counts the
+/// distance evaluations actually performed — the quantity the index
+/// shrinks.
 
-/// In-memory O_i of one reduce group plus the running scores.
+/// In-memory O_i of one reduce group plus the running scores, kept as
+/// parallel contiguous arrays (SoA): `positions` doubles as the storage
+/// the CellGridIndex buckets refer into, so probes walk one cache-friendly
+/// array instead of chasing per-object records.
 struct CellData {
   std::vector<ObjectId> ids;
   std::vector<geo::Point> positions;
   std::vector<double> scores;
+
+  /// Pre-sizes all arrays (used when the group's data-object count is
+  /// known up front, e.g. the batched reducer's replayed cache).
+  void Reserve(std::size_t n) {
+    ids.reserve(n);
+    positions.reserve(n);
+    scores.reserve(n);
+  }
 
   template <typename X>
   void Add(const X& x) {
@@ -42,12 +64,213 @@ struct CellData {
   std::size_t size() const { return ids.size(); }
 };
 
+/// Data-object count hint for a group-values cursor: non-zero only for
+/// cursors that know their data prefix up front (the batched reducer's
+/// replay adapters expose `data_count_hint()`); plain streaming cursors
+/// return 0 and the arrays grow geometrically as usual.
+template <typename Values>
+inline std::size_t DataCountHint(const Values& values) {
+  if constexpr (requires { values.data_count_hint(); }) {
+    return values.data_count_hint();
+  } else {
+    return 0;
+  }
+}
+
+/// \brief SoA mini-grid over one reduce group's data-object positions
+/// (JoinMode::kGridIndex). Built lazily at the first feature probe from
+/// the positions accumulated so far; rebuilt if data objects arrive later
+/// (only possible in degenerate secondary-key ties, where the linear
+/// semantics this mode mirrors also score late data against later
+/// features only).
+///
+/// Layout is a counting-sorted CSR: `starts_` offsets into `items_`,
+/// which holds data indices bucket-major and ascending within each bucket
+/// (counting sort is stable). The side length targets ~1 object per
+/// bucket (side ≈ √n, so the offsets array stays O(n)); fine buckets keep
+/// the one-bucket safety pad below cheap. With one bucket the probe
+/// degenerates to the full scan, so tiny groups pay no indexing overhead
+/// beyond the O(n) build.
+///
+/// A radius probe walks the buckets overlapping the axis-aligned square
+/// [p ± r], padded by one bucket per side so a one-ulp rounding slip in
+/// the bucket arithmetic can never exclude a point whose computed
+/// distance² is <= r² — the exact distance test stays with the caller.
+class CellGridIndex {
+ public:
+  /// (Re)builds over `positions`. O(n) counting sort.
+  void Build(const std::vector<geo::Point>& positions) {
+    built_n_ = positions.size();
+    if (built_n_ == 0) return;
+    double min_x = positions[0].x, max_x = positions[0].x;
+    double min_y = positions[0].y, max_y = positions[0].y;
+    for (const geo::Point& p : positions) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    min_x_ = min_x;
+    min_y_ = min_y;
+    const double target = std::ceil(std::sqrt(static_cast<double>(built_n_)));
+    side_ = static_cast<uint32_t>(
+        std::clamp(target, 1.0, static_cast<double>(kMaxSide)));
+    const double w = max_x - min_x;
+    const double h = max_y - min_y;
+    inv_w_ = w > 0.0 ? static_cast<double>(side_) / w : 0.0;
+    inv_h_ = h > 0.0 ? static_cast<double>(side_) / h : 0.0;
+
+    starts_.assign(static_cast<std::size_t>(side_) * side_ + 1, 0);
+    for (const geo::Point& p : positions) ++starts_[BucketOf(p) + 1];
+    for (std::size_t b = 1; b < starts_.size(); ++b) {
+      starts_[b] += starts_[b - 1];
+    }
+    items_.resize(built_n_);
+    cursor_.assign(starts_.begin(), starts_.end() - 1);
+    for (uint32_t i = 0; i < built_n_; ++i) {
+      items_[cursor_[BucketOf(positions[i])]++] = i;
+    }
+  }
+
+  /// Number of positions the current buckets were built over; callers
+  /// compare against cell.size() to detect staleness.
+  std::size_t built_size() const { return built_n_; }
+
+  /// Invokes `fn(i)` for every data index i whose position can lie within
+  /// distance r of p (bucket-granular superset of the r-disk). Each index
+  /// is visited exactly once; order is bucket-major, NOT ascending — use
+  /// SortedCandidates when the visit order is semantically relevant.
+  template <typename Fn>
+  void ForEachCandidate(const geo::Point& p, double r, Fn&& fn) const {
+    if (built_n_ == 0) return;
+    const BucketRange range = ProbeRange(p, r);
+    for (uint32_t by = range.y_lo; by <= range.y_hi; ++by) {
+      const std::size_t row = static_cast<std::size_t>(by) * side_;
+      for (uint32_t bx = range.x_lo; bx <= range.x_hi; ++bx) {
+        const std::size_t b = row + bx;
+        for (uint32_t k = starts_[b]; k < starts_[b + 1]; ++k) {
+          fn(items_[k]);
+        }
+      }
+    }
+  }
+
+  /// The ForEachCandidate set in ascending data-index order (eSPQsco's
+  /// Lemma-3 first-hit reporting depends on it). `out` is caller-owned
+  /// scratch, reused across probes. A probe covering every bucket (r
+  /// comparable to the cell edge) short-circuits to 0..n-1 — ascending by
+  /// construction — instead of paying a per-feature collect + sort just
+  /// to reproduce the linear scan's order.
+  void SortedCandidates(const geo::Point& p, double r,
+                        std::vector<uint32_t>* out) const {
+    out->clear();
+    if (built_n_ == 0) return;
+    const BucketRange range = ProbeRange(p, r);
+    if (range.x_lo == 0 && range.y_lo == 0 && range.x_hi == side_ - 1 &&
+        range.y_hi == side_ - 1) {
+      out->resize(built_n_);
+      std::iota(out->begin(), out->end(), 0u);
+      return;
+    }
+    for (uint32_t by = range.y_lo; by <= range.y_hi; ++by) {
+      const std::size_t row = static_cast<std::size_t>(by) * side_;
+      for (uint32_t bx = range.x_lo; bx <= range.x_hi; ++bx) {
+        const std::size_t b = row + bx;
+        for (uint32_t k = starts_[b]; k < starts_[b + 1]; ++k) {
+          out->push_back(items_[k]);
+        }
+      }
+    }
+    std::sort(out->begin(), out->end());
+  }
+
+ private:
+  static constexpr uint32_t kMaxSide = 256;
+
+  /// Inclusive bucket rectangle overlapping the axis-aligned square
+  /// [p ± r], padded one bucket outward (see class comment).
+  struct BucketRange {
+    uint32_t x_lo, x_hi, y_lo, y_hi;
+  };
+  BucketRange ProbeRange(const geo::Point& p, double r) const {
+    return BucketRange{LowIdx((p.x - r - min_x_) * inv_w_),
+                       HighIdx((p.x + r - min_x_) * inv_w_),
+                       LowIdx((p.y - r - min_y_) * inv_h_),
+                       HighIdx((p.y + r - min_y_) * inv_h_)};
+  }
+
+  std::size_t BucketOf(const geo::Point& p) const {
+    return static_cast<std::size_t>(MidIdx((p.y - min_y_) * inv_h_)) * side_ +
+           MidIdx((p.x - min_x_) * inv_w_);
+  }
+  /// Bucket of an in-bounds coordinate (clamped defensively).
+  uint32_t MidIdx(double scaled) const {
+    if (!(scaled > 0.0)) return 0;
+    const uint32_t c = static_cast<uint32_t>(scaled);
+    return c >= side_ ? side_ - 1 : c;
+  }
+  /// Probe range ends: floor, padded one bucket outward, clamped.
+  uint32_t LowIdx(double scaled) const {
+    const double f = std::floor(scaled) - 1.0;
+    if (!(f > 0.0)) return 0;
+    const double hi = static_cast<double>(side_ - 1);
+    return static_cast<uint32_t>(f < hi ? f : hi);
+  }
+  uint32_t HighIdx(double scaled) const {
+    const double f = std::floor(scaled) + 1.0;
+    if (!(f > 0.0)) return 0;
+    const double hi = static_cast<double>(side_ - 1);
+    return static_cast<uint32_t>(f < hi ? f : hi);
+  }
+
+  uint32_t side_ = 0;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double inv_w_ = 0.0, inv_h_ = 0.0;
+  std::vector<uint32_t> starts_;  ///< CSR offsets, side_² + 1 entries
+  std::vector<uint32_t> items_;   ///< data indices, bucket-major, ascending
+  std::vector<uint32_t> cursor_;  ///< build scratch
+  std::size_t built_n_ = 0;
+};
+
+namespace internal {
+
+/// The pSPQ/eSPQlen inner loop for one surviving feature: visits either
+/// every data object (kLinearScan) or the index candidates (kGridIndex)
+/// and applies the identical threshold-skip + distance test. The visit
+/// order is irrelevant here — each index is tested at most once per
+/// feature against pre-feature scores, and TopKList selection is a strict
+/// total order — so the unordered bucket walk is safe.
+template <typename X>
+inline void ScoreFeatureAgainstCell(JoinMode mode, const X& x, double w,
+                                    double radius, double r2, CellData& cell,
+                                    CellGridIndex& index, TopKList& lk,
+                                    uint64_t& pairs) {
+  auto test = [&](std::size_t i) {
+    if (w <= cell.scores[i]) return;  // cannot improve p's score
+    ++pairs;
+    if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
+      cell.scores[i] = w;
+      lk.Update(cell.ids[i], w);
+    }
+  };
+  if (mode == JoinMode::kGridIndex) {
+    if (index.built_size() != cell.size()) index.Build(cell.positions);
+    index.ForEachCandidate(x.pos, radius, test);
+  } else {
+    for (std::size_t i = 0; i < cell.size(); ++i) test(i);
+  }
+}
+
+}  // namespace internal
+
 /// Algorithm 2 (pSPQ): full scan of the cell's features, threshold-pruned.
 template <typename Values, typename EmitFn>
-void RunPspq(const Query& query, Values& values,
+void RunPspq(const Query& query, JoinMode join_mode, Values& values,
              mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   CellData cell;
+  cell.Reserve(DataCountHint(values));
+  CellGridIndex index;
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
@@ -64,14 +287,8 @@ void RunPspq(const Query& query, Values& values,
         text::JaccardSortedBounded(KeywordData(x), KeywordCount(x),
                                    q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
-      for (std::size_t i = 0; i < cell.size(); ++i) {
-        if (w <= cell.scores[i]) continue;  // cannot improve p's score
-        ++pairs;
-        if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
-          cell.scores[i] = w;
-          lk.Update(cell.ids[i], w);
-        }
-      }
+      internal::ScoreFeatureAgainstCell(join_mode, x, w, query.radius, r2,
+                                        cell, index, lk, pairs);
     }
   }
   counters.Increment(counter::kFeaturesExamined, examined);
@@ -81,10 +298,12 @@ void RunPspq(const Query& query, Values& values,
 
 /// Algorithm 4 (eSPQlen): features by increasing |f.W|; stop at Lemma 2.
 template <typename Values, typename EmitFn>
-void RunEspqLen(const Query& query, Values& values,
+void RunEspqLen(const Query& query, JoinMode join_mode, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   CellData cell;
+  cell.Reserve(DataCountHint(values));
+  CellGridIndex index;
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
@@ -108,14 +327,8 @@ void RunEspqLen(const Query& query, Values& values,
         text::JaccardSortedBounded(KeywordData(x), KeywordCount(x),
                                    q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
-      for (std::size_t i = 0; i < cell.size(); ++i) {
-        if (w <= cell.scores[i]) continue;
-        ++pairs;
-        if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
-          cell.scores[i] = w;
-          lk.Update(cell.ids[i], w);
-        }
-      }
+      internal::ScoreFeatureAgainstCell(join_mode, x, w, query.radius, r2,
+                                        cell, index, lk, pairs);
     }
   }
   counters.Increment(counter::kFeaturesExamined, examined);
@@ -126,11 +339,20 @@ void RunEspqLen(const Query& query, Values& values,
 /// Algorithm 6 (eSPQsco): features by decreasing score (read off the
 /// composite key's `order`); stop after k reports (Lemma 3).
 template <typename Values, typename EmitFn>
-void RunEspqSco(const Query& query, Values& values,
+void RunEspqSco(const Query& query, JoinMode join_mode, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   CellData cell;
-  std::vector<bool> reported;
+  CellGridIndex index;
+  // Byte bitmap, parallel to CellData's arrays (a vector<bool> proxy per
+  // probe costs more than the probe itself on dense cells).
+  std::vector<uint8_t> reported;
+  std::vector<uint32_t> probe_scratch;
+  {
+    const std::size_t hint = DataCountHint(values);
+    cell.Reserve(hint);
+    reported.reserve(hint);
+  }
   const double r2 = query.radius * query.radius;
   uint32_t reported_count = 0;
   uint64_t examined = 0;
@@ -139,7 +361,7 @@ void RunEspqSco(const Query& query, Values& values,
     const auto& x = values.value();
     if (x.is_data()) {
       cell.Add(x);
-      reported.push_back(false);
+      reported.push_back(0);
       continue;
     }
     // The map phase stored -w(f, q) in the secondary key (Algorithm 5).
@@ -151,15 +373,32 @@ void RunEspqSco(const Query& query, Values& values,
       break;
     }
     ++examined;
-    bool done = false;
-    for (std::size_t i = 0; i < cell.size(); ++i) {
-      if (reported[i]) continue;
+    // Lemma 3 reports in ascending data-index order and stops at k, so the
+    // indexed probe must replay candidates in exactly that order.
+    auto test = [&](std::size_t i) {
+      if (reported[i]) return false;
       ++pairs;
       if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
         // Decreasing-score order makes w the final τ(p) (Lemma 3).
         emit(ResultEntry{cell.ids[i], w});
-        reported[i] = true;
-        if (++reported_count == query.k) {
+        reported[i] = 1;
+        if (++reported_count == query.k) return true;
+      }
+      return false;
+    };
+    bool done = false;
+    if (join_mode == JoinMode::kGridIndex) {
+      if (index.built_size() != cell.size()) index.Build(cell.positions);
+      index.SortedCandidates(x.pos, query.radius, &probe_scratch);
+      for (uint32_t i : probe_scratch) {
+        if (test(i)) {
+          done = true;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        if (test(i)) {
           done = true;
           break;
         }
@@ -176,17 +415,17 @@ void RunEspqSco(const Query& query, Values& values,
 
 /// Dispatch by algorithm.
 template <typename Values, typename EmitFn>
-void RunReduce(Algorithm algo, const Query& query, Values& values,
-               mapreduce::Counters& counters, EmitFn&& emit) {
+void RunReduce(Algorithm algo, JoinMode join_mode, const Query& query,
+               Values& values, mapreduce::Counters& counters, EmitFn&& emit) {
   switch (algo) {
     case Algorithm::kPSPQ:
-      RunPspq(query, values, counters, emit);
+      RunPspq(query, join_mode, values, counters, emit);
       return;
     case Algorithm::kESPQLen:
-      RunEspqLen(query, values, counters, emit);
+      RunEspqLen(query, join_mode, values, counters, emit);
       return;
     case Algorithm::kESPQSco:
-      RunEspqSco(query, values, counters, emit);
+      RunEspqSco(query, join_mode, values, counters, emit);
       return;
   }
 }

@@ -78,17 +78,50 @@ inline double OrderedKeyToDouble(uint64_t key) {
 
 /// \brief The shuffled value: the entire (data or feature) object, exactly
 /// as Algorithms 1/3/5 emit it. `kind` mirrors the x.tag of the paper.
+///
+/// The keyword list has two representations:
+///   - owning: `keywords` holds the sorted term ids (dataset flattening and
+///     every reduce-side decode produce this form);
+///   - borrowed: `keyword_span`/`keyword_span_len` alias term storage owned
+///     elsewhere and override `keywords`.
+/// Borrowed objects are what makes Lemma-1 cell duplication O(1) per copy:
+/// the mappers emit `Borrowed()` aliases of their input record, so the
+/// map-input arena acts as the shared term pool and no emission clones the
+/// keyword vector (see MapContext::Emit for the lifetime contract). Always
+/// read the list through KeywordData()/KeywordCount(), never `keywords`
+/// directly.
 struct ShuffleObject {
   enum Kind : uint8_t { kData = 0, kFeature = 1 };
 
   uint8_t kind = kData;
   ObjectId id = 0;
   geo::Point pos;
-  /// Sorted term ids; empty for data objects.
+  /// Sorted term ids; empty for data objects and for borrowed aliases.
   std::vector<text::TermId> keywords;
+  /// When non-null, the keyword list lives in borrowed storage (the term
+  /// pool) and `keywords` is ignored.
+  const text::TermId* keyword_span = nullptr;
+  uint32_t keyword_span_len = 0;
 
   bool is_data() const { return kind == kData; }
   bool is_feature() const { return kind == kFeature; }
+
+  /// O(1) non-owning alias of this object: same scalars, keyword list
+  /// referenced as a span into this object's storage. Valid only while the
+  /// source object outlives every alias — the SPQ mappers alias their
+  /// input records, which the runtime keeps alive for the whole job.
+  ShuffleObject Borrowed() const {
+    ShuffleObject o;
+    o.kind = kind;
+    o.id = id;
+    o.pos = pos;
+    o.keyword_span =
+        keyword_span != nullptr ? keyword_span : keywords.data();
+    o.keyword_span_len = keyword_span != nullptr
+                             ? keyword_span_len
+                             : static_cast<uint32_t>(keywords.size());
+    return o;
+  }
 };
 
 /// \brief Zero-copy view of one shuffled record in a flat-arena segment:
@@ -112,12 +145,13 @@ struct ShuffleObjectView {
 
 /// Uniform keyword-span access for the reduce cores, which are templated
 /// over the record representation (owning ShuffleObject on the legacy
-/// path, ShuffleObjectView on the flat path).
+/// path, ShuffleObjectView on the flat path), and for the serializers,
+/// which must handle both the owning and borrowed ShuffleObject forms.
 inline const text::TermId* KeywordData(const ShuffleObject& x) {
-  return x.keywords.data();
+  return x.keyword_span != nullptr ? x.keyword_span : x.keywords.data();
 }
 inline std::size_t KeywordCount(const ShuffleObject& x) {
-  return x.keywords.size();
+  return x.keyword_span != nullptr ? x.keyword_span_len : x.keywords.size();
 }
 inline const text::TermId* KeywordData(const ShuffleObjectView& x) {
   return x.keywords;
@@ -140,7 +174,7 @@ inline std::size_t KeywordCount(const ShuffleObjectView& x) {
 inline constexpr uint32_t kShufflePayloadStride = 36;
 
 inline uint64_t ShufflePoolBytes(const ShuffleObject& v) {
-  return v.keywords.size() * sizeof(text::TermId);
+  return KeywordCount(v) * sizeof(text::TermId);
 }
 
 inline void EncodeShufflePayload(const ShuffleObject& v, uint8_t* dst,
@@ -151,10 +185,10 @@ inline void EncodeShufflePayload(const ShuffleObject& v, uint8_t* dst,
   wire::StoreF64(dst + 16, v.pos.y);
   wire::StoreU32(dst + 24, v.kind);
   wire::StoreU32(dst + 28, static_cast<uint32_t>(*pool_pos));
-  const std::size_t span_bytes = v.keywords.size() * sizeof(text::TermId);
+  const std::size_t span_bytes = KeywordCount(v) * sizeof(text::TermId);
   wire::StoreU32(dst + 32, static_cast<uint32_t>(span_bytes));
   if (span_bytes > 0) {
-    std::memcpy(pool + *pool_pos, v.keywords.data(), span_bytes);
+    std::memcpy(pool + *pool_pos, KeywordData(v), span_bytes);
     *pool_pos += span_bytes;
   }
 }
@@ -198,7 +232,14 @@ struct Codec<core::ShuffleObject> {
     buf.PutDouble(v.pos.x);
     buf.PutDouble(v.pos.y);
     if (v.kind == core::ShuffleObject::kFeature) {
-      Codec<std::vector<text::TermId>>::Encode(v.keywords, buf);
+      // Through the accessors: borrowed (span-backed) map emissions encode
+      // identically to owning objects.
+      const text::TermId* kw = core::KeywordData(v);
+      const std::size_t n = core::KeywordCount(v);
+      buf.PutVarint(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        Codec<text::TermId>::Encode(kw[i], buf);
+      }
     }
   }
   static Status Decode(BufferReader& reader, core::ShuffleObject* out) {
@@ -207,6 +248,8 @@ struct Codec<core::ShuffleObject> {
     SPQ_RETURN_NOT_OK(reader.GetDouble(&out->pos.x));
     SPQ_RETURN_NOT_OK(reader.GetDouble(&out->pos.y));
     out->keywords.clear();
+    out->keyword_span = nullptr;  // decode always produces the owning form
+    out->keyword_span_len = 0;
     if (out->kind == core::ShuffleObject::kFeature) {
       SPQ_RETURN_NOT_OK(
           Codec<std::vector<text::TermId>>::Decode(reader, &out->keywords));

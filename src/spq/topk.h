@@ -14,8 +14,12 @@ namespace spq::core {
 /// k-th best, 0 while fewer than k objects are tracked).
 ///
 /// Scores only ever increase (τ(p) is a running max), so Update() either
-/// raises an already-listed object or inserts a newcomer. O(k) per update;
-/// k is small (≤ 100 in the paper's experiments).
+/// raises an already-listed object or inserts a newcomer. The hot path —
+/// a full list rejecting a candidate that cannot enter — is a single
+/// comparison against the k-th entry; accepted updates sift into place
+/// (no re-sort), so the worst case is O(k) with k ≤ 100 in the paper's
+/// experiments. The selection is defined by the strict total order
+/// ResultBetter, so the entries are independent of update order.
 class TopKList {
  public:
   explicit TopKList(uint32_t k) : k_(k) {}
@@ -23,25 +27,30 @@ class TopKList {
   /// Records that object `id` reached `score`. No-op when the score cannot
   /// enter the current top-k.
   void Update(ObjectId id, double score) {
+    if (k_ == 0) return;  // degenerate list tracks nothing
+    const ResultEntry candidate{id, score};
+    if (entries_.size() >= k_ && !ResultBetter(candidate, entries_.back())) {
+      // Cannot beat the k-th entry. A listed object is never rejected
+      // here by mistake: its tracked score is >= entries_.back().score,
+      // so any *raise* of it beats the back entry.
+      return;
+    }
     // Already tracked? Raise its score and restore order.
-    for (auto& e : entries_) {
-      if (e.id == id) {
-        if (score > e.score) {
-          e.score = score;
-          std::sort(entries_.begin(), entries_.end(), ResultBetter);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        if (score > entries_[i].score) {
+          entries_[i].score = score;
+          SiftUp(i);
         }
         return;
       }
     }
     if (entries_.size() < k_) {
-      entries_.push_back({id, score});
-      std::sort(entries_.begin(), entries_.end(), ResultBetter);
-      return;
+      entries_.push_back(candidate);
+    } else {
+      entries_.back() = candidate;
     }
-    if (ResultBetter({id, score}, entries_.back())) {
-      entries_.back() = {id, score};
-      std::sort(entries_.begin(), entries_.end(), ResultBetter);
-    }
+    SiftUp(entries_.size() - 1);
   }
 
   /// τ — the k-th best score so far; 0 until k objects are tracked.
@@ -56,6 +65,15 @@ class TopKList {
   uint32_t k() const { return k_; }
 
  private:
+  /// Moves entry i forward to its sorted position (it can only have
+  /// improved).
+  void SiftUp(std::size_t i) {
+    while (i > 0 && ResultBetter(entries_[i], entries_[i - 1])) {
+      std::swap(entries_[i], entries_[i - 1]);
+      --i;
+    }
+  }
+
   uint32_t k_;
   std::vector<ResultEntry> entries_;  // kept sorted by ResultBetter
 };

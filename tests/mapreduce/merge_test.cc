@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "mapreduce/runtime.h"
+#include "spq/shuffle_types.h"
 
 namespace spq::mapreduce {
 namespace {
@@ -124,6 +127,87 @@ TEST(MergeStreamTest, SegmentWithZeroRecords) {
   auto out = Drain(stream);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], Record(4, 40));
+}
+
+// ---------------------------------------------------------------------------
+// FlatMergeStream strategy tests: the loser tree must emit exactly the
+// heap's sequence (same records, same deterministic tie-breaks) at any
+// fan-in, and kAuto must pick it only at high fan-in.
+// ---------------------------------------------------------------------------
+
+using FlatKV = std::pair<core::CellKey, core::ShuffleObject>;
+
+FlatSegment MakeFlatSegment(Rng& rng, std::size_t num_records,
+                            uint32_t num_cells) {
+  std::vector<FlatKV> records(num_records);
+  for (auto& [k, v] : records) {
+    k.cell = rng.NextUint32(num_cells);
+    // Coarse order values force plenty of exact ties, so the segment-index
+    // tie-break is really exercised.
+    k.order = static_cast<double>(rng.NextUint32(4));
+    v.kind = core::ShuffleObject::kFeature;
+    v.id = rng.NextUint64();
+    v.pos = {rng.NextDouble(), rng.NextDouble()};
+    v.keywords = {rng.NextUint32(100), 200 + rng.NextUint32(100)};
+  }
+  auto seg =
+      internal::BuildFlatSegment<core::CellKey, core::ShuffleObject>(records);
+  EXPECT_TRUE(seg.ok());
+  return *std::move(seg);
+}
+
+std::vector<std::tuple<uint32_t, double, uint64_t>> DrainFlat(
+    FlatMergeStream<core::CellKey, core::ShuffleObject>& stream) {
+  std::vector<std::tuple<uint32_t, double, uint64_t>> out;
+  while (stream.Advance()) {
+    out.emplace_back(stream.key().cell, stream.key().order,
+                     stream.value().id);
+  }
+  EXPECT_TRUE(stream.status().ok()) << stream.status().ToString();
+  return out;
+}
+
+TEST(FlatMergeStrategyTest, LoserTreeMatchesHeapAtEveryFanIn) {
+  Rng rng(31);
+  std::vector<FlatSegment> segments;
+  std::vector<const FlatSegment*> ptrs;
+  // Includes empty and single-record segments among ordinary ones, and
+  // spans fan-ins both below and above the auto threshold.
+  for (std::size_t s = 0; s < 19; ++s) {
+    segments.push_back(
+        MakeFlatSegment(rng, s % 5 == 0 ? 0 : 50 + s, /*num_cells=*/6));
+  }
+  for (const auto& s : segments) ptrs.push_back(&s);
+  for (std::size_t fan_in = 1; fan_in <= ptrs.size(); ++fan_in) {
+    const std::vector<const FlatSegment*> subset(ptrs.begin(),
+                                                 ptrs.begin() + fan_in);
+    FlatMergeStream<core::CellKey, core::ShuffleObject> heap(
+        subset, MergeStrategy::kBinaryHeap);
+    FlatMergeStream<core::CellKey, core::ShuffleObject> loser(
+        subset, MergeStrategy::kLoserTree);
+    EXPECT_FALSE(heap.using_loser_tree());
+    EXPECT_EQ(loser.using_loser_tree(), fan_in >= 2);
+    EXPECT_EQ(DrainFlat(heap), DrainFlat(loser)) << "fan-in " << fan_in;
+  }
+}
+
+TEST(FlatMergeStrategyTest, AutoPicksLoserTreeAtHighFanIn) {
+  Rng rng(32);
+  std::vector<FlatSegment> segments;
+  for (std::size_t s = 0; s < 12; ++s) {
+    segments.push_back(MakeFlatSegment(rng, 20, 4));
+  }
+  std::vector<const FlatSegment*> few, many;
+  for (const auto& s : segments) many.push_back(&s);
+  few.assign(many.begin(),
+             many.begin() +
+                 (FlatMergeStream<core::CellKey,
+                                  core::ShuffleObject>::kLoserTreeMinFanIn -
+                  1));
+  FlatMergeStream<core::CellKey, core::ShuffleObject> small(few);
+  FlatMergeStream<core::CellKey, core::ShuffleObject> large(many);
+  EXPECT_FALSE(small.using_loser_tree());
+  EXPECT_TRUE(large.using_loser_tree());
 }
 
 }  // namespace

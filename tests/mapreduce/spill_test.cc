@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -47,6 +48,96 @@ TEST(SpillFileTest, PathsAreUniquePerRunTaskPartition) {
   EXPECT_NE(SpillPath(dir, 1, 0, 0), SpillPath(dir, 2, 0, 0));
   EXPECT_NE(SpillPath(dir, 1, 0, 0), SpillPath(dir, 1, 1, 0));
   EXPECT_NE(SpillPath(dir, 1, 0, 0), SpillPath(dir, 1, 0, 1));
+}
+
+// ----- the shared fetch-at-least-N / peek-available buffer primitive -----
+
+std::vector<uint8_t> PatternBytes(std::size_t n) {
+  std::vector<uint8_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<uint8_t>((i * 131 + 7) & 0xff);
+  }
+  return bytes;
+}
+
+TEST(SpillRegionReaderTest, PeekConsumeWalksWholeRegion) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 9, 0);
+  const std::vector<uint8_t> bytes = PatternBytes(10'000);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+
+  SpillRegionReader reader;
+  // A tiny buffer forces many refill cycles.
+  reader.Open(path, 0, bytes.size(), /*buffer_capacity=*/64);
+  std::vector<uint8_t> got;
+  while (got.size() < bytes.size()) {
+    if (reader.peek_len() == 0) {
+      ASSERT_TRUE(reader.FetchMore().ok());
+      ASSERT_GT(reader.peek_len(), 0u);
+    }
+    // Consume in awkward prime-sized chunks to stress compaction.
+    const std::size_t n = std::min<std::size_t>(reader.peek_len(), 13);
+    got.insert(got.end(), reader.peek_data(), reader.peek_data() + n);
+    reader.Consume(n);
+  }
+  EXPECT_EQ(got, bytes);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_TRUE(reader.FetchMore().IsOutOfRange());
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRegionReaderTest, FetchMoreGrowsPastBufferForOneBigRecord) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 9, 1);
+  const std::vector<uint8_t> bytes = PatternBytes(5'000);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+
+  SpillRegionReader reader;
+  reader.Open(path, 0, bytes.size(), /*buffer_capacity=*/128);
+  // Keep widening without consuming — as a decoder stuck on one record
+  // bigger than the buffer does — until the whole region is windowed.
+  while (reader.peek_len() < bytes.size()) {
+    ASSERT_TRUE(reader.FetchMore().ok());
+  }
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), reader.peek_data()));
+  reader.Consume(bytes.size());
+  EXPECT_EQ(reader.remaining(), 0u);
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRegionReaderTest, FetchAndPeekProtocolsInterleave) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 9, 2);
+  const std::vector<uint8_t> bytes = PatternBytes(2'000);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+
+  SpillRegionReader reader;
+  reader.Open(path, 0, bytes.size(), /*buffer_capacity=*/64);
+  const uint8_t* p = nullptr;
+  ASSERT_TRUE(reader.Fetch(100, &p).ok());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.begin() + 100, p));
+  ASSERT_TRUE(reader.FetchMore().ok());
+  ASSERT_GE(reader.peek_len(), 1u);
+  EXPECT_EQ(reader.peek_data()[0], bytes[100]);
+  reader.Consume(50);
+  ASSERT_TRUE(reader.Fetch(150, &p).ok());
+  EXPECT_TRUE(std::equal(bytes.begin() + 150, bytes.begin() + 300, p));
+  RemoveSpillFile(path);
+}
+
+TEST(SpillRegionReaderTest, TruncatedRegionSurfacesOutOfRange) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 9, 3);
+  ASSERT_TRUE(WriteSpillFile(path, PatternBytes(100)).ok());
+
+  SpillRegionReader reader;
+  // Region claims more bytes than the file holds.
+  reader.Open(path, 0, 500, /*buffer_capacity=*/64);
+  Status st = Status::OK();
+  while (st.ok()) st = reader.FetchMore();
+  EXPECT_TRUE(st.IsOutOfRange()) << st.ToString();
+  EXPECT_EQ(reader.peek_len(), 100u);
+  RemoveSpillFile(path);
 }
 
 // ----- end-to-end: jobs with the out-of-core shuffle -----

@@ -1,0 +1,350 @@
+// Property tests for the reduce-side grid-indexed spatial join
+// (JoinMode::kGridIndex): across all three algorithms, both shuffle
+// pipelines, single-query and batched execution and spill/no-spill, the
+// indexed join must return results bit-identical to the paper's linear
+// scan (JoinMode::kLinearScan) — same ids, same scores, and identical
+// counters for everything the join strategy must not change (features
+// examined, early terminations, groups, shuffle volume). The only
+// permitted difference is `reduce.pairs_tested`, which counts the
+// distance evaluations actually performed: the quantity the index exists
+// to shrink, so the tests assert indexed <= linear.
+//
+// Workloads deliberately include the shapes the index must not get wrong:
+// coarse grids (many objects per cell), r = a/2 (the duplication-regime
+// boundary), r close to a (nearly every feature duplicated), and cells
+// holding features but zero data objects.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/workload.h"
+#include "spq/engine.h"
+#include "spq/reduce_core.h"
+#include "text/keyword_set.h"
+
+namespace spq::core {
+namespace {
+
+using mapreduce::ShuffleMode;
+
+/// Uniform features everywhere; data objects either uniform too, or
+/// confined to the left half of the space (`data_gap`), so roughly half
+/// the grid's cells receive feature-only reduce groups — the 0-data
+/// degenerate shape.
+Dataset MakeJoinDataset(uint64_t seed, bool data_gap) {
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.bounds = geo::Rect{0.0, 0.0, 1.0, 1.0};
+  for (uint32_t i = 0; i < 1'500; ++i) {
+    DataObject p;
+    p.id = i;
+    p.pos = {data_gap ? rng.NextDouble() * 0.5 : rng.NextDouble(),
+             rng.NextDouble()};
+    dataset.data.push_back(p);
+  }
+  for (uint32_t i = 0; i < 1'500; ++i) {
+    FeatureObject f;
+    f.id = 100'000 + i;
+    f.pos = {rng.NextDouble(), rng.NextDouble()};
+    std::vector<text::TermId> terms;
+    const uint32_t n = 2 + rng.NextUint32(6);
+    for (uint32_t t = 0; t < n; ++t) terms.push_back(rng.NextUint32(50));
+    f.keywords = text::KeywordSet(std::move(terms));
+    dataset.features.push_back(f);
+  }
+  return dataset;
+}
+
+Query MakeJoinQuery(uint64_t seed, double radius) {
+  Rng rng(seed);
+  Query q;
+  q.k = 5 + rng.NextUint32(10);
+  q.radius = radius;
+  q.keywords = text::KeywordSet(
+      {rng.NextUint32(50), rng.NextUint32(50), rng.NextUint32(50)});
+  return q;
+}
+
+void ExpectEquivalent(const SpqResult& linear, const SpqResult& indexed,
+                      const std::string& label) {
+  ASSERT_EQ(linear.entries.size(), indexed.entries.size()) << label;
+  for (std::size_t i = 0; i < linear.entries.size(); ++i) {
+    EXPECT_EQ(linear.entries[i].id, indexed.entries[i].id)
+        << label << " @" << i;
+    // Bit-identical, not approximately equal: the index may only change
+    // which pairs get a distance test, never any score computation.
+    EXPECT_EQ(linear.entries[i].score, indexed.entries[i].score)
+        << label << " @" << i;
+  }
+  const SpqRunInfo& a = linear.info;
+  const SpqRunInfo& b = indexed.info;
+  EXPECT_EQ(a.features_kept, b.features_kept) << label;
+  EXPECT_EQ(a.features_pruned, b.features_pruned) << label;
+  EXPECT_EQ(a.feature_duplicates, b.feature_duplicates) << label;
+  EXPECT_EQ(a.features_examined, b.features_examined) << label;
+  EXPECT_EQ(a.early_terminations, b.early_terminations) << label;
+  EXPECT_EQ(a.reduce_groups, b.reduce_groups) << label;
+  EXPECT_EQ(a.job.map_output_records, b.job.map_output_records) << label;
+  EXPECT_EQ(a.job.reduce_input_records, b.job.reduce_input_records) << label;
+  // The one legitimate difference: the indexed join performs at most as
+  // many distance evaluations as the full scan.
+  EXPECT_LE(b.pairs_tested, a.pairs_tested) << label;
+}
+
+class JoinEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<Algorithm, ShuffleMode, bool>> {};
+
+TEST_P(JoinEquivalenceTest, GridIndexMatchesLinearScan) {
+  const auto [algo, shuffle_mode, spill] = GetParam();
+
+  EngineOptions base;
+  // Coarse grid: 4x4 cells over 3000 objects puts ~200 objects in every
+  // reduce group — the workload whose |O_i|·|F_i| blowup the index
+  // attacks, and big enough that probe/bucket edge cases get exercised.
+  base.grid_size = 4;
+  base.num_workers = 4;
+  // >= FlatMergeStream::kLoserTreeMinFanIn map tasks, so the flat runs
+  // also cover the loser-tree merge end to end.
+  base.num_map_tasks = 9;
+  base.num_reduce_tasks = 7;  // fewer reducers than cells
+  base.shuffle_mode = shuffle_mode;
+  std::string spill_dir;
+  if (spill) {
+    std::string unique =
+        "spq_join_equivalence-" +
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+        "-" + std::to_string(static_cast<int>(::getpid()));
+    for (char& c : unique) {
+      if (c == '/') c = '_';
+    }
+    spill_dir = (std::filesystem::temp_directory_path() / unique).string();
+    base.spill_dir = spill_dir;
+  }
+
+  EngineOptions linear_options = base;
+  linear_options.join_mode = JoinMode::kLinearScan;
+  EngineOptions indexed_options = base;
+  indexed_options.join_mode = JoinMode::kGridIndex;
+
+  const double cell_edge = 1.0 / base.grid_size;
+  for (uint64_t seed : {21ull, 22ull}) {
+    for (const bool data_gap : {false, true}) {
+      const Dataset dataset = MakeJoinDataset(seed, data_gap);
+      SpqEngine linear_engine(dataset, linear_options);
+      SpqEngine indexed_engine(dataset, indexed_options);
+      // r = 0.1a (probe covers a small part of the cell, the index's win
+      // case), r = a/2 (the paper's duplication-regime boundary) and
+      // r = 0.95a (nearly every feature duplicated into neighbor cells).
+      for (const double radius :
+           {0.1 * cell_edge, 0.5 * cell_edge, 0.95 * cell_edge}) {
+        const Query query = MakeJoinQuery(seed * 31 + radius * 100, radius);
+        auto linear = linear_engine.Execute(query, algo);
+        auto indexed = indexed_engine.Execute(query, algo);
+        ASSERT_TRUE(linear.ok()) << linear.status().ToString();
+        ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+        ExpectEquivalent(*linear, *indexed,
+                         "seed=" + std::to_string(seed) +
+                             " gap=" + std::to_string(data_gap) +
+                             " r=" + std::to_string(radius));
+      }
+    }
+  }
+  if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, JoinEquivalenceTest,
+    ::testing::Combine(::testing::Values(Algorithm::kPSPQ,
+                                         Algorithm::kESPQLen,
+                                         Algorithm::kESPQSco),
+                       ::testing::Values(ShuffleMode::kCellBucketed,
+                                         ShuffleMode::kLegacySort),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = AlgorithmName(std::get<0>(info.param));
+      name += std::get<1>(info.param) == ShuffleMode::kCellBucketed
+                  ? "_bucketed"
+                  : "_legacy";
+      name += std::get<2>(info.param) ? "_spill" : "_mem";
+      return name;
+    });
+
+TEST(JoinEquivalenceTest, BatchGridIndexMatchesLinearScan) {
+  const Dataset dataset = MakeJoinDataset(91, /*data_gap=*/true);
+  const double cell_edge = 1.0 / 4;
+  std::vector<Query> queries;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Query q = MakeJoinQuery(700 + i, (0.3 + 0.2 * i) * cell_edge);
+    q.k = 3 + i;
+    queries.push_back(q);
+  }
+
+  EngineOptions base;
+  base.grid_size = 4;
+  base.num_workers = 4;
+  base.num_map_tasks = 9;
+  base.num_reduce_tasks = 5;
+
+  for (const ShuffleMode shuffle_mode :
+       {ShuffleMode::kCellBucketed, ShuffleMode::kLegacySort}) {
+    for (const bool spill : {false, true}) {
+      EngineOptions linear_options = base;
+      linear_options.shuffle_mode = shuffle_mode;
+      linear_options.join_mode = JoinMode::kLinearScan;
+      EngineOptions indexed_options = linear_options;
+      indexed_options.join_mode = JoinMode::kGridIndex;
+      std::string spill_dir;
+      if (spill) {
+        spill_dir = (std::filesystem::temp_directory_path() /
+                     ("spq_join_equivalence_batch-" +
+                      std::to_string(static_cast<int>(::getpid()))))
+                        .string();
+        linear_options.spill_dir = spill_dir;
+        indexed_options.spill_dir = spill_dir;
+      }
+      SpqEngine linear_engine(dataset, linear_options);
+      SpqEngine indexed_engine(dataset, indexed_options);
+      for (Algorithm algo : {Algorithm::kPSPQ, Algorithm::kESPQLen,
+                             Algorithm::kESPQSco}) {
+        auto linear = linear_engine.ExecuteBatch(queries, algo);
+        auto indexed = indexed_engine.ExecuteBatch(queries, algo);
+        ASSERT_TRUE(linear.ok()) << linear.status().ToString();
+        ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+        ASSERT_EQ(linear->per_query.size(), indexed->per_query.size());
+        for (std::size_t q = 0; q < linear->per_query.size(); ++q) {
+          const auto& le = linear->per_query[q];
+          const auto& ie = indexed->per_query[q];
+          ASSERT_EQ(le.size(), ie.size()) << "query " << q;
+          for (std::size_t i = 0; i < le.size(); ++i) {
+            EXPECT_EQ(le[i].id, ie[i].id) << "query " << q << " @" << i;
+            EXPECT_EQ(le[i].score, ie[i].score)
+                << "query " << q << " @" << i;
+          }
+        }
+        EXPECT_EQ(linear->job.map_output_records,
+                  indexed->job.map_output_records);
+        EXPECT_EQ(linear->job.reduce_input_records,
+                  indexed->job.reduce_input_records);
+        EXPECT_LE(
+            indexed->job.counters.Get(counter::kPairsTested),
+            linear->job.counters.Get(counter::kPairsTested));
+        EXPECT_EQ(
+            indexed->job.counters.Get(counter::kFeaturesExamined),
+            linear->job.counters.Get(counter::kFeaturesExamined));
+        EXPECT_EQ(
+            indexed->job.counters.Get(counter::kEarlyTerminations),
+            linear->job.counters.Get(counter::kEarlyTerminations));
+      }
+      if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
+    }
+  }
+}
+
+// The indexed join must actually skip work on coarse cells, not merely
+// tie the scan — otherwise the default would be pure overhead.
+TEST(JoinEquivalenceTest, GridIndexTestsStrictlyFewerPairsOnCoarseGrid) {
+  const Dataset dataset = MakeJoinDataset(5, /*data_gap=*/false);
+  EngineOptions linear_options;
+  linear_options.grid_size = 4;
+  linear_options.num_workers = 4;
+  linear_options.join_mode = JoinMode::kLinearScan;
+  EngineOptions indexed_options = linear_options;
+  indexed_options.join_mode = JoinMode::kGridIndex;
+  SpqEngine linear_engine(dataset, linear_options);
+  SpqEngine indexed_engine(dataset, indexed_options);
+  // A realistic coarse-grid shape: query radius well below the (large)
+  // cell edge, so each probe's r-disk covers a small fraction of the cell.
+  const Query query = MakeJoinQuery(17, 0.1 * (1.0 / 4));
+  auto linear = linear_engine.Execute(query, Algorithm::kPSPQ);
+  auto indexed = indexed_engine.Execute(query, Algorithm::kPSPQ);
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_LT(indexed->info.pairs_tested, linear->info.pairs_tested / 2)
+      << "expected the r-disk probe to skip most of each coarse cell";
+}
+
+// ---------------------------------------------------------------------------
+// CellGridIndex unit tests: the probe must be a superset of the exact
+// r-disk under any bucket geometry, and SortedCandidates must come back
+// ascending and duplicate-free (eSPQsco's report order depends on it).
+// ---------------------------------------------------------------------------
+
+TEST(CellGridIndexTest, CandidatesCoverDiskAndVisitOnce) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.NextUint32(300);
+    std::vector<geo::Point> positions;
+    positions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back({rng.NextDouble(), rng.NextDouble() * 0.3});
+    }
+    reduce_core::CellGridIndex index;
+    index.Build(positions);
+    for (int probe = 0; probe < 30; ++probe) {
+      // Probe points wander outside the data bounding box, as duplicated
+      // features do.
+      const geo::Point p{rng.NextDouble(-0.3, 1.3), rng.NextDouble(-0.3, 1.3)};
+      const double r = rng.NextDouble() * 0.4;
+      const double r2 = r * r;
+      std::vector<uint32_t> sorted;
+      index.SortedCandidates(p, r, &sorted);
+      for (std::size_t i = 1; i < sorted.size(); ++i) {
+        ASSERT_LT(sorted[i - 1], sorted[i]) << "not ascending/unique";
+      }
+      std::vector<bool> is_candidate(n, false);
+      for (uint32_t i : sorted) {
+        ASSERT_LT(i, n);
+        is_candidate[i] = true;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (geo::Distance2(positions[i], p) <= r2) {
+          EXPECT_TRUE(is_candidate[i])
+              << "in-disk point " << i << " missing from probe";
+        }
+      }
+    }
+  }
+}
+
+TEST(CellGridIndexTest, DegenerateGeometries) {
+  reduce_core::CellGridIndex index;
+
+  // Empty build: probes yield nothing.
+  index.Build({});
+  std::vector<uint32_t> out{7};
+  index.SortedCandidates({0.5, 0.5}, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+
+  // All positions identical (zero-area bounding box).
+  std::vector<geo::Point> same(5, geo::Point{0.25, 0.75});
+  index.Build(same);
+  index.SortedCandidates({0.25, 0.75}, 0.0, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  index.SortedCandidates({0.9, 0.9}, 0.01, &out);
+  // Bucket-granular: one bucket, so everything is a candidate even though
+  // nothing is in range — the exact distance test belongs to the caller.
+  EXPECT_EQ(out.size(), 5u);
+
+  // r = 0: the probe still finds the exact point.
+  std::vector<geo::Point> line;
+  for (int i = 0; i < 64; ++i) {
+    line.push_back({static_cast<double>(i) / 64.0, 0.5});
+  }
+  index.Build(line);
+  index.SortedCandidates({10.0 / 64.0, 0.5}, 0.0, &out);
+  bool found = false;
+  for (uint32_t i : out) found = found || i == 10;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace spq::core
