@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 namespace spq {
 
@@ -13,18 +14,28 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;  // idempotent (destructor after explicit call)
     shutdown_ = true;
   }
   task_available_.notify_all();
   for (auto& t : threads_) t.join();
+  threads_.clear();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // A task enqueued now would never run (workers are gone) and a
+      // subsequent Wait() could block forever on it.
+      assert(false && "ThreadPool::Submit called after Shutdown()");
+      return;
+    }
     queue_.push_back(std::move(task));
   }
   task_available_.notify_one();

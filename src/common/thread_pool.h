@@ -22,13 +22,22 @@ class ThreadPool {
   /// Starts `num_threads` workers (at least 1).
   explicit ThreadPool(std::size_t num_threads);
 
-  /// Drains outstanding tasks and joins all workers.
+  /// Drains outstanding tasks and joins all workers (via Shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Shutdown().
+  /// Drains outstanding tasks and joins all workers. Idempotent; called by
+  /// the destructor. After Shutdown(), Submit() rejects new tasks.
+  /// Must be externally serialized against destruction (as with any
+  /// member call): the idempotent early-return does not wait for a
+  /// Shutdown() still joining on another thread.
+  void Shutdown();
+
+  /// Enqueues a task. Calling after Shutdown() is a caller bug: it asserts
+  /// in debug builds and is a no-op (the task is dropped, never silently
+  /// queued behind dead workers) in release builds.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.

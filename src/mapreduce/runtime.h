@@ -192,16 +192,43 @@ StatusOr<FlatSegment> BuildFlatSegment(
   return seg;
 }
 
+/// Sorted-run layout step of the legacy shuffle: comparison stable_sort of
+/// the partition's records followed by a Codec round trip into one byte
+/// image. Factored out of RunJob so side-input jobs (spq/cell_store.cc)
+/// can run the identical legacy pipeline under their own reduce callable.
+template <typename K, typename V, typename Less>
+StatusOr<SortedSegment> BuildSortedSegment(std::vector<std::pair<K, V>>& records,
+                                           const Less& sort_less) {
+  std::stable_sort(records.begin(), records.end(),
+                   [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                     return sort_less(a.first, b.first);
+                   });
+  Buffer buf;
+  for (const auto& [key, value] : records) {
+    Codec<K>::Encode(key, buf);
+    Codec<V>::Encode(value, buf);
+  }
+  SortedSegment seg;
+  seg.num_records = records.size();
+  seg.bytes = buf.TakeBytes();
+  seg.byte_size = seg.bytes.size();
+  return seg;
+}
+
 /// Shared job orchestration: runs the map phase (with fault retries and
 /// optional spilling), the shuffle accounting and the reduce phase (with
 /// fault retries) for either segment representation. `SpillPartition`
 /// turns one map partition's records into a StatusOr<Segment>;
-/// `ReducePartition` consumes one reduce partition's segments.
+/// `ReducePartition` consumes one reduce partition's segments and receives
+/// the partition index, which is what enables side-input jobs: a reduce
+/// callable may join its shuffled stream against resident state keyed by
+/// the same partitioner (see spq/cell_store.cc), with the partition index
+/// scoping which resident slice belongs to the task.
 ///
 /// The legacy and flat pipelines below differ only in those two callables
-/// — keeping a single driver guarantees both modes share fault injection,
-/// retry, stats and cleanup semantics exactly (the equivalence tests rely
-/// on it).
+/// — keeping a single driver guarantees both modes (and the side-input
+/// jobs built on this entry point) share fault injection, retry, stats and
+/// cleanup semantics exactly (the equivalence tests rely on it).
 template <typename Segment, typename In, typename K, typename V,
           typename Out, typename SpillPartitionFn, typename ReducePartitionFn>
 StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
@@ -351,7 +378,8 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
         continue;
       }
       ReduceContextImpl<Out> ctx;
-      Status st = reduce_partition(reduce_inputs[r], ctx);
+      Status st = reduce_partition(static_cast<uint32_t>(r),
+                                   reduce_inputs[r], ctx);
       if (!st.ok()) {
         record_error(st);
         return;
@@ -435,7 +463,8 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
             return internal::BuildFlatSegment<K, V>(records);
           };
       auto reduce_partition =
-          [&spec](const std::vector<const FlatSegment*>& segments,
+          [&spec](uint32_t /*partition*/,
+                  const std::vector<const FlatSegment*>& segments,
                   ReduceContext<Out>& ctx) {
             FlatMergeStream<K, V> stream(segments);
             auto reduce_group = spec.flat_reducer_factory();
@@ -457,23 +486,11 @@ StatusOr<JobOutput<Out>> RunJob(const JobSpec<In, K, V, Out>& spec,
   // ------------------- legacy comparison-sort + Codec pipeline -------------
   auto spill_partition =
       [&spec](std::vector<std::pair<K, V>>& records) -> StatusOr<SortedSegment> {
-    std::stable_sort(records.begin(), records.end(),
-                     [&](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-                       return spec.sort_less(a.first, b.first);
-                     });
-    Buffer buf;
-    for (const auto& [key, value] : records) {
-      Codec<K>::Encode(key, buf);
-      Codec<V>::Encode(value, buf);
-    }
-    SortedSegment seg;
-    seg.num_records = records.size();
-    seg.bytes = buf.TakeBytes();
-    seg.byte_size = seg.bytes.size();
-    return seg;
+    return internal::BuildSortedSegment<K, V>(records, spec.sort_less);
   };
   auto reduce_partition =
-      [&spec](const std::vector<const SortedSegment*>& segments,
+      [&spec](uint32_t /*partition*/,
+              const std::vector<const SortedSegment*>& segments,
               ReduceContext<Out>& ctx) {
         auto reducer = spec.reducer_factory();
         MergeStream<K, V> stream(segments, spec.sort_less);

@@ -40,9 +40,12 @@ class SpqMapper final
     }
     // Map-side pruning (line 9 of Algorithm 1): features sharing no term
     // with q.W can never score a data object and are dropped before the
-    // shuffle. Disabled only for the prefilter ablation.
-    const std::size_t common =
-        text::SortedIntersectionSize(x.keywords, query_.keywords.ids());
+    // shuffle. Disabled only for the prefilter ablation. Read through the
+    // span accessors: warm-path inputs are borrowed aliases whose keyword
+    // list lives in the engine's flattened-dataset arena.
+    const std::size_t common = text::SortedIntersectionSize(
+        KeywordData(x), KeywordCount(x), query_.keywords.ids().data(),
+        query_.keywords.ids().size());
     if (common == 0 && options_.keyword_prefilter) {
       ctx.counters().Increment(counter::kFeaturesPruned);
       return;
@@ -78,8 +81,9 @@ class SpqReducer final
 
   void Reduce(const CellKey&, SpqGroupValues& values,
               SpqReduceContext& ctx) override {
-    reduce_core::RunReduce(algo_, join_mode_, query_, values, ctx.counters(),
-                           [&ctx](const ResultEntry& e) { ctx.Emit(e); });
+    reduce_core::RunReduceOwned(algo_, join_mode_, query_, values,
+                                ctx.counters(),
+                                [&ctx](const ResultEntry& e) { ctx.Emit(e); });
   }
 
  private:
@@ -146,8 +150,9 @@ MakeSpqJobSpec(Algorithm algo, const Query& query,
                const CellKey&,
                mapreduce::FlatGroupCursor<CellKey, ShuffleObject>& values,
                mapreduce::ReduceContext<ResultEntry>& ctx) {
-      reduce_core::RunReduce(algo, join_mode, query, values, ctx.counters(),
-                             [&ctx](const ResultEntry& e) { ctx.Emit(e); });
+      reduce_core::RunReduceOwned(algo, join_mode, query, values,
+                                  ctx.counters(),
+                                  [&ctx](const ResultEntry& e) { ctx.Emit(e); });
     };
   };
   return spec;

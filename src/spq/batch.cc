@@ -46,8 +46,10 @@ class BatchMapper final
     const ShuffleObject borrowed = x.Borrowed();
     for (uint32_t q = 0; q < queries_->size(); ++q) {
       const Query& query = (*queries_)[q];
-      const std::size_t common =
-          text::SortedIntersectionSize(x.keywords, query.keywords.ids());
+      // Span accessors, not x.keywords: warm-path inputs are borrowed.
+      const std::size_t common = text::SortedIntersectionSize(
+          KeywordData(x), KeywordCount(x), query.keywords.ids().data(),
+          query.keywords.ids().size());
       if (common == 0 && options_.keyword_prefilter) {
         ctx.counters().Increment(counter::kFeaturesPruned);
         continue;
@@ -72,142 +74,58 @@ class BatchMapper final
   SpqJobOptions options_;
 };
 
-/// GroupValues adapter that replays a cached data-object list before
-/// delegating to the real (feature-only) group stream. The reduce cores
-/// never read the composite key of a *data* value, so the group key is a
-/// valid stand-in during the replay phase.
-class ReplayedGroupValues final : public BatchGroupValues {
- public:
-  ReplayedGroupValues(const std::vector<ShuffleObject>* cached,
-                      const BatchCellKey* group_key,
-                      BatchGroupValues* features)
-      : cached_(cached), group_key_(group_key), features_(features) {}
-
-  bool Next() override {
-    if (next_cached_ < cached_->size()) {
-      current_ = &(*cached_)[next_cached_++];
-      return true;
-    }
-    if (features_->Next()) {
-      current_ = nullptr;
-      return true;
-    }
-    return false;
-  }
-
-  const BatchCellKey& key() const override {
-    return current_ != nullptr ? *group_key_ : features_->key();
-  }
-  const ShuffleObject& value() const override {
-    return current_ != nullptr ? *current_ : features_->value();
-  }
-  /// The group's data-object count, known up front from the replayed
-  /// cache — lets the reduce cores pre-size CellData (reduce_core.h).
-  std::size_t data_count_hint() const { return cached_->size(); }
-
- private:
-  const std::vector<ShuffleObject>* cached_;
-  const BatchCellKey* group_key_;
-  BatchGroupValues* features_;
-  std::size_t next_cached_ = 0;
-  const ShuffleObject* current_ = nullptr;  // non-null while replaying
-};
-
-/// Flat-path twin of ReplayedGroupValues: replays cached data-object
-/// *views* (safe to retain — data views hold no pool reference) before
-/// delegating to the live zero-copy group cursor.
-class FlatReplayedValues {
- public:
-  using Cursor = mapreduce::FlatGroupCursor<BatchCellKey, ShuffleObject>;
-
-  FlatReplayedValues(const std::vector<ShuffleObjectView>* cached,
-                     const BatchCellKey* group_key, Cursor* features)
-      : cached_(cached), group_key_(group_key), features_(features) {}
-
-  bool Next() {
-    if (next_cached_ < cached_->size()) {
-      replaying_ = true;
-      ++next_cached_;
-      return true;
-    }
-    replaying_ = false;
-    return features_->Next();
-  }
-
-  const BatchCellKey& key() const {
-    return replaying_ ? *group_key_ : features_->key();
-  }
-  ShuffleObjectView value() const {
-    return replaying_ ? (*cached_)[next_cached_ - 1] : features_->value();
-  }
-  std::size_t data_count_hint() const { return cached_->size(); }
-
- private:
-  const std::vector<ShuffleObjectView>* cached_;
-  const BatchCellKey* group_key_;
-  Cursor* features_;
-  std::size_t next_cached_ = 0;
-  bool replaying_ = false;
-};
-
 /// Shared group protocol of both shuffle paths: groups arrive per cell as
 /// (cell, 0) = the cell's data objects, then (cell, q+1) = query q's
 /// sorted features. The state outlives one group (it is owned by the
 /// reducer / per-task closure), so the cache carries across the groups of
 /// one cell and is invalidated when the cell changes — cells without data
-/// objects produce no sentinel group. `CachedValue` is the record
-/// representation the cache retains (owning ShuffleObject on the legacy
-/// path, ShuffleObjectView on the flat path) and `Replay` the matching
-/// replay adapter.
-template <typename CachedValue>
-struct BatchCacheState {
-  std::vector<CachedValue> cached_data;
+/// objects produce no sentinel group.
+///
+/// The cache is a thin per-cell view shaped exactly like a CellStore
+/// partition: the sentinel group's data objects land straight in a
+/// CellData (SoA ids/positions — no retained ShuffleObjects or views) and
+/// the lazily built CellGridIndex is SHARED by every query group of the
+/// cell; only the per-query score scratch is reset between groups. Before
+/// this refactor each query group replayed the raw records through the
+/// reduce core, rebuilding CellData and the index per query.
+struct BatchCellCache {
+  reduce_core::CellData cell;
+  reduce_core::CellGridIndex index;
   geo::CellId cache_cell = 0;
   bool has_cache = false;
+
+  void Rebind(geo::CellId c) {
+    cell.Clear();
+    index.Reset();  // Sync compares sizes only; contents changed
+    cache_cell = c;
+    has_cache = true;
+  }
 };
 
-/// Severs any borrowed storage before a record enters the cross-group
-/// cache. Owning ShuffleObjects need nothing; a ShuffleObjectView's
-/// keyword span aliases the segment arena (or a streaming buffer), which
-/// does not outlive the group — data objects carry no keywords, so
-/// dropping the span loses nothing, and a mis-keyed keyword-bearing
-/// record cannot dangle.
-inline void DetachForCache(ShuffleObject&) {}
-inline void DetachForCache(ShuffleObjectView& v) {
-  v.keywords = nullptr;
-  v.num_keywords = 0;
-}
-
-template <typename Replay, typename CachedValue, typename Values>
+template <typename Values>
 void BatchReduceGroup(Algorithm algo, JoinMode join_mode,
                       const std::vector<Query>& queries,
-                      BatchCacheState<CachedValue>& state,
-                      const BatchCellKey& group_key, Values& values,
-                      BatchReduceContext& ctx) {
+                      BatchCellCache& state, const BatchCellKey& group_key,
+                      Values& values, BatchReduceContext& ctx) {
   if (group_key.query == BatchMapper::kDataQuery) {
-    state.cached_data.clear();
-    state.cache_cell = group_key.cell;
-    state.has_cache = true;
-    while (values.Next()) {
-      CachedValue v = values.value();
-      DetachForCache(v);
-      state.cached_data.push_back(std::move(v));
-    }
+    state.Rebind(group_key.cell);
+    while (values.Next()) state.cell.Add(values.value());
     return;
   }
   if (!state.has_cache || state.cache_cell != group_key.cell) {
     // No data objects in this cell: results are necessarily empty, but
     // the group must still be drained consistently (the runtime skips
     // leftovers anyway). Run with an empty cache for uniformity.
-    state.cached_data.clear();
-    state.cache_cell = group_key.cell;
-    state.has_cache = true;
+    state.Rebind(group_key.cell);
   }
   const uint32_t q = group_key.query - 1;
   if (q >= queries.size()) return;  // defensive
   const Query& query = queries[q];
-  Replay replayed(&state.cached_data, &group_key, &values);
-  reduce_core::RunReduce(algo, join_mode, query, replayed, ctx.counters(),
+  // Per-query score scratch; eSPQsco tracks reports, not scores, so it
+  // skips the O(n) reset.
+  if (algo != Algorithm::kESPQSco) state.cell.ResetScores();
+  reduce_core::RunReduce(algo, join_mode, query, state.cell, state.index,
+                         values, ctx.counters(),
                          [&ctx, q](const ResultEntry& e) {
                            ctx.Emit(BatchResultEntry{q, e});
                          });
@@ -224,15 +142,15 @@ class BatchReducer final
 
   void Reduce(const BatchCellKey& group_key, BatchGroupValues& values,
               BatchReduceContext& ctx) override {
-    BatchReduceGroup<ReplayedGroupValues>(algo_, join_mode_, *queries_,
-                                          state_, group_key, values, ctx);
+    BatchReduceGroup(algo_, join_mode_, *queries_, state_, group_key, values,
+                     ctx);
   }
 
  private:
   Algorithm algo_;
   std::shared_ptr<const std::vector<Query>> queries_;
   JoinMode join_mode_;
-  BatchCacheState<ShuffleObject> state_;
+  BatchCellCache state_;
 };
 
 }  // namespace
@@ -256,16 +174,17 @@ MakeBatchSpqJobSpec(Algorithm algo, const std::vector<Query>& queries,
   spec.partitioner = BatchPartitioner;
   spec.sort_less = BatchKeySortLess;
   spec.group_equal = BatchKeyGroupEqual;
-  // Flat-arena path: the same group protocol with the data-object cache
-  // held as zero-copy views in per-task state captured by the closure.
+  // Flat-arena path: the same group protocol with the per-cell cache in
+  // per-task state captured by the closure (data views decay into the
+  // cache's SoA arrays immediately, so no pool reference is retained).
   spec.flat_reducer_factory = [algo, shared_queries, join_mode]() {
-    auto state = std::make_shared<BatchCacheState<ShuffleObjectView>>();
+    auto state = std::make_shared<BatchCellCache>();
     return [algo, shared_queries, join_mode, state](
                const BatchCellKey& group_key,
-               FlatReplayedValues::Cursor& values,
+               mapreduce::FlatGroupCursor<BatchCellKey, ShuffleObject>& values,
                BatchReduceContext& ctx) {
-      BatchReduceGroup<FlatReplayedValues>(algo, join_mode, *shared_queries,
-                                           *state, group_key, values, ctx);
+      BatchReduceGroup(algo, join_mode, *shared_queries, *state, group_key,
+                       values, ctx);
     };
   };
   return spec;

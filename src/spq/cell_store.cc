@@ -1,0 +1,311 @@
+#include "spq/cell_store.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spq::core {
+
+namespace {
+
+namespace mr = ::spq::mapreduce;
+
+/// Build-time mapper: the data branch of the SPQ mappers, alone. Features
+/// are per-query (prefilter, order key, Lemma-1 duplication radius) and
+/// never enter the store.
+class StoreBuildMapper final
+    : public mr::Mapper<ShuffleObject, CellKey, ShuffleObject> {
+ public:
+  explicit StoreBuildMapper(geo::UniformGrid grid) : grid_(grid) {}
+
+  void Map(const ShuffleObject& x,
+           mr::MapContext<CellKey, ShuffleObject>& ctx) override {
+    if (!x.is_data()) return;
+    ctx.counters().Increment(counter::kDataObjects);
+    // The secondary component is irrelevant inside the store (every
+    // record is data); 0.0 keeps records in dataset order under the
+    // stable tie-break, matching the order the cold reducers see.
+    ctx.Emit(CellKey{grid_.CellOf(x.pos), 0.0}, x);
+  }
+
+ private:
+  geo::UniformGrid grid_;
+};
+
+/// Re-owning copy of a zero-copy record view (the store outlives the
+/// build job's segment arenas, so persisted records must own their bytes;
+/// data objects carry no keywords, making this an O(1) scalar copy).
+ShuffleObject OwnView(const ShuffleObjectView& v) {
+  ShuffleObject o;
+  o.kind = v.kind;
+  o.id = v.id;
+  o.pos = v.pos;
+  if (v.num_keywords > 0) {
+    o.keywords.assign(v.keywords, v.keywords + v.num_keywords);
+  }
+  return o;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CellStore>> CellStore::Build(
+    const std::vector<ShuffleObject>& input, const geo::UniformGrid& grid,
+    double max_radius, const mr::JobConfig& config) {
+  if (!(max_radius >= 0.0)) {
+    return Status::InvalidArgument("store max_radius must be >= 0");
+  }
+  std::unique_ptr<CellStore> store(new CellStore(grid, max_radius));
+
+  mr::JobSpec<ShuffleObject, CellKey, ShuffleObject, uint64_t> spec;
+  spec.mapper_factory = [grid]() {
+    return std::make_unique<StoreBuildMapper>(grid);
+  };
+  spec.partitioner = CellPartitioner;
+
+  // The build always runs the flat-arena pipeline: the per-cell resident
+  // partitions reuse the FlatSegment byte layout verbatim, so assembling
+  // them from flat shuffle segments is a straight re-bucketing.
+  auto spill_partition =
+      [](const std::vector<std::pair<CellKey, ShuffleObject>>& records) {
+        return mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(records);
+      };
+  CellStore* store_ptr = store.get();
+  auto reduce_partition =
+      [store_ptr](uint32_t /*partition*/,
+                  const std::vector<const mr::FlatSegment*>& segments,
+                  mr::ReduceContext<uint64_t>& ctx) -> Status {
+    mr::FlatMergeStream<CellKey, ShuffleObject> stream(segments);
+    std::vector<std::pair<CellKey, ShuffleObject>> rows;
+    bool has = stream.Advance();
+    while (has) {
+      const geo::CellId cell = static_cast<geo::CellId>(stream.bucket());
+      mr::FlatGroupCursor<CellKey, ShuffleObject> cursor(&stream,
+                                                         stream.bucket());
+      rows.clear();
+      while (cursor.Next()) {
+        rows.emplace_back(cursor.key(), OwnView(cursor.value()));
+      }
+      // One flat-arena image per cell. The rows arrive in merge order
+      // (the order a cold reduce group would stream them), and
+      // BuildFlatSegment's stable layout preserves it.
+      auto seg_or =
+          mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(rows);
+      if (!seg_or.ok()) return seg_or.status();
+      Partition& part = store_ptr->cells_[cell];  // one task per cell
+      part.segment = *std::move(seg_or);
+      part.record_count = part.segment.num_records;
+      has = cursor.FinishGroup();
+    }
+    return stream.status();
+  };
+
+  SPQ_ASSIGN_OR_RETURN(
+      auto output,
+      (mr::internal::RunJobWith<mr::FlatSegment>(
+          spec, config, input, spill_partition, reduce_partition)));
+  store->build_stats_ = std::move(output.stats);
+  store->data_objects_ =
+      store->build_stats_.counters.Get(counter::kDataObjects);
+  return store;
+}
+
+std::vector<std::vector<geo::CellId>> CellStore::DataCellsByPartition(
+    const std::function<uint32_t(const CellKey&, uint32_t)>& partitioner,
+    uint32_t num_partitions) const {
+  std::vector<std::vector<geo::CellId>> by_partition(num_partitions);
+  for (geo::CellId c = 0; c < num_cells(); ++c) {
+    if (cell_record_count(c) == 0) continue;
+    by_partition[partitioner(CellKey{c, 0.0}, num_partitions)].push_back(c);
+  }
+  return by_partition;
+}
+
+StatusOr<CellStore::Partition*> CellStore::Serve(geo::CellId cell) {
+  if (cell >= cells_.size()) {
+    return Status::InvalidArgument("cell id outside the store grid");
+  }
+  Partition& part = cells_[cell];
+  if (!part.materialized) {
+    // Idempotent under reduce-attempt retries: a prior pass that failed
+    // mid-read must not leave stale rows behind.
+    part.data.Clear();
+    part.index.Reset();
+    part.data.Reserve(part.record_count);
+    if (part.record_count > 0) {
+      mr::internal::FlatSegmentReader<CellKey, ShuffleObject> reader(
+          &part.segment);
+      while (reader.Next()) part.data.Add(reader.view());
+      SPQ_RETURN_NOT_OK(reader.status());
+      if (part.data.size() != part.record_count) {
+        return Status::Internal("store partition truncated");
+      }
+      // The serving form replaces the persisted bytes (no double
+      // residency); record_count keeps the bookkeeping.
+      part.segment.bytes.clear();
+      part.segment.bytes.shrink_to_fit();
+    }
+    part.materialized = true;
+  }
+  return &part;
+}
+
+namespace {
+
+/// Shared reduce-side skeleton of both warm jobs: walk the partition's
+/// merged group stream, serve each group against the store, and (single
+/// query only) account a reduce group for every resident data cell the
+/// feature stream skipped — the cold path runs those groups too, they
+/// just produce no output, so warm counters must match.
+///
+/// `data_cells` is the partition's sorted resident-cell list (empty for
+/// the batched job, whose cold path never counts feature-less cells), and
+/// group cells arrive in ascending order on both shuffle paths, so the
+/// accounting is a two-pointer walk.
+template <typename Ctx>
+class DataOnlyGroupAccountant {
+ public:
+  DataOnlyGroupAccountant(const std::vector<geo::CellId>* cells, Ctx& ctx)
+      : cells_(cells), ctx_(ctx) {}
+
+  void OnGroup(geo::CellId cell) {
+    if (cells_ == nullptr) return;
+    while (next_ < cells_->size() && (*cells_)[next_] < cell) {
+      ctx_.counters().Increment(counter::kGroups);
+      ++next_;
+    }
+    if (next_ < cells_->size() && (*cells_)[next_] == cell) ++next_;
+  }
+
+  void Finish() {
+    if (cells_ == nullptr) return;
+    while (next_ < cells_->size()) {
+      ctx_.counters().Increment(counter::kGroups);
+      ++next_;
+    }
+  }
+
+ private:
+  const std::vector<geo::CellId>* cells_;
+  Ctx& ctx_;
+  std::size_t next_ = 0;
+};
+
+/// Runs one warm job for either key/output shape. `serve_group(key,
+/// cursor, ctx)` evaluates one group against the store; `cell_of(key)`
+/// projects the group key onto the store cell.
+template <typename K, typename Out, typename ServeGroup, typename CellOf>
+StatusOr<mr::JobOutput<Out>> RunWarmJob(
+    const mr::JobSpec<ShuffleObject, K, ShuffleObject, Out>& spec,
+    const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
+    const std::vector<std::vector<geo::CellId>>* data_cells,
+    ServeGroup&& serve_group, CellOf&& cell_of) {
+  if (config.shuffle_mode == mr::ShuffleMode::kCellBucketed) {
+    auto spill_partition =
+        [](const std::vector<std::pair<K, ShuffleObject>>& records) {
+          return mr::internal::BuildFlatSegment<K, ShuffleObject>(records);
+        };
+    auto reduce_partition =
+        [&](uint32_t r, const std::vector<const mr::FlatSegment*>& segments,
+            mr::ReduceContext<Out>& ctx) -> Status {
+      mr::FlatMergeStream<K, ShuffleObject> stream(segments);
+      DataOnlyGroupAccountant accountant(
+          data_cells != nullptr ? &(*data_cells)[r] : nullptr, ctx);
+      bool has = stream.Advance();
+      while (has) {
+        const K group_key = stream.key();
+        accountant.OnGroup(cell_of(group_key));
+        mr::FlatGroupCursor<K, ShuffleObject> cursor(&stream,
+                                                     stream.bucket());
+        SPQ_RETURN_NOT_OK(serve_group(group_key, cursor, ctx));
+        has = cursor.FinishGroup();
+      }
+      accountant.Finish();
+      return stream.status();
+    };
+    return mr::internal::RunJobWith<mr::FlatSegment>(
+        spec, config, features, spill_partition, reduce_partition);
+  }
+
+  auto spill_partition =
+      [&spec](std::vector<std::pair<K, ShuffleObject>>& records) {
+        return mr::internal::BuildSortedSegment<K, ShuffleObject>(
+            records, spec.sort_less);
+      };
+  auto reduce_partition =
+      [&](uint32_t r, const std::vector<const mr::SortedSegment*>& segments,
+          mr::ReduceContext<Out>& ctx) -> Status {
+    mr::MergeStream<K, ShuffleObject> stream(segments, spec.sort_less);
+    DataOnlyGroupAccountant accountant(
+        data_cells != nullptr ? &(*data_cells)[r] : nullptr, ctx);
+    bool has = stream.Advance();
+    while (has) {
+      const K group_key = stream.key();
+      accountant.OnGroup(cell_of(group_key));
+      mr::internal::GroupCursor<K, ShuffleObject> cursor(&stream, &group_key,
+                                                         &spec.group_equal);
+      SPQ_RETURN_NOT_OK(serve_group(group_key, cursor, ctx));
+      has = cursor.FinishGroup();
+    }
+    accountant.Finish();
+    return stream.status();
+  };
+  return mr::internal::RunJobWith<mr::SortedSegment>(
+      spec, config, features, spill_partition, reduce_partition);
+}
+
+}  // namespace
+
+StatusOr<mr::JobOutput<ResultEntry>> RunWarmQueryJob(
+    CellStore& store, Algorithm algo, const Query& query,
+    const mr::JobSpec<ShuffleObject, CellKey, ShuffleObject, ResultEntry>&
+        spec,
+    const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
+    const std::vector<std::vector<geo::CellId>>& data_cells,
+    JoinMode join_mode) {
+  auto serve_group = [&](const CellKey& key, auto& cursor,
+                         mr::ReduceContext<ResultEntry>& ctx) -> Status {
+    SPQ_ASSIGN_OR_RETURN(CellStore::Partition * part, store.Serve(key.cell));
+    // Per-query score scratch; eSPQsco tracks reports, not scores, so it
+    // skips the O(n) reset.
+    if (algo != Algorithm::kESPQSco) part->data.ResetScores();
+    reduce_core::RunReduce(algo, join_mode, query, part->data, part->index,
+                           cursor, ctx.counters(),
+                           [&ctx](const ResultEntry& e) { ctx.Emit(e); });
+    return Status::OK();
+  };
+  return RunWarmJob<CellKey, ResultEntry>(
+      spec, config, features, &data_cells, serve_group,
+      [](const CellKey& key) { return key.cell; });
+}
+
+StatusOr<mr::JobOutput<BatchResultEntry>> RunWarmBatchJob(
+    CellStore& store, Algorithm algo, const std::vector<Query>& queries,
+    const mr::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
+                      BatchResultEntry>& spec,
+    const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
+    JoinMode join_mode) {
+  auto serve_group = [&](const BatchCellKey& key, auto& cursor,
+                         mr::ReduceContext<BatchResultEntry>& ctx) -> Status {
+    // The feature-only input cannot produce the data sentinel (query 0);
+    // out-of-range indices are drained defensively like the cold reducer.
+    if (key.query == 0 || key.query > queries.size()) return Status::OK();
+    const uint32_t q = key.query - 1;
+    SPQ_ASSIGN_OR_RETURN(CellStore::Partition * part, store.Serve(key.cell));
+    if (algo != Algorithm::kESPQSco) part->data.ResetScores();
+    reduce_core::RunReduce(algo, join_mode, queries[q], part->data,
+                           part->index, cursor, ctx.counters(),
+                           [&ctx, q](const ResultEntry& e) {
+                             ctx.Emit(BatchResultEntry{q, e});
+                           });
+    return Status::OK();
+  };
+  // No data-only accounting: the cold batched reducer's sentinel groups
+  // never reach a reduce core, so feature-less cells count no group there
+  // either.
+  return RunWarmJob<BatchCellKey, BatchResultEntry>(
+      spec, config, features, /*data_cells=*/nullptr, serve_group,
+      [](const BatchCellKey& key) { return key.cell; });
+}
+
+}  // namespace spq::core

@@ -1,0 +1,145 @@
+#ifndef SPQ_SPQ_CELL_STORE_H_
+#define SPQ_SPQ_CELL_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "geo/grid.h"
+#include "mapreduce/job.h"
+#include "mapreduce/merge.h"
+#include "mapreduce/runtime.h"
+#include "spq/algorithms.h"
+#include "spq/batch.h"
+#include "spq/reduce_core.h"
+#include "spq/shuffle_types.h"
+#include "spq/types.h"
+
+namespace spq::core {
+
+/// \brief Resident serving layer over the paper's grid partitioning of the
+/// object set O.
+///
+/// The data side of every SPQ job is query-independent for a fixed grid:
+/// each data object belongs to exactly one cell and carries no per-query
+/// state. Before this layer existed, every Engine::Run re-mapped and
+/// re-shuffled the entire dataset per query; a CellStore runs that
+/// pipeline ONCE — the standard map/shuffle job, flat-arena segments and
+/// all — and persists the result as one resident partition per cell:
+///
+///   - `segment`: the cell's records in the persisted flat-arena form
+///     (FlatSegment layout from merge.h — key rows / payloads / TermId
+///     pool), exactly as a reduce task would have received them;
+///   - `data` + `index`: the serving form, materialized lazily from the
+///     segment at the cell's first query touch — the SoA CellData the
+///     reduce cores join against plus one cached CellGridIndex that is
+///     maintained incrementally (CellGridIndex::Sync) instead of being
+///     rebuilt per reduce group.
+///
+/// Warm queries then shuffle only their features (see RunWarmQueryJob /
+/// RunWarmBatchJob): each reduce group joins its feature stream against
+/// the resident partition of its cell — the data side skips map and
+/// shuffle entirely. Only the per-query score scratch is reset between
+/// queries.
+///
+/// The store is built for a maximum radius class: the grid geometry is
+/// chosen for `max_radius`, and SpqEngine::Query refuses (loudly, via the
+/// cold-path fallback) to serve a larger radius from the store.
+///
+/// Thread safety: a store may serve ONE job at a time. Within a job,
+/// parallel reduce tasks touch disjoint cells (the partitioner assigns
+/// each cell to exactly one task), which is what makes the lazy
+/// materialization and per-cell score scratch safe without locks.
+class CellStore {
+ public:
+  /// One cell's resident partition (see class comment).
+  struct Partition {
+    mapreduce::FlatSegment segment;    ///< persisted form; bytes released
+                                       ///< once materialized
+    reduce_core::CellData data;        ///< serving form (SoA)
+    reduce_core::CellGridIndex index;  ///< cached, incrementally synced
+    uint64_t record_count = 0;         ///< data objects in the cell
+    bool materialized = false;
+  };
+
+  /// Builds the store by running the map/shuffle pipeline once over
+  /// `input` (the flattened O ∪ F; feature records are skipped — they are
+  /// per-query) on the simulated cluster described by `config`.
+  static StatusOr<std::unique_ptr<CellStore>> Build(
+      const std::vector<ShuffleObject>& input, const geo::UniformGrid& grid,
+      double max_radius, const mapreduce::JobConfig& config);
+
+  CellStore(const CellStore&) = delete;
+  CellStore& operator=(const CellStore&) = delete;
+
+  const geo::UniformGrid& grid() const { return grid_; }
+  double max_radius() const { return max_radius_; }
+  uint32_t num_cells() const { return static_cast<uint32_t>(cells_.size()); }
+  uint64_t data_objects() const { return data_objects_; }
+  /// Stats of the one-time build job (map/shuffle cost queries no longer
+  /// pay).
+  const mapreduce::JobStats& build_stats() const { return build_stats_; }
+  uint64_t cell_record_count(geo::CellId cell) const {
+    return cells_[cell].record_count;
+  }
+
+  /// Serving access for one reduce group: materializes the partition on
+  /// first touch. The caller owns the per-query score-scratch reset
+  /// (CellData::ResetScores — needed only by the algorithms that read
+  /// scores). The returned partition stays owned by the store; see the
+  /// class comment for the concurrency contract.
+  StatusOr<Partition*> Serve(geo::CellId cell);
+
+  /// Sorted list, per reduce partition, of the store cells that hold data
+  /// — the resident half of the warm join, used by the single-query job
+  /// to account reduce groups for cells the feature stream never visits.
+  /// Fully determined by (store, partitioner, num_partitions), so the
+  /// engine computes it once at BuildStore() time, not per query.
+  std::vector<std::vector<geo::CellId>> DataCellsByPartition(
+      const std::function<uint32_t(const CellKey&, uint32_t)>& partitioner,
+      uint32_t num_partitions) const;
+
+ private:
+  CellStore(geo::UniformGrid grid, double max_radius)
+      : grid_(grid), max_radius_(max_radius), cells_(grid.num_cells()) {}
+
+  geo::UniformGrid grid_;
+  double max_radius_;
+  std::vector<Partition> cells_;
+  uint64_t data_objects_ = 0;
+  mapreduce::JobStats build_stats_;
+};
+
+/// Runs one warm single-query job: maps and shuffles `features` (feature
+/// records only — the engine keeps them flattened separately) with the
+/// spec's mapper/partitioner, then joins each reduce group against the
+/// store's resident partition for its cell. `data_cells` is the store's
+/// DataCellsByPartition result for this spec's partitioner and
+/// config.num_reduce_tasks (cached by the engine across queries). Both
+/// shuffle modes are supported and produce results and SPQ counters
+/// bit-identical to the cold single-shot path; of the job-level stats,
+/// the map/shuffle figures cover only the feature side (the quantity the
+/// store amortizes away).
+StatusOr<mapreduce::JobOutput<ResultEntry>> RunWarmQueryJob(
+    CellStore& store, Algorithm algo, const Query& query,
+    const mapreduce::JobSpec<ShuffleObject, CellKey, ShuffleObject,
+                             ResultEntry>& spec,
+    const mapreduce::JobConfig& config,
+    const std::vector<ShuffleObject>& features,
+    const std::vector<std::vector<geo::CellId>>& data_cells,
+    JoinMode join_mode);
+
+/// Batched twin of RunWarmQueryJob: every (cell, query) reduce group joins
+/// against the cell's ONE resident partition and its shared cached index —
+/// the batched job's former per-cell replay cache, now a view over the
+/// store.
+StatusOr<mapreduce::JobOutput<BatchResultEntry>> RunWarmBatchJob(
+    CellStore& store, Algorithm algo, const std::vector<Query>& queries,
+    const mapreduce::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
+                             BatchResultEntry>& spec,
+    const mapreduce::JobConfig& config,
+    const std::vector<ShuffleObject>& features, JoinMode join_mode);
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_CELL_STORE_H_

@@ -10,15 +10,109 @@
 #include "mapreduce/runtime.h"
 #include "spq/balanced_partitioner.h"
 #include "spq/batch.h"
+#include "spq/cell_store.h"
 #include "spq/duplication.h"
 #include "spq/topk.h"
 
 namespace spq::core {
 
+namespace {
+
+/// Extension: LPT cell->reducer assignment from per-cell cost estimates
+/// (Section 7.2.4's imbalance countermeasure; see balanced_partitioner.h).
+/// Null when the options don't call for it. The computation scans the
+/// whole dataset, so the warm path computes it ONCE at BuildStore() and
+/// reuses it per query; the cold path derives it per Execute() (the grid
+/// may differ per call there).
+std::shared_ptr<const std::vector<uint32_t>> MakeBalancedCellAssignment(
+    const Dataset& dataset, const EngineOptions& options,
+    const geo::UniformGrid& grid, uint32_t num_reduce_tasks) {
+  if (options.partitioner != PartitionerKind::kBalanced ||
+      num_reduce_tasks >= grid.num_cells()) {
+    return nullptr;
+  }
+  return std::make_shared<const std::vector<uint32_t>>(
+      BalancedAssignment(ComputeCellLoad(dataset, grid), num_reduce_tasks));
+}
+
+/// The one cell->partition rule every consumer must share: the balanced
+/// assignment when present (modulo fallback for clamped out-of-grid
+/// cells, defensive), plain CellPartitioner otherwise. Feature routing
+/// (ApplyCellAssignment) and the warm path's resident-cell group
+/// accounting (store_data_cells_) both go through here — they must agree
+/// for every cell or the warm reduce.groups counter desynchronizes.
+uint32_t AssignedPartition(
+    const std::shared_ptr<const std::vector<uint32_t>>& assignment,
+    const CellKey& key, uint32_t parts) {
+  if (assignment != nullptr && key.cell < assignment->size()) {
+    return (*assignment)[key.cell];
+  }
+  return CellPartitioner(key, parts);
+}
+
+/// Routes the spec's features through `assignment`; no-op when it is null
+/// (the spec's default partitioner already equals AssignedPartition's
+/// null-assignment behavior).
+void ApplyCellAssignment(
+    std::shared_ptr<const std::vector<uint32_t>> assignment,
+    mapreduce::JobSpec<ShuffleObject, CellKey, ShuffleObject, ResultEntry>&
+        spec) {
+  if (assignment == nullptr) return;
+  spec.partitioner = [assignment = std::move(assignment)](const CellKey& key,
+                                                          uint32_t parts) {
+    return AssignedPartition(assignment, key, parts);
+  };
+}
+
+/// Assembles the SPQ-level measurements of one single-query job.
+SpqResult MakeSpqResult(const core::Query& query, Algorithm algo,
+                        uint32_t grid_size, uint32_t num_reduce_tasks,
+                        mapreduce::JobOutput<ResultEntry>&& output) {
+  SpqResult result;
+  result.entries = MergeTopK(std::move(output.records), query.k);
+
+  SpqRunInfo& info = result.info;
+  info.algorithm = algo;
+  info.grid_size = grid_size;
+  info.num_reduce_tasks = num_reduce_tasks;
+  const mapreduce::Counters& counters = output.stats.counters;
+  info.features_kept = counters.Get(counter::kFeaturesKept);
+  info.features_pruned = counters.Get(counter::kFeaturesPruned);
+  info.feature_duplicates = counters.Get(counter::kFeatureDuplicates);
+  info.features_examined = counters.Get(counter::kFeaturesExamined);
+  info.pairs_tested = counters.Get(counter::kPairsTested);
+  info.early_terminations = counters.Get(counter::kEarlyTerminations);
+  info.reduce_groups = counters.Get(counter::kGroups);
+  info.job = std::move(output.stats);
+  return result;
+}
+
+/// Routes each output row to its query and merges the per-cell lists.
+SpqBatchResult MakeBatchResult(const std::vector<core::Query>& queries,
+                               mapreduce::JobOutput<BatchResultEntry>&& output) {
+  SpqBatchResult result;
+  result.per_query.resize(queries.size());
+  std::vector<std::vector<ResultEntry>> candidates(queries.size());
+  for (const BatchResultEntry& row : output.records) {
+    if (row.query < candidates.size()) {
+      candidates[row.query].push_back(row.entry);
+    }
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    result.per_query[q] = MergeTopK(std::move(candidates[q]), queries[q].k);
+  }
+  result.job = std::move(output.stats);
+  return result;
+}
+
+}  // namespace
+
 SpqEngine::SpqEngine(Dataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)),
       options_(options),
       input_(FlattenDataset(dataset_)) {}
+
+SpqEngine::~SpqEngine() = default;
 
 Status ValidateQuery(const Query& query) {
   if (query.k == 0) {
@@ -30,7 +124,35 @@ Status ValidateQuery(const Query& query) {
   return Status::OK();
 }
 
-StatusOr<SpqResult> SpqEngine::Execute(const Query& query, Algorithm algo,
+mapreduce::JobConfig SpqEngine::MakeClusterConfig(
+    uint32_t default_reduce_tasks, std::string job_name) const {
+  mapreduce::JobConfig config;
+  config.num_workers = options_.num_workers > 0
+                           ? options_.num_workers
+                           : std::max(1u, std::thread::hardware_concurrency());
+  config.num_map_tasks = options_.num_map_tasks > 0
+                             ? options_.num_map_tasks
+                             : 4 * config.num_workers;
+  config.num_reduce_tasks = options_.num_reduce_tasks > 0
+                                ? options_.num_reduce_tasks
+                                : default_reduce_tasks;
+  config.faults = options_.faults;
+  config.max_task_attempts = options_.max_task_attempts;
+  config.job_name = std::move(job_name);
+  config.spill_dir = options_.spill_dir;
+  config.shuffle_mode = options_.shuffle_mode;
+  return config;
+}
+
+SpqJobOptions SpqEngine::MakeJobOptions() const {
+  SpqJobOptions job_options;
+  job_options.keyword_prefilter = options_.keyword_prefilter;
+  job_options.join_mode = options_.join_mode;
+  return job_options;
+}
+
+StatusOr<SpqResult> SpqEngine::Execute(const core::Query& query,
+                                       Algorithm algo,
                                        uint32_t grid_size_override) const {
   SPQ_RETURN_NOT_OK(ValidateQuery(query));
 
@@ -50,71 +172,30 @@ StatusOr<SpqResult> SpqEngine::Execute(const Query& query, Algorithm algo,
                  << "); duplication will be heavy (paper assumes a >= r)";
   }
 
-  // --- cluster shape ---
-  mapreduce::JobConfig config;
-  config.num_workers = options_.num_workers > 0
-                           ? options_.num_workers
-                           : std::max(1u, std::thread::hardware_concurrency());
-  config.num_map_tasks = options_.num_map_tasks > 0
-                             ? options_.num_map_tasks
-                             : 4 * config.num_workers;
-  config.num_reduce_tasks = options_.num_reduce_tasks > 0
-                                ? options_.num_reduce_tasks
-                                : grid.num_cells();
-  config.faults = options_.faults;
-  config.max_task_attempts = options_.max_task_attempts;
-  config.job_name = AlgorithmName(algo);
-  config.spill_dir = options_.spill_dir;
-  config.shuffle_mode = options_.shuffle_mode;
+  const mapreduce::JobConfig config =
+      MakeClusterConfig(grid.num_cells(), AlgorithmName(algo));
 
   // --- the single MapReduce job ---
-  SpqJobOptions job_options;
-  job_options.keyword_prefilter = options_.keyword_prefilter;
-  job_options.join_mode = options_.join_mode;
+  const SpqJobOptions job_options = MakeJobOptions();
   auto spec = MakeSpqJobSpec(algo, query, grid, job_options);
-  if (options_.partitioner == PartitionerKind::kBalanced &&
-      config.num_reduce_tasks < grid.num_cells()) {
-    // Extension: LPT cell->reducer assignment from per-cell cost estimates
-    // (Section 7.2.4's imbalance countermeasure; see balanced_partitioner.h).
-    auto assignment = std::make_shared<std::vector<uint32_t>>(
-        BalancedAssignment(ComputeCellLoad(dataset_, grid),
-                           config.num_reduce_tasks));
-    spec.partitioner = [assignment](const CellKey& key, uint32_t parts) {
-      if (key.cell < assignment->size()) return (*assignment)[key.cell];
-      return key.cell % parts;  // clamped out-of-grid cells (defensive)
-    };
-  }
-  SPQ_ASSIGN_OR_RETURN(auto output,
-                       mapreduce::RunJob(spec, config, input_));
+  ApplyCellAssignment(MakeBalancedCellAssignment(dataset_, options_, grid,
+                                                 config.num_reduce_tasks),
+                      spec);
+  SPQ_ASSIGN_OR_RETURN(auto output, mapreduce::RunJob(spec, config, input_));
 
   // --- centralized merge of per-cell top-k lists (cheap: <= k * cells) ---
-  SpqResult result;
-  result.entries = MergeTopK(std::move(output.records), query.k);
-
-  SpqRunInfo& info = result.info;
-  info.algorithm = algo;
-  info.grid_size = grid_size;
-  info.num_reduce_tasks = config.num_reduce_tasks;
-  const mapreduce::Counters& counters = output.stats.counters;
-  info.features_kept = counters.Get(counter::kFeaturesKept);
-  info.features_pruned = counters.Get(counter::kFeaturesPruned);
-  info.feature_duplicates = counters.Get(counter::kFeatureDuplicates);
-  info.features_examined = counters.Get(counter::kFeaturesExamined);
-  info.pairs_tested = counters.Get(counter::kPairsTested);
-  info.early_terminations = counters.Get(counter::kEarlyTerminations);
-  info.reduce_groups = counters.Get(counter::kGroups);
-  info.job = std::move(output.stats);
-  return result;
+  return MakeSpqResult(query, algo, grid_size, config.num_reduce_tasks,
+                       std::move(output));
 }
 
 StatusOr<SpqBatchResult> SpqEngine::ExecuteBatch(
-    const std::vector<Query>& queries, Algorithm algo,
+    const std::vector<core::Query>& queries, Algorithm algo,
     uint32_t grid_size_override) const {
   if (queries.empty()) {
     return Status::InvalidArgument("empty query batch");
   }
   double max_radius = 0.0;
-  for (const Query& query : queries) {
+  for (const core::Query& query : queries) {
     SPQ_RETURN_NOT_OK(ValidateQuery(query));
     max_radius = std::max(max_radius, query.radius);
   }
@@ -129,40 +210,133 @@ StatusOr<SpqBatchResult> SpqEngine::ExecuteBatch(
       geo::UniformGrid grid,
       geo::UniformGrid::Make(dataset_.bounds, grid_size, grid_size));
 
-  mapreduce::JobConfig config;
-  config.num_workers = options_.num_workers > 0
-                           ? options_.num_workers
-                           : std::max(1u, std::thread::hardware_concurrency());
-  config.num_map_tasks = options_.num_map_tasks > 0
-                             ? options_.num_map_tasks
-                             : 4 * config.num_workers;
-  config.num_reduce_tasks = options_.num_reduce_tasks > 0
-                                ? options_.num_reduce_tasks
-                                : grid.num_cells();
-  config.faults = options_.faults;
-  config.max_task_attempts = options_.max_task_attempts;
-  config.job_name = AlgorithmName(algo) + "-batch";
-  config.spill_dir = options_.spill_dir;
-  config.shuffle_mode = options_.shuffle_mode;
+  const mapreduce::JobConfig config =
+      MakeClusterConfig(grid.num_cells(), AlgorithmName(algo) + "-batch");
 
-  SpqJobOptions job_options;
-  job_options.keyword_prefilter = options_.keyword_prefilter;
-  job_options.join_mode = options_.join_mode;
+  const SpqJobOptions job_options = MakeJobOptions();
   auto spec = MakeBatchSpqJobSpec(algo, queries, grid, job_options);
   SPQ_ASSIGN_OR_RETURN(auto output, mapreduce::RunJob(spec, config, input_));
+  return MakeBatchResult(queries, std::move(output));
+}
 
-  SpqBatchResult result;
-  result.per_query.resize(queries.size());
-  std::vector<std::vector<ResultEntry>> candidates(queries.size());
-  for (const BatchResultEntry& row : output.records) {
-    if (row.query < candidates.size()) {
-      candidates[row.query].push_back(row.entry);
-    }
+Status SpqEngine::BuildStore(double max_radius, uint32_t grid_size_override) {
+  if (!(max_radius >= 0.0) || !std::isfinite(max_radius)) {
+    return Status::InvalidArgument("store max_radius must be finite and >= 0");
   }
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    result.per_query[q] = MergeTopK(std::move(candidates[q]), queries[q].k);
+  uint32_t grid_size =
+      grid_size_override > 0 ? grid_size_override : options_.grid_size;
+  if (grid_size == 0) {
+    grid_size = AdviseGridSize(max_radius, dataset_.bounds.width(),
+                               /*max_per_side=*/128);
   }
-  result.job = std::move(output.stats);
+  SPQ_ASSIGN_OR_RETURN(
+      geo::UniformGrid grid,
+      geo::UniformGrid::Make(dataset_.bounds, grid_size, grid_size));
+
+  const mapreduce::JobConfig config =
+      MakeClusterConfig(grid.num_cells(), "cellstore-build");
+  SPQ_ASSIGN_OR_RETURN(auto store,
+                       CellStore::Build(input_, grid, max_radius, config));
+  store_ = std::move(store);
+  // Warm queries share the store grid and cluster shape, so everything a
+  // query would otherwise rederive — the balanced assignment (a
+  // full-dataset scan) and the per-partition resident-data cell lists
+  // (an all-cells scan) — is computed once here, not per query.
+  store_balanced_ = MakeBalancedCellAssignment(dataset_, options_, grid,
+                                               config.num_reduce_tasks);
+  store_data_cells_ = store_->DataCellsByPartition(
+      [this](const CellKey& key, uint32_t parts) {
+        return AssignedPartition(store_balanced_, key, parts);
+      },
+      config.num_reduce_tasks);
+
+  // The warm feature-side input: borrowed aliases into input_ (which the
+  // engine owns for its lifetime), so no keyword list is cloned.
+  feature_input_.clear();
+  feature_input_.reserve(dataset_.features.size());
+  for (const ShuffleObject& x : input_) {
+    if (x.is_feature()) feature_input_.push_back(x.Borrowed());
+  }
+  return Status::OK();
+}
+
+StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
+                                     Algorithm algo) {
+  SPQ_RETURN_NOT_OK(ValidateQuery(query));
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "no resident CellStore: call BuildStore() before Query()");
+  }
+  if (query.radius > store_->max_radius()) {
+    // The max-radius contract, loudly: the store's grid (and its Lemma-1
+    // duplication geometry) was sized for the build radius, so this query
+    // cannot be answered from the warm path.
+    SPQ_LOG_WARN << "Query radius " << query.radius
+                 << " exceeds the store build radius "
+                 << store_->max_radius()
+                 << "; falling back to the cold single-shot path";
+    // No grid override: the store grid was sized for the build radius;
+    // the cold path sizes its own grid for this (larger) radius.
+    auto result = Execute(query, algo);
+    if (result.ok()) result->info.cold_fallback = true;
+    return result;
+  }
+
+  const geo::UniformGrid& grid = store_->grid();
+  const mapreduce::JobConfig config =
+      MakeClusterConfig(grid.num_cells(), AlgorithmName(algo) + "-warm");
+
+  const SpqJobOptions job_options = MakeJobOptions();
+  auto spec = MakeSpqJobSpec(algo, query, grid, job_options);
+  ApplyCellAssignment(store_balanced_, spec);
+  SPQ_ASSIGN_OR_RETURN(
+      auto output,
+      RunWarmQueryJob(*store_, algo, query, spec, config, feature_input_,
+                      store_data_cells_, options_.join_mode));
+  SpqResult result = MakeSpqResult(query, algo, grid.nx(),
+                                   config.num_reduce_tasks,
+                                   std::move(output));
+  result.info.warm_path = true;
+  return result;
+}
+
+StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
+    const std::vector<core::Query>& queries, Algorithm algo) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "no resident CellStore: call BuildStore() before QueryBatch()");
+  }
+  double max_radius = 0.0;
+  for (const core::Query& query : queries) {
+    SPQ_RETURN_NOT_OK(ValidateQuery(query));
+    max_radius = std::max(max_radius, query.radius);
+  }
+  if (max_radius > store_->max_radius()) {
+    SPQ_LOG_WARN << "QueryBatch max radius " << max_radius
+                 << " exceeds the store build radius "
+                 << store_->max_radius()
+                 << "; falling back to the cold single-shot path";
+    // As in Query(): let the cold path size its own grid for this radius.
+    auto result = ExecuteBatch(queries, algo);
+    if (result.ok()) result->cold_fallback = true;
+    return result;
+  }
+
+  const geo::UniformGrid& grid = store_->grid();
+  const mapreduce::JobConfig config = MakeClusterConfig(
+      grid.num_cells(), AlgorithmName(algo) + "-warm-batch");
+
+  const SpqJobOptions job_options = MakeJobOptions();
+  auto spec = MakeBatchSpqJobSpec(algo, queries, grid, job_options);
+  SPQ_ASSIGN_OR_RETURN(
+      auto output,
+      RunWarmBatchJob(*store_, algo, queries, spec, config, feature_input_,
+                      options_.join_mode));
+  SpqBatchResult result = MakeBatchResult(queries, std::move(output));
+  result.warm_path = true;
   return result;
 }
 

@@ -2,6 +2,8 @@
 #define SPQ_SPQ_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/statusor.h"
@@ -11,6 +13,8 @@
 #include "spq/types.h"
 
 namespace spq::core {
+
+class CellStore;  // cell_store.h — the resident serving layer
 
 /// How grid cells map to reduce tasks when there are fewer reducers than
 /// cells.
@@ -78,6 +82,17 @@ struct SpqRunInfo {
   uint64_t early_terminations = 0;   ///< reduce groups that stopped early
   uint64_t reduce_groups = 0;
 
+  /// True when the run was served from the resident CellStore (warm path:
+  /// only features were mapped and shuffled). All counters above are
+  /// identical to the cold path's; of the job-level stats, the map/shuffle
+  /// figures (map_output_records, shuffle_bytes, map.data_objects) cover
+  /// only the feature side.
+  bool warm_path = false;
+  /// True when Query()/QueryBatch() had to fall back to the cold
+  /// single-shot path because the radius exceeded the store's build
+  /// radius.
+  bool cold_fallback = false;
+
   mapreduce::JobStats job;
 
   /// Realized duplication factor: (kept + duplicates) / kept.
@@ -108,30 +123,52 @@ struct SpqResult {
 struct SpqBatchResult {
   std::vector<std::vector<ResultEntry>> per_query;
   mapreduce::JobStats job;
+  bool warm_path = false;     ///< served from the resident CellStore
+  bool cold_fallback = false; ///< radius exceeded the store's build radius
 };
 
 /// \brief Public facade: evaluates spatial preference queries using
 /// keywords over a Dataset on the simulated MapReduce cluster.
 ///
+/// Two serving modes:
+///
+///   Cold (single-shot, the paper's model): each Execute()/ExecuteBatch()
+///   builds the query-time grid and runs one full MapReduce job — the
+///   entire dataset is re-mapped and re-shuffled per call.
+///
+///   Warm (resident): BuildStore() runs the dataset-side map/shuffle ONCE
+///   into a CellStore of per-cell flat-arena partitions (cell_store.h);
+///   Query()/QueryBatch() then shuffle only their features and join each
+///   reduce group against the resident partition, with one cached,
+///   incrementally maintained spatial index per cell. Results and SPQ
+///   counters are bit-identical to the cold path (store_equivalence
+///   tests); a query whose radius exceeds the store's build radius falls
+///   back to the cold path, loudly (see SpqRunInfo::cold_fallback).
+///
 /// Usage:
 ///   SpqEngine engine(dataset, options);
-///   auto result = engine.Execute(query, Algorithm::kESPQSco);
+///   engine.BuildStore(/*max_radius=*/0.05);
+///   auto result = engine.Query(query, Algorithm::kESPQSco);
 ///   for (const auto& e : result->entries) { ... }
 ///
-/// The engine flattens the dataset once (the map input "files"); each
-/// Execute() builds the query-time grid, runs the single MapReduce job of
-/// the chosen algorithm and merges the per-cell top-k lists.
+/// The engine flattens the dataset once (the map input "files").
+/// Thread safety: Execute/ExecuteBatch are const and may run concurrently;
+/// BuildStore/Query/QueryBatch mutate the resident store (per-query score
+/// scratch, lazy materialization) and must be externally serialized.
 class SpqEngine {
  public:
   /// The dataset is copied into the engine (the engine owns its "HDFS").
   explicit SpqEngine(Dataset dataset, EngineOptions options = {});
+  ~SpqEngine();
 
   SpqEngine(const SpqEngine&) = delete;
   SpqEngine& operator=(const SpqEngine&) = delete;
 
   /// Evaluates `query` with `algo`. Grid size / cluster shape come from
   /// the engine options unless overridden via `grid_size_override` (> 0).
-  StatusOr<SpqResult> Execute(const Query& query, Algorithm algo,
+  /// (The query type is namespace-qualified throughout this class because
+  /// the warm-path entry point below is named Query.)
+  StatusOr<SpqResult> Execute(const core::Query& query, Algorithm algo,
                               uint32_t grid_size_override = 0) const;
 
   /// Extension: evaluates a whole batch of queries in ONE MapReduce job
@@ -140,17 +177,59 @@ class SpqEngine {
   /// so `grid_size`/`grid_size_override` applies to every query. The
   /// batched job always routes by cell (PartitionerKind::kBalanced is a
   /// single-query option and is ignored here).
-  StatusOr<SpqBatchResult> ExecuteBatch(const std::vector<Query>& queries,
-                                        Algorithm algo,
-                                        uint32_t grid_size_override = 0) const;
+  StatusOr<SpqBatchResult> ExecuteBatch(
+      const std::vector<core::Query>& queries, Algorithm algo,
+      uint32_t grid_size_override = 0) const;
+
+  /// Builds (or rebuilds) the resident CellStore for queries with radius
+  /// <= `max_radius`: one dataset-side map/shuffle job whose result every
+  /// subsequent Query()/QueryBatch() joins against. The store's grid is
+  /// fixed at build time — `grid_size_override` (> 0) beats
+  /// options().grid_size; 0 for both sizes it from `max_radius` via
+  /// AdviseGridSize.
+  Status BuildStore(double max_radius, uint32_t grid_size_override = 0);
+
+  /// Warm-path evaluation against the resident store (requires a prior
+  /// BuildStore()). Radius > the store's build radius falls back to the
+  /// cold path with a warning; the result then has cold_fallback set.
+  StatusOr<SpqResult> Query(const core::Query& query, Algorithm algo);
+
+  /// Batched warm-path twin of Query(): one feature-side job, every
+  /// (cell, query) group joined against the cell's shared resident
+  /// partition and cached index. Falls back whole-batch if ANY radius
+  /// exceeds the store's build radius.
+  StatusOr<SpqBatchResult> QueryBatch(const std::vector<core::Query>& queries,
+                                      Algorithm algo);
+
+  bool has_store() const { return store_ != nullptr; }
+  /// The resident store, or nullptr before BuildStore().
+  const CellStore* store() const { return store_.get(); }
 
   const Dataset& dataset() const { return dataset_; }
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// Shared cluster-shape derivation (workers / map / reduce task counts,
+  /// faults, spill, shuffle mode) of every job this engine starts — the
+  /// cold, build and warm paths cannot drift apart.
+  mapreduce::JobConfig MakeClusterConfig(uint32_t default_reduce_tasks,
+                                         std::string job_name) const;
+  /// Same for the per-job SPQ options (prefilter, join mode).
+  SpqJobOptions MakeJobOptions() const;
+
   Dataset dataset_;
   EngineOptions options_;
   std::vector<ShuffleObject> input_;  // flattened O ∪ F
+  /// Resident serving layer (BuildStore). The warm feature-side input is
+  /// kept as borrowed aliases into input_, so no keyword list is cloned,
+  /// and the balanced cell->reducer assignment (when the options call for
+  /// one — a full-dataset scan) is computed once at build time.
+  std::unique_ptr<CellStore> store_;
+  std::vector<ShuffleObject> feature_input_;
+  std::shared_ptr<const std::vector<uint32_t>> store_balanced_;
+  /// Per-partition resident-data cell lists for the warm group
+  /// accounting; like store_balanced_, fixed once the store is built.
+  std::vector<std::vector<geo::CellId>> store_data_cells_;
 };
 
 /// Validates a query: k >= 1, radius >= 0 and finite. Empty q.W is legal

@@ -42,13 +42,19 @@ namespace spq::core::reduce_core {
 /// parallel contiguous arrays (SoA): `positions` doubles as the storage
 /// the CellGridIndex buckets refer into, so probes walk one cache-friendly
 /// array instead of chasing per-object records.
+///
+/// Since the CellStore refactor the reduce cores *borrow* a CellData (and
+/// its CellGridIndex) from the caller instead of owning one: the cold path
+/// passes fresh locals, while the resident store and the batched reducer
+/// pass long-lived per-cell instances whose ids/positions/index survive
+/// across queries and only `scores` (per-query scratch) is reset.
 struct CellData {
   std::vector<ObjectId> ids;
   std::vector<geo::Point> positions;
   std::vector<double> scores;
 
   /// Pre-sizes all arrays (used when the group's data-object count is
-  /// known up front, e.g. the batched reducer's replayed cache).
+  /// known up front, e.g. the resident store's materialized partitions).
   void Reserve(std::size_t n) {
     ids.reserve(n);
     positions.reserve(n);
@@ -62,35 +68,42 @@ struct CellData {
     scores.push_back(0.0);
   }
   std::size_t size() const { return ids.size(); }
-};
 
-/// Data-object count hint for a group-values cursor: non-zero only for
-/// cursors that know their data prefix up front (the batched reducer's
-/// replay adapters expose `data_count_hint()`); plain streaming cursors
-/// return 0 and the arrays grow geometrically as usual.
-template <typename Values>
-inline std::size_t DataCountHint(const Values& values) {
-  if constexpr (requires { values.data_count_hint(); }) {
-    return values.data_count_hint();
-  } else {
-    return 0;
+  /// Drops the objects but keeps the capacity (cross-cell cache reuse).
+  void Clear() {
+    ids.clear();
+    positions.clear();
+    scores.clear();
   }
-}
+
+  /// Zeroes the per-query running scores; call between queries that share
+  /// this CellData (ids/positions/index stay valid).
+  void ResetScores() { std::fill(scores.begin(), scores.end(), 0.0); }
+};
 
 /// \brief SoA mini-grid over one reduce group's data-object positions
 /// (JoinMode::kGridIndex). Built lazily at the first feature probe from
-/// the positions accumulated so far; rebuilt if data objects arrive later
-/// (only possible in degenerate secondary-key ties, where the linear
-/// semantics this mode mirrors also score late data against later
-/// features only).
+/// the positions accumulated so far; positions that arrive later (late
+/// data in degenerate secondary-key ties, or rows appended to a resident
+/// store partition) are absorbed *incrementally* via Sync/Append — they
+/// land in a small pending list consulted by every probe and are folded
+/// into the CSR arrays once the list outgrows kMaxPending, so late
+/// arrivals no longer trigger an O(n) rebuild each.
 ///
 /// Layout is a counting-sorted CSR: `starts_` offsets into `items_`,
 /// which holds data indices bucket-major and ascending within each bucket
-/// (counting sort is stable). The side length targets ~1 object per
-/// bucket (side ≈ √n, so the offsets array stays O(n)); fine buckets keep
-/// the one-bucket safety pad below cheap. With one bucket the probe
-/// degenerates to the full scan, so tiny groups pay no indexing overhead
-/// beyond the O(n) build.
+/// (counting sort is stable, pending entries are appended in index order
+/// and every pending index is greater than every folded one). The side
+/// length targets ~1 object per bucket (side ≈ √n, so the offsets array
+/// stays O(n)); fine buckets keep the one-bucket safety pad below cheap.
+/// With one bucket the probe degenerates to the full scan, so tiny groups
+/// pay no indexing overhead beyond the O(n) build.
+///
+/// Appended positions may fall outside the bounding box the bucket
+/// geometry was derived from; they are clamped into the boundary buckets.
+/// That is safe for the probe contract: a probe whose [p ± r] square
+/// extends past the bounds has its bucket range clamped onto the same
+/// boundary buckets, so clamped points are always visited.
 ///
 /// A radius probe walks the buckets overlapping the axis-aligned square
 /// [p ± r], padded by one bucket per side so a one-ulp rounding slip in
@@ -100,6 +113,8 @@ class CellGridIndex {
  public:
   /// (Re)builds over `positions`. O(n) counting sort.
   void Build(const std::vector<geo::Point>& positions) {
+    pending_.clear();
+    indexed_n_ = positions.size();
     built_n_ = positions.size();
     if (built_n_ == 0) return;
     double min_x = positions[0].x, max_x = positions[0].x;
@@ -132,9 +147,56 @@ class CellGridIndex {
     }
   }
 
-  /// Number of positions the current buckets were built over; callers
+  /// Number of positions currently indexed (folded + pending); callers
   /// compare against cell.size() to detect staleness.
-  std::size_t built_size() const { return built_n_; }
+  std::size_t built_size() const { return indexed_n_; }
+
+  /// Brings the index up to date with `positions`: builds on first use,
+  /// absorbs an appended tail incrementally, rebuilds if the vector
+  /// shrank. The index only tracks *growth* — a caller that mutates or
+  /// replaces already-indexed positions must call Reset() first.
+  void Sync(const std::vector<geo::Point>& positions) {
+    if (positions.size() == indexed_n_) return;
+    if (indexed_n_ == 0 || positions.size() < indexed_n_) {
+      Build(positions);
+      return;
+    }
+    Append(positions);
+  }
+
+  /// Indexes positions[built_size()..positions.size()). New entries go to
+  /// the pending list (probes consult it linearly); once it outgrows
+  /// kMaxPending, everything folds into the CSR arrays in one O(n + side²)
+  /// stable merge — appended indices are strictly greater than folded
+  /// ones, so each bucket stays ascending without re-sorting.
+  void Append(const std::vector<geo::Point>& positions) {
+    if (indexed_n_ == 0) {
+      Build(positions);
+      return;
+    }
+    for (std::size_t i = indexed_n_; i < positions.size(); ++i) {
+      pending_.emplace_back(static_cast<uint32_t>(BucketOf(positions[i])),
+                            static_cast<uint32_t>(i));
+    }
+    indexed_n_ = positions.size();
+    if (pending_.size() > kMaxPending) FoldPending();
+  }
+
+  /// Forgets everything; the next Sync/Build starts from scratch. Required
+  /// when previously indexed positions were replaced in place (Sync alone
+  /// cannot see that — it compares sizes only). Keeps the buffers'
+  /// capacity — the batched reducer Resets once per cell.
+  void Reset() {
+    starts_.clear();
+    items_.clear();
+    cursor_.clear();
+    pending_.clear();
+    side_ = 0;
+    min_x_ = min_y_ = 0.0;
+    inv_w_ = inv_h_ = 0.0;
+    built_n_ = 0;
+    indexed_n_ = 0;
+  }
 
   /// Invokes `fn(i)` for every data index i whose position can lie within
   /// distance r of p (bucket-granular superset of the r-disk). Each index
@@ -142,7 +204,7 @@ class CellGridIndex {
   /// SortedCandidates when the visit order is semantically relevant.
   template <typename Fn>
   void ForEachCandidate(const geo::Point& p, double r, Fn&& fn) const {
-    if (built_n_ == 0) return;
+    if (indexed_n_ == 0) return;
     const BucketRange range = ProbeRange(p, r);
     for (uint32_t by = range.y_lo; by <= range.y_hi; ++by) {
       const std::size_t row = static_cast<std::size_t>(by) * side_;
@@ -153,22 +215,26 @@ class CellGridIndex {
         }
       }
     }
+    for (const auto& [b, idx] : pending_) {
+      if (range.Contains(b % side_, b / side_)) fn(idx);
+    }
   }
 
   /// The ForEachCandidate set in ascending data-index order (eSPQsco's
   /// Lemma-3 first-hit reporting depends on it). `out` is caller-owned
   /// scratch, reused across probes. A probe covering every bucket (r
   /// comparable to the cell edge) short-circuits to 0..n-1 — ascending by
-  /// construction — instead of paying a per-feature collect + sort just
-  /// to reproduce the linear scan's order.
+  /// construction, and pending indices are exactly the trailing range —
+  /// instead of paying a per-feature collect + sort just to reproduce the
+  /// linear scan's order.
   void SortedCandidates(const geo::Point& p, double r,
                         std::vector<uint32_t>* out) const {
     out->clear();
-    if (built_n_ == 0) return;
+    if (indexed_n_ == 0) return;
     const BucketRange range = ProbeRange(p, r);
     if (range.x_lo == 0 && range.y_lo == 0 && range.x_hi == side_ - 1 &&
         range.y_hi == side_ - 1) {
-      out->resize(built_n_);
+      out->resize(indexed_n_);
       std::iota(out->begin(), out->end(), 0u);
       return;
     }
@@ -181,17 +247,53 @@ class CellGridIndex {
         }
       }
     }
+    for (const auto& [b, idx] : pending_) {
+      if (range.Contains(b % side_, b / side_)) out->push_back(idx);
+    }
     std::sort(out->begin(), out->end());
   }
 
  private:
   static constexpr uint32_t kMaxSide = 256;
+  /// Pending-list bound: probes pay O(|pending|) extra, so the list stays
+  /// small; folding costs O(n + side²) amortized over kMaxPending appends.
+  static constexpr std::size_t kMaxPending = 32;
 
   /// Inclusive bucket rectangle overlapping the axis-aligned square
   /// [p ± r], padded one bucket outward (see class comment).
   struct BucketRange {
     uint32_t x_lo, x_hi, y_lo, y_hi;
+    bool Contains(uint32_t bx, uint32_t by) const {
+      return bx >= x_lo && bx <= x_hi && by >= y_lo && by <= y_hi;
+    }
   };
+
+  /// Merges the pending entries into the CSR arrays. One stable pass:
+  /// pending is sorted by (bucket, index) and each bucket's newcomers are
+  /// appended after its existing (smaller) indices, so the bucket-ascending
+  /// invariant survives without touching the already-sorted prefix.
+  void FoldPending() {
+    std::sort(pending_.begin(), pending_.end());
+    std::vector<uint32_t> merged(items_.size() + pending_.size());
+    std::vector<uint32_t> new_starts(starts_.size(), 0);
+    std::size_t p = 0;
+    std::size_t out = 0;
+    const std::size_t num_buckets = starts_.size() - 1;
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+      new_starts[b] = static_cast<uint32_t>(out);
+      for (uint32_t k = starts_[b]; k < starts_[b + 1]; ++k) {
+        merged[out++] = items_[k];
+      }
+      while (p < pending_.size() && pending_[p].first == b) {
+        merged[out++] = pending_[p++].second;
+      }
+    }
+    new_starts[num_buckets] = static_cast<uint32_t>(out);
+    items_ = std::move(merged);
+    starts_ = std::move(new_starts);
+    built_n_ = indexed_n_;
+    pending_.clear();
+  }
   BucketRange ProbeRange(const geo::Point& p, double r) const {
     return BucketRange{LowIdx((p.x - r - min_x_) * inv_w_),
                        HighIdx((p.x + r - min_x_) * inv_w_),
@@ -229,7 +331,11 @@ class CellGridIndex {
   std::vector<uint32_t> starts_;  ///< CSR offsets, side_² + 1 entries
   std::vector<uint32_t> items_;   ///< data indices, bucket-major, ascending
   std::vector<uint32_t> cursor_;  ///< build scratch
-  std::size_t built_n_ = 0;
+  /// Appended-but-unfolded entries as (bucket, data index); indices are
+  /// exactly [built_n_, indexed_n_), in append (= ascending) order.
+  std::vector<std::pair<uint32_t, uint32_t>> pending_;
+  std::size_t built_n_ = 0;    ///< positions folded into the CSR arrays
+  std::size_t indexed_n_ = 0;  ///< built_n_ + pending_.size()
 };
 
 namespace internal {
@@ -254,7 +360,7 @@ inline void ScoreFeatureAgainstCell(JoinMode mode, const X& x, double w,
     }
   };
   if (mode == JoinMode::kGridIndex) {
-    if (index.built_size() != cell.size()) index.Build(cell.positions);
+    index.Sync(cell.positions);
     index.ForEachCandidate(x.pos, radius, test);
   } else {
     for (std::size_t i = 0; i < cell.size(); ++i) test(i);
@@ -263,14 +369,22 @@ inline void ScoreFeatureAgainstCell(JoinMode mode, const X& x, double w,
 
 }  // namespace internal
 
+/// The reduce cores below BORROW `cell` and `index` from the caller. The
+/// caller owns their lifetime and content contract:
+///  - cold path: pass fresh (empty) locals — data objects stream in through
+///    `values` and accumulate as before (see RunReduceOwned);
+///  - warm/resident path: pass a pre-populated CellData (and its cached
+///    index) whose `scores` have been reset since the previous query;
+///    `values` then carries only the query's features.
+/// Either way the cores lazily Sync the index against cell.positions, so
+/// late-arriving data appends incrementally instead of rebuilding.
+
 /// Algorithm 2 (pSPQ): full scan of the cell's features, threshold-pruned.
 template <typename Values, typename EmitFn>
-void RunPspq(const Query& query, JoinMode join_mode, Values& values,
+void RunPspq(const Query& query, JoinMode join_mode, CellData& cell,
+             CellGridIndex& index, Values& values,
              mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
-  CellData cell;
-  cell.Reserve(DataCountHint(values));
-  CellGridIndex index;
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
@@ -298,12 +412,10 @@ void RunPspq(const Query& query, JoinMode join_mode, Values& values,
 
 /// Algorithm 4 (eSPQlen): features by increasing |f.W|; stop at Lemma 2.
 template <typename Values, typename EmitFn>
-void RunEspqLen(const Query& query, JoinMode join_mode, Values& values,
+void RunEspqLen(const Query& query, JoinMode join_mode, CellData& cell,
+                CellGridIndex& index, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
-  CellData cell;
-  cell.Reserve(DataCountHint(values));
-  CellGridIndex index;
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
@@ -339,20 +451,15 @@ void RunEspqLen(const Query& query, JoinMode join_mode, Values& values,
 /// Algorithm 6 (eSPQsco): features by decreasing score (read off the
 /// composite key's `order`); stop after k reports (Lemma 3).
 template <typename Values, typename EmitFn>
-void RunEspqSco(const Query& query, JoinMode join_mode, Values& values,
+void RunEspqSco(const Query& query, JoinMode join_mode, CellData& cell,
+                CellGridIndex& index, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
-  CellData cell;
-  CellGridIndex index;
   // Byte bitmap, parallel to CellData's arrays (a vector<bool> proxy per
-  // probe costs more than the probe itself on dense cells).
-  std::vector<uint8_t> reported;
+  // probe costs more than the probe itself on dense cells). Pre-sized to
+  // the borrowed cell's current population (warm path); grows with Add.
+  std::vector<uint8_t> reported(cell.size(), 0);
   std::vector<uint32_t> probe_scratch;
-  {
-    const std::size_t hint = DataCountHint(values);
-    cell.Reserve(hint);
-    reported.reserve(hint);
-  }
   const double r2 = query.radius * query.radius;
   uint32_t reported_count = 0;
   uint64_t examined = 0;
@@ -388,7 +495,7 @@ void RunEspqSco(const Query& query, JoinMode join_mode, Values& values,
     };
     bool done = false;
     if (join_mode == JoinMode::kGridIndex) {
-      if (index.built_size() != cell.size()) index.Build(cell.positions);
+      index.Sync(cell.positions);
       index.SortedCandidates(x.pos, query.radius, &probe_scratch);
       for (uint32_t i : probe_scratch) {
         if (test(i)) {
@@ -413,21 +520,35 @@ void RunEspqSco(const Query& query, JoinMode join_mode, Values& values,
   counters.Increment(counter::kPairsTested, pairs);
 }
 
-/// Dispatch by algorithm.
+/// Dispatch by algorithm, joining against a borrowed cell + index (see the
+/// borrowing contract above).
 template <typename Values, typename EmitFn>
 void RunReduce(Algorithm algo, JoinMode join_mode, const Query& query,
-               Values& values, mapreduce::Counters& counters, EmitFn&& emit) {
+               CellData& cell, CellGridIndex& index, Values& values,
+               mapreduce::Counters& counters, EmitFn&& emit) {
   switch (algo) {
     case Algorithm::kPSPQ:
-      RunPspq(query, join_mode, values, counters, emit);
+      RunPspq(query, join_mode, cell, index, values, counters, emit);
       return;
     case Algorithm::kESPQLen:
-      RunEspqLen(query, join_mode, values, counters, emit);
+      RunEspqLen(query, join_mode, cell, index, values, counters, emit);
       return;
     case Algorithm::kESPQSco:
-      RunEspqSco(query, join_mode, values, counters, emit);
+      RunEspqSco(query, join_mode, cell, index, values, counters, emit);
       return;
   }
+}
+
+/// Cold-path convenience: one-shot group evaluation over fresh (owned)
+/// cell state — the pre-CellStore behavior, used by the single-query
+/// reducers where nothing outlives the group.
+template <typename Values, typename EmitFn>
+void RunReduceOwned(Algorithm algo, JoinMode join_mode, const Query& query,
+                    Values& values, mapreduce::Counters& counters,
+                    EmitFn&& emit) {
+  CellData cell;
+  CellGridIndex index;
+  RunReduce(algo, join_mode, query, cell, index, values, counters, emit);
 }
 
 }  // namespace spq::core::reduce_core

@@ -43,6 +43,26 @@ TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToOne) {
   EXPECT_EQ(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) pool.Submit([&count] { ++count; });
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 16);  // outstanding tasks drained before join
+  pool.Shutdown();              // second call is a no-op
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotEnqueued) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> late{0};
+  // Debug builds assert; release builds drop the task. Either way it must
+  // never run or wedge a later Wait() behind dead workers.
+  EXPECT_DEBUG_DEATH(pool.Submit([&late] { ++late; }), "Shutdown");
+  pool.Wait();  // must not block: nothing may be queued
+  EXPECT_EQ(late.load(), 0);
+}
+
 TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
   ThreadPool pool(8);
   const std::size_t n = 10000;

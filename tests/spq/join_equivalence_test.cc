@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -344,6 +345,81 @@ TEST(CellGridIndexTest, DegenerateGeometries) {
   bool found = false;
   for (uint32_t i : out) found = found || i == 10;
   EXPECT_TRUE(found);
+}
+
+// Incremental append (the replacement for the stale-rebuild path):
+// interleaved Sync/probe rounds must behave exactly like an index built
+// fresh over the full position set — probes cover the r-disk, visit each
+// index once, and SortedCandidates stays ascending — across pending-list
+// sizes below and far above the fold threshold, with appended points both
+// inside and outside the originally built bounding box.
+TEST(CellGridIndexTest, InterleavedAppendAndProbeMatchesFreshBuild) {
+  Rng rng(2017);
+  for (int round = 0; round < 15; ++round) {
+    std::vector<geo::Point> positions;
+    const std::size_t initial = 1 + rng.NextUint32(120);
+    for (std::size_t i = 0; i < initial; ++i) {
+      positions.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+    reduce_core::CellGridIndex incremental;
+    incremental.Sync(positions);  // initial build
+
+    for (int step = 0; step < 8; ++step) {
+      // Append a batch: sometimes tiny (stays pending), sometimes large
+      // (forces a fold), sometimes outside the built bounding box (lands
+      // clamped in a boundary bucket).
+      const std::size_t batch = 1 + rng.NextUint32(step % 3 == 2 ? 60 : 6);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const double spread = step % 2 == 0 ? 1.0 : 1.6;
+        positions.push_back({rng.NextDouble() * spread - 0.3 * (spread - 1.0),
+                             rng.NextDouble() * spread});
+      }
+      incremental.Sync(positions);
+      ASSERT_EQ(incremental.built_size(), positions.size());
+
+      reduce_core::CellGridIndex fresh;
+      fresh.Build(positions);
+
+      for (int probe = 0; probe < 10; ++probe) {
+        const geo::Point p{rng.NextDouble(-0.3, 1.3),
+                           rng.NextDouble(-0.3, 1.3)};
+        const double r = rng.NextDouble() * 0.3;
+        const double r2 = r * r;
+        std::vector<uint32_t> got;
+        incremental.SortedCandidates(p, r, &got);
+        for (std::size_t i = 1; i < got.size(); ++i) {
+          ASSERT_LT(got[i - 1], got[i]) << "not ascending/unique";
+        }
+        std::vector<bool> is_candidate(positions.size(), false);
+        for (uint32_t i : got) {
+          ASSERT_LT(i, positions.size());
+          is_candidate[i] = true;
+        }
+        // Correctness: the probe is a superset of the exact r-disk.
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+          if (geo::Distance2(positions[i], p) <= r2) {
+            EXPECT_TRUE(is_candidate[i])
+                << "in-disk point " << i << " missing after append";
+          }
+        }
+        // ForEachCandidate agrees with SortedCandidates (same set, each
+        // visited exactly once).
+        std::vector<uint32_t> walked;
+        incremental.ForEachCandidate(p, r,
+                                     [&](uint32_t i) { walked.push_back(i); });
+        std::sort(walked.begin(), walked.end());
+        EXPECT_EQ(walked, got);
+      }
+    }
+
+    // A Sync over a shrunk vector falls back to a rebuild.
+    positions.resize(positions.size() / 2);
+    incremental.Sync(positions);
+    EXPECT_EQ(incremental.built_size(), positions.size());
+    std::vector<uint32_t> out;
+    incremental.SortedCandidates({0.5, 0.5}, 2.0, &out);
+    EXPECT_EQ(out.size(), positions.size());
+  }
 }
 
 }  // namespace

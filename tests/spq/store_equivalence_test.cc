@@ -1,0 +1,301 @@
+// Property test for the resident CellStore serving layer: across all
+// three algorithms, both shuffle modes and spill/no-spill, the warm path
+// (BuildStore() once + Query()/QueryBatch() joining feature streams
+// against the resident per-cell partitions) must return results
+// bit-identical to the cold single-shot path, with identical SPQ counters
+// — including reduce.groups, which the warm path must account even for
+// cells the feature stream never visits. Only the map-phase dataset-side
+// figures (map.data_objects, map_output_records, shuffle_bytes) may
+// differ: the warm path legitimately skips mapping and shuffling the data
+// objects — that is the point of the store.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <tuple>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "spq/cell_store.h"
+#include "spq/engine.h"
+
+namespace spq::core {
+namespace {
+
+using mapreduce::ShuffleMode;
+
+constexpr uint32_t kGridSize = 9;
+
+Dataset MakeDataset(uint64_t seed, bool clustered) {
+  if (clustered) {
+    datagen::ClusteredSpec spec;
+    spec.num_objects = 3'000;
+    spec.seed = seed;
+    spec.vocab_size = 150;
+    spec.min_keywords = 2;
+    spec.max_keywords = 20;
+    spec.num_clusters = 6;
+    auto dataset = datagen::MakeClusteredDataset(spec);
+    EXPECT_TRUE(dataset.ok());
+    return *std::move(dataset);
+  }
+  datagen::UniformSpec spec;
+  spec.num_objects = 3'000;
+  spec.seed = seed;
+  spec.vocab_size = 150;
+  spec.min_keywords = 2;
+  spec.max_keywords = 20;
+  auto dataset = datagen::MakeUniformDataset(spec);
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+Query MakeStoreQuery(uint64_t seed, uint32_t num_keywords, double radius) {
+  datagen::WorkloadSpec spec;
+  spec.num_keywords = num_keywords;
+  spec.radius = radius;
+  spec.k = 5;
+  spec.vocab_size = 150;
+  spec.seed = seed;
+  Query q = datagen::MakeQuery(spec, 0);
+  q.radius = radius;  // pin exactly (boundary cases below)
+  return q;
+}
+
+void ExpectWarmMatchesCold(const SpqResult& cold, const SpqResult& warm,
+                           const std::string& label) {
+  EXPECT_TRUE(warm.info.warm_path) << label;
+  EXPECT_FALSE(warm.info.cold_fallback) << label;
+  ASSERT_EQ(cold.entries.size(), warm.entries.size()) << label;
+  for (std::size_t i = 0; i < cold.entries.size(); ++i) {
+    EXPECT_EQ(cold.entries[i].id, warm.entries[i].id) << label << " @" << i;
+    // Bit-identical: the warm join must feed each reduce core the same
+    // data objects in the same order as the cold stream did.
+    EXPECT_EQ(cold.entries[i].score, warm.entries[i].score)
+        << label << " @" << i;
+  }
+  const SpqRunInfo& a = cold.info;
+  const SpqRunInfo& b = warm.info;
+  // Feature-side map counters: the warm path maps the same features.
+  EXPECT_EQ(a.features_kept, b.features_kept) << label;
+  EXPECT_EQ(a.features_pruned, b.features_pruned) << label;
+  EXPECT_EQ(a.feature_duplicates, b.feature_duplicates) << label;
+  // Reduce counters must match exactly — including groups for data-only
+  // cells, which the warm path accounts without running a core.
+  EXPECT_EQ(a.features_examined, b.features_examined) << label;
+  EXPECT_EQ(a.pairs_tested, b.pairs_tested) << label;
+  EXPECT_EQ(a.early_terminations, b.early_terminations) << label;
+  EXPECT_EQ(a.reduce_groups, b.reduce_groups) << label;
+}
+
+class StoreEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<Algorithm, ShuffleMode, bool>> {};
+
+TEST_P(StoreEquivalenceTest, WarmPathMatchesCold) {
+  const auto [algo, shuffle_mode, spill] = GetParam();
+
+  EngineOptions options;
+  options.grid_size = kGridSize;
+  options.num_workers = 4;
+  options.num_map_tasks = 5;
+  // Fewer reducers than cells: partitions hold several cells each, so the
+  // warm data-only group accounting and cell interleaving get exercised.
+  options.num_reduce_tasks = 7;
+  options.shuffle_mode = shuffle_mode;
+  std::string spill_dir;
+  if (spill) {
+    std::string unique =
+        "spq_store_equivalence-" +
+        std::string(
+            ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+        "-" + std::to_string(static_cast<int>(::getpid()));
+    for (char& c : unique) {
+      if (c == '/') c = '_';
+    }
+    spill_dir = (std::filesystem::temp_directory_path() / unique).string();
+    options.spill_dir = spill_dir;
+  }
+
+  const double cell_edge = 1.0 / kGridSize;
+  const double max_radius = 0.6 * cell_edge;
+
+  for (uint64_t seed : {21ull, 22ull}) {
+    for (const bool clustered : {false, true}) {
+      const Dataset dataset = MakeDataset(seed, clustered);
+      SpqEngine engine(dataset, options);
+      ASSERT_TRUE(engine.BuildStore(max_radius).ok());
+      // Radii below, at a fraction of, and exactly AT the store's build
+      // radius (the boundary must still serve warm: the contract is
+      // radius <= max_radius).
+      for (double radius : {0.15 * max_radius, 0.7 * max_radius, max_radius}) {
+        for (uint32_t kw : {1u, 4u}) {
+          const Query query = MakeStoreQuery(seed * 100 + kw, kw, radius);
+          auto cold = engine.Execute(query, algo);
+          auto warm = engine.Query(query, algo);
+          ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+          ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+          ExpectWarmMatchesCold(
+              *cold, *warm,
+              "seed=" + std::to_string(seed) +
+                  (clustered ? " clustered" : " uniform") +
+                  " kw=" + std::to_string(kw) +
+                  " r=" + std::to_string(radius));
+          // Repeat the warm query: the cached per-cell indexes and score
+          // scratch must not leak state across queries.
+          auto warm2 = engine.Query(query, algo);
+          ASSERT_TRUE(warm2.ok());
+          ExpectWarmMatchesCold(*cold, *warm2, "repeat");
+        }
+      }
+    }
+  }
+  if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, StoreEquivalenceTest,
+    ::testing::Combine(::testing::Values(Algorithm::kPSPQ,
+                                         Algorithm::kESPQLen,
+                                         Algorithm::kESPQSco),
+                       ::testing::Values(ShuffleMode::kLegacySort,
+                                         ShuffleMode::kCellBucketed),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = AlgorithmName(std::get<0>(info.param));
+      name += std::get<1>(info.param) == ShuffleMode::kLegacySort
+                  ? "_legacy"
+                  : "_bucketed";
+      name += std::get<2>(info.param) ? "_spill" : "_mem";
+      return name;
+    });
+
+TEST(StoreEquivalenceTest, WarmBatchMatchesColdBatch) {
+  const Dataset dataset = MakeDataset(31, /*clustered=*/true);
+  const double max_radius = 0.6 / kGridSize;
+  std::vector<Query> queries;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Query q = MakeStoreQuery(700 + i, 1 + i % 3,
+                             (0.2 + 0.2 * i) * max_radius);
+    q.k = 3 + i;
+    queries.push_back(q);
+  }
+  queries[3].radius = max_radius;  // boundary inside the batch
+
+  for (ShuffleMode mode :
+       {ShuffleMode::kLegacySort, ShuffleMode::kCellBucketed}) {
+    EngineOptions options;
+    options.grid_size = kGridSize;
+    options.num_workers = 4;
+    options.num_map_tasks = 3;
+    options.num_reduce_tasks = 5;
+    options.shuffle_mode = mode;
+    SpqEngine engine(dataset, options);
+    ASSERT_TRUE(engine.BuildStore(max_radius).ok());
+    for (Algorithm algo : {Algorithm::kPSPQ, Algorithm::kESPQLen,
+                           Algorithm::kESPQSco}) {
+      auto cold = engine.ExecuteBatch(queries, algo);
+      auto warm = engine.QueryBatch(queries, algo);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      EXPECT_TRUE(warm->warm_path);
+      ASSERT_EQ(cold->per_query.size(), warm->per_query.size());
+      for (std::size_t q = 0; q < cold->per_query.size(); ++q) {
+        const auto& ce = cold->per_query[q];
+        const auto& we = warm->per_query[q];
+        ASSERT_EQ(ce.size(), we.size()) << "query " << q;
+        for (std::size_t i = 0; i < ce.size(); ++i) {
+          EXPECT_EQ(ce[i].id, we[i].id) << "query " << q << " @" << i;
+          EXPECT_EQ(ce[i].score, we[i].score) << "query " << q << " @" << i;
+        }
+      }
+      EXPECT_EQ(cold->job.counters.Get(counter::kGroups),
+                warm->job.counters.Get(counter::kGroups));
+      EXPECT_EQ(cold->job.counters.Get(counter::kPairsTested),
+                warm->job.counters.Get(counter::kPairsTested));
+      EXPECT_EQ(cold->job.counters.Get(counter::kFeaturesExamined),
+                warm->job.counters.Get(counter::kFeaturesExamined));
+      EXPECT_EQ(cold->job.counters.Get(counter::kEarlyTerminations),
+                warm->job.counters.Get(counter::kEarlyTerminations));
+    }
+  }
+}
+
+// The balanced partitioner (cached at BuildStore, reused per query) must
+// route the warm feature stream and the resident-cell group accounting
+// identically to the cold path's per-call assignment.
+TEST(StoreEquivalenceTest, BalancedPartitionerWarmMatchesCold) {
+  const Dataset dataset = MakeDataset(61, /*clustered=*/true);
+  EngineOptions options;
+  options.grid_size = kGridSize;
+  options.num_workers = 4;
+  options.num_map_tasks = 5;
+  options.num_reduce_tasks = 7;  // < cells, so the LPT assignment engages
+  options.partitioner = PartitionerKind::kBalanced;
+  SpqEngine engine(dataset, options);
+  const double max_radius = 0.6 / kGridSize;
+  ASSERT_TRUE(engine.BuildStore(max_radius).ok());
+  for (Algorithm algo :
+       {Algorithm::kPSPQ, Algorithm::kESPQLen, Algorithm::kESPQSco}) {
+    for (double radius : {0.3 * max_radius, max_radius}) {
+      const Query query = MakeStoreQuery(600 + static_cast<uint64_t>(algo),
+                                         3, radius);
+      auto cold = engine.Execute(query, algo);
+      auto warm = engine.Query(query, algo);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      ExpectWarmMatchesCold(*cold, *warm,
+                            "balanced " + AlgorithmName(algo) +
+                                " r=" + std::to_string(radius));
+    }
+  }
+}
+
+// The max-radius contract: a query beyond the store's radius class cannot
+// be served warm — it must take the cold path (flagged, still correct).
+TEST(StoreEquivalenceTest, RadiusBeyondStoreFallsBackCold) {
+  const Dataset dataset = MakeDataset(41, /*clustered=*/false);
+  EngineOptions options;
+  options.grid_size = kGridSize;
+  options.num_workers = 4;
+  SpqEngine engine(dataset, options);
+  const double max_radius = 0.5 / kGridSize;
+  ASSERT_TRUE(engine.BuildStore(max_radius).ok());
+
+  const Query big = MakeStoreQuery(99, 3, 1.5 * max_radius);
+  auto cold = engine.Execute(big, Algorithm::kPSPQ);
+  auto warm = engine.Query(big, Algorithm::kPSPQ);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->info.cold_fallback);
+  EXPECT_FALSE(warm->info.warm_path);
+  ASSERT_EQ(cold->entries.size(), warm->entries.size());
+  for (std::size_t i = 0; i < cold->entries.size(); ++i) {
+    EXPECT_EQ(cold->entries[i].id, warm->entries[i].id);
+    EXPECT_EQ(cold->entries[i].score, warm->entries[i].score);
+  }
+
+  // Batch: one oversized radius poisons the whole batch to the cold path.
+  std::vector<Query> queries{MakeStoreQuery(98, 2, 0.5 * max_radius), big};
+  auto warm_batch = engine.QueryBatch(queries, Algorithm::kESPQLen);
+  ASSERT_TRUE(warm_batch.ok());
+  EXPECT_TRUE(warm_batch->cold_fallback);
+  EXPECT_FALSE(warm_batch->warm_path);
+}
+
+TEST(StoreEquivalenceTest, QueryWithoutStoreIsAnError) {
+  const Dataset dataset = MakeDataset(51, /*clustered=*/false);
+  SpqEngine engine(dataset, EngineOptions{});
+  const Query query = MakeStoreQuery(1, 2, 0.01);
+  EXPECT_FALSE(engine.Query(query, Algorithm::kPSPQ).ok());
+  EXPECT_FALSE(engine.QueryBatch({query}, Algorithm::kPSPQ).ok());
+  ASSERT_TRUE(engine.BuildStore(0.05).ok());
+  EXPECT_TRUE(engine.has_store());
+  EXPECT_TRUE(engine.Query(query, Algorithm::kPSPQ).ok());
+}
+
+}  // namespace
+}  // namespace spq::core
