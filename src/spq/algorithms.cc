@@ -29,13 +29,25 @@ class SpqMapper final
       : algo_(algo),
         query_(std::move(query)),
         grid_(std::move(grid)),
-        options_(options) {}
+        options_(options),
+        query_sig_(text::TermSignature(query_.keywords.ids())) {}
 
   void Map(const ShuffleObject& x, SpqMapContext& ctx) override {
     const geo::CellId cell = grid_.CellOf(x.pos);
     if (x.is_data()) {
       ctx.counters().Increment(counter::kDataObjects);
       ctx.Emit(CellKey{cell, DataOrder(algo_)}, x);
+      return;
+    }
+    // Signature screen ahead of the exact merge: a disjoint signature AND
+    // proves x.W ∩ q.W = ∅ (keyword_set.h), which is exactly the prefilter
+    // drop below with common == 0 — same counter, same outcome, minus the
+    // O(|x.W| + |q.W|) merge. Only valid when the prefilter is on (the
+    // ablation needs `common` for FeatureOrder) and the record carries a
+    // computed signature (warm-path inputs do; 0 means "unknown").
+    if (options_.keyword_prefilter && options_.signature_prefilter &&
+        x.keyword_sig != 0 && (x.keyword_sig & query_sig_) == 0) {
+      ctx.counters().Increment(counter::kFeaturesPruned);
       return;
     }
     // Map-side pruning (line 9 of Algorithm 1): features sharing no term
@@ -70,18 +82,19 @@ class SpqMapper final
   Query query_;
   geo::UniformGrid grid_;
   SpqJobOptions options_;
+  uint64_t query_sig_;  ///< TermSignature(q.W), hoisted out of Map
 };
 
 /// Thin Reducer shims over the shared reduce cores (reduce_core.h).
 class SpqReducer final
     : public mapreduce::Reducer<CellKey, ShuffleObject, ResultEntry> {
  public:
-  SpqReducer(Algorithm algo, Query query, JoinMode join_mode)
-      : algo_(algo), query_(std::move(query)), join_mode_(join_mode) {}
+  SpqReducer(Algorithm algo, Query query, SpqJobOptions options)
+      : algo_(algo), query_(std::move(query)), options_(options) {}
 
   void Reduce(const CellKey&, SpqGroupValues& values,
               SpqReduceContext& ctx) override {
-    reduce_core::RunReduceOwned(algo_, join_mode_, query_, values,
+    reduce_core::RunReduceOwned(algo_, options_, query_, values,
                                 ctx.counters(),
                                 [&ctx](const ResultEntry& e) { ctx.Emit(e); });
   }
@@ -89,7 +102,7 @@ class SpqReducer final
  private:
   Algorithm algo_;
   Query query_;
-  JoinMode join_mode_;
+  SpqJobOptions options_;
 };
 
 }  // namespace
@@ -136,21 +149,20 @@ MakeSpqJobSpec(Algorithm algo, const Query& query,
   spec.mapper_factory = [algo, query, grid, options]() {
     return std::make_unique<SpqMapper>(algo, query, grid, options);
   };
-  const JoinMode join_mode = options.join_mode;
-  spec.reducer_factory = [algo, query, join_mode]() {
-    return std::make_unique<SpqReducer>(algo, query, join_mode);
+  spec.reducer_factory = [algo, query, options]() {
+    return std::make_unique<SpqReducer>(algo, query, options);
   };
   spec.partitioner = CellPartitioner;
   spec.sort_less = CellKeySortLess;
   spec.group_equal = CellKeyGroupEqual;
   // Flat-arena path (ShuffleMode::kCellBucketed): same reduce cores, fed
   // zero-copy ShuffleObjectViews through the non-virtual cursor.
-  spec.flat_reducer_factory = [algo, query, join_mode]() {
-    return [algo, query, join_mode](
+  spec.flat_reducer_factory = [algo, query, options]() {
+    return [algo, query, options](
                const CellKey&,
                mapreduce::FlatGroupCursor<CellKey, ShuffleObject>& values,
                mapreduce::ReduceContext<ResultEntry>& ctx) {
-      reduce_core::RunReduceOwned(algo, join_mode, query, values,
+      reduce_core::RunReduceOwned(algo, options, query, values,
                                   ctx.counters(),
                                   [&ctx](const ResultEntry& e) { ctx.Emit(e); });
     };
@@ -174,6 +186,7 @@ std::vector<ShuffleObject> FlattenDataset(const Dataset& dataset) {
     obj.id = f.id;
     obj.pos = f.pos;
     obj.keywords = f.keywords.ids();
+    obj.keyword_sig = text::TermSignature(obj.keywords);
     records.push_back(std::move(obj));
   }
   return records;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/simd.h"
 #include "geo/grid.h"
 #include "mapreduce/job.h"
 #include "spq/shuffle_types.h"
@@ -46,6 +47,15 @@ inline constexpr char kFeaturesExamined[] = "reduce.features_examined";
 inline constexpr char kPairsTested[] = "reduce.pairs_tested";
 inline constexpr char kEarlyTerminations[] = "reduce.early_terminations";
 inline constexpr char kGroups[] = "reduce.groups";
+/// Warm reduce groups skipped whole by the cell text summary (signature
+/// AND empty, or the cell's keyword-length range cannot produce a positive
+/// score). Only the warm serving path maintains cell summaries, so this
+/// stays 0 on cold runs.
+inline constexpr char kCellsPruned[] = "reduce.cells_pruned";
+/// Cell-summary screening tests performed (one per warm group while
+/// signature_prefilter is on and the query has keywords); the
+/// cells-pruned rate of a workload is kCellsPruned / kSignatureChecks.
+inline constexpr char kSignatureChecks[] = "reduce.signature_checks";
 }  // namespace counter
 
 /// \brief How a reduce group joins its surviving features against the
@@ -74,6 +84,16 @@ struct SpqJobOptions {
   bool keyword_prefilter = true;
   /// Reduce-side data↔feature join strategy; see JoinMode.
   JoinMode join_mode = JoinMode::kGridIndex;
+  /// Distance-kernel backend for the reduce-side radius probes; see
+  /// simd::KernelMode. kScalar is the A/B reference path.
+  simd::KernelMode kernel_mode = simd::KernelMode::kAuto;
+  /// Keyword-signature screening (TermSignature): map-side it skips the
+  /// exact q.W ∩ f.W merge for features whose signature already proves the
+  /// intersection empty; warm-serving reducers additionally skip whole
+  /// cells whose summary proves no feature can score > 0 against q. Pure
+  /// screening — results and result-bearing counters are bit-identical
+  /// with the flag off; only kCellsPruned/kSignatureChecks change.
+  bool signature_prefilter = true;
 };
 
 /// \brief Builds the complete MapReduce job (mapper, reducer, partitioner,

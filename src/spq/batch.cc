@@ -30,7 +30,12 @@ class BatchMapper final
       : algo_(algo),
         queries_(std::move(queries)),
         grid_(std::move(grid)),
-        options_(options) {}
+        options_(options) {
+    query_sigs_.reserve(queries_->size());
+    for (const Query& query : *queries_) {
+      query_sigs_.push_back(text::TermSignature(query.keywords.ids()));
+    }
+  }
 
   void Map(const ShuffleObject& x, BatchMapContext& ctx) override {
     const geo::CellId cell = grid_.CellOf(x.pos);
@@ -46,6 +51,14 @@ class BatchMapper final
     const ShuffleObject borrowed = x.Borrowed();
     for (uint32_t q = 0; q < queries_->size(); ++q) {
       const Query& query = (*queries_)[q];
+      // Signature screen (see SpqMapper): one AND replaces the exact merge
+      // for queries this feature shares no term with — the common case in
+      // a large batch. Same drop, same counter as the prefilter below.
+      if (options_.keyword_prefilter && options_.signature_prefilter &&
+          x.keyword_sig != 0 && (x.keyword_sig & query_sigs_[q]) == 0) {
+        ctx.counters().Increment(counter::kFeaturesPruned);
+        continue;
+      }
       // Span accessors, not x.keywords: warm-path inputs are borrowed.
       const std::size_t common = text::SortedIntersectionSize(
           KeywordData(x), KeywordCount(x), query.keywords.ids().data(),
@@ -72,6 +85,7 @@ class BatchMapper final
   std::shared_ptr<const std::vector<Query>> queries_;
   geo::UniformGrid grid_;
   SpqJobOptions options_;
+  std::vector<uint64_t> query_sigs_;  ///< TermSignature per batch query
 };
 
 /// Shared group protocol of both shuffle paths: groups arrive per cell as
@@ -103,7 +117,7 @@ struct BatchCellCache {
 };
 
 template <typename Values>
-void BatchReduceGroup(Algorithm algo, JoinMode join_mode,
+void BatchReduceGroup(Algorithm algo, const SpqJobOptions& options,
                       const std::vector<Query>& queries,
                       BatchCellCache& state, const BatchCellKey& group_key,
                       Values& values, BatchReduceContext& ctx) {
@@ -124,7 +138,7 @@ void BatchReduceGroup(Algorithm algo, JoinMode join_mode,
   // Per-query score scratch; eSPQsco tracks reports, not scores, so it
   // skips the O(n) reset.
   if (algo != Algorithm::kESPQSco) state.cell.ResetScores();
-  reduce_core::RunReduce(algo, join_mode, query, state.cell, state.index,
+  reduce_core::RunReduce(algo, options, query, state.cell, state.index,
                          values, ctx.counters(),
                          [&ctx, q](const ResultEntry& e) {
                            ctx.Emit(BatchResultEntry{q, e});
@@ -137,19 +151,19 @@ class BatchReducer final
  public:
   BatchReducer(Algorithm algo,
                std::shared_ptr<const std::vector<Query>> queries,
-               JoinMode join_mode)
-      : algo_(algo), queries_(std::move(queries)), join_mode_(join_mode) {}
+               SpqJobOptions options)
+      : algo_(algo), queries_(std::move(queries)), options_(options) {}
 
   void Reduce(const BatchCellKey& group_key, BatchGroupValues& values,
               BatchReduceContext& ctx) override {
-    BatchReduceGroup(algo_, join_mode_, *queries_, state_, group_key, values,
+    BatchReduceGroup(algo_, options_, *queries_, state_, group_key, values,
                      ctx);
   }
 
  private:
   Algorithm algo_;
   std::shared_ptr<const std::vector<Query>> queries_;
-  JoinMode join_mode_;
+  SpqJobOptions options_;
   BatchCellCache state_;
 };
 
@@ -167,9 +181,8 @@ MakeBatchSpqJobSpec(Algorithm algo, const std::vector<Query>& queries,
   spec.mapper_factory = [algo, shared_queries, grid, options]() {
     return std::make_unique<BatchMapper>(algo, shared_queries, grid, options);
   };
-  const JoinMode join_mode = options.join_mode;
-  spec.reducer_factory = [algo, shared_queries, join_mode]() {
-    return std::make_unique<BatchReducer>(algo, shared_queries, join_mode);
+  spec.reducer_factory = [algo, shared_queries, options]() {
+    return std::make_unique<BatchReducer>(algo, shared_queries, options);
   };
   spec.partitioner = BatchPartitioner;
   spec.sort_less = BatchKeySortLess;
@@ -177,13 +190,13 @@ MakeBatchSpqJobSpec(Algorithm algo, const std::vector<Query>& queries,
   // Flat-arena path: the same group protocol with the per-cell cache in
   // per-task state captured by the closure (data views decay into the
   // cache's SoA arrays immediately, so no pool reference is retained).
-  spec.flat_reducer_factory = [algo, shared_queries, join_mode]() {
+  spec.flat_reducer_factory = [algo, shared_queries, options]() {
     auto state = std::make_shared<BatchCellCache>();
-    return [algo, shared_queries, join_mode, state](
+    return [algo, shared_queries, options, state](
                const BatchCellKey& group_key,
                mapreduce::FlatGroupCursor<BatchCellKey, ShuffleObject>& values,
                BatchReduceContext& ctx) {
-      BatchReduceGroup(algo, join_mode, *shared_queries, *state, group_key,
+      BatchReduceGroup(algo, options, *shared_queries, *state, group_key,
                        values, ctx);
     };
   };

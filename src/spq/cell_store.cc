@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "text/keyword_set.h"
 
 namespace spq::core {
 
@@ -107,6 +108,26 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Build(
   store->build_stats_ = std::move(output.stats);
   store->data_objects_ =
       store->build_stats_.counters.Get(counter::kDataObjects);
+
+  // Cell keyword summaries: absorb every keyword-bearing feature into its
+  // own cell and every cell Lemma-1 duplication could copy it into at the
+  // store's max radius — a superset of any warm query's duplication
+  // targets (CellsWithinDist is monotone in r, and the engine refuses
+  // warm radii above max_radius). Keyword-less features are omitted: they
+  // always score 0, which is exactly what the summary's absence encodes.
+  store->text_summaries_.assign(grid.num_cells(), CellTextSummary{});
+  for (const ShuffleObject& x : input) {
+    if (x.is_data()) continue;
+    const uint32_t len = static_cast<uint32_t>(KeywordCount(x));
+    if (len == 0) continue;
+    const uint64_t sig = x.keyword_sig != 0
+                             ? x.keyword_sig
+                             : text::TermSignature(KeywordData(x), len);
+    store->text_summaries_[grid.CellOf(x.pos)].Absorb(sig, len);
+    for (geo::CellId c : grid.CellsWithinDist(x.pos, max_radius)) {
+      store->text_summaries_[c].Absorb(sig, len);
+    }
+  }
   return store;
 }
 
@@ -191,6 +212,68 @@ class DataOnlyGroupAccountant {
   std::size_t next_ = 0;
 };
 
+/// The cell-summary screen of one warm reduce group (see CellTextSummary
+/// for the soundness argument). Returns true when the group was fully
+/// handled — skipped with the baseline's exact counter footprint replayed,
+/// cursor drained — so the caller must not Serve or run the reduce core.
+///
+/// Counter replication, per algorithm, given the proof that every feature
+/// in a skipped group scores 0 against `query` (and qlen > 0):
+///  - pSPQ walks all n features (threshold stays 0, no probe survives
+///    w > 0): groups+1, features_examined+n, pairs+0.
+///  - eSPQlen: lengths ascend, so a zero-length feature (possible only
+///    with the keyword prefilter off) sits first and trips Lemma 2
+///    immediately (upper bound 0 vs threshold 0): groups+1,
+///    early_terminations+1, features_examined+0. Otherwise every upper
+///    bound is positive, the loop never breaks: features_examined+n.
+///  - eSPQsco: the first (maximal) map-side score is already 0, tripping
+///    the descending-order stop before anything is examined: groups+1,
+///    early_terminations+1, features_examined+0. pairs+0 in all cases.
+template <typename Cursor, typename Counters>
+bool TrySignatureSkip(const CellStore& store, Algorithm algo,
+                      const Query& query, uint64_t query_sig,
+                      const SpqJobOptions& options, geo::CellId cell,
+                      Cursor& cursor, Counters& counters) {
+  if (!options.signature_prefilter || query.keywords.empty()) return false;
+  const CellTextSummary& summary = store.text_summary(cell);
+  counters.Increment(counter::kSignatureChecks);
+  if ((summary.signature & query_sig) != 0 &&
+      summary.BestScoreBound(query.keywords.size()) > 0.0) {
+    return false;
+  }
+  counters.Increment(counter::kCellsPruned);
+  counters.Increment(counter::kGroups);
+  uint64_t examined = 0;
+  switch (algo) {
+    case Algorithm::kPSPQ: {
+      while (cursor.Next()) ++examined;
+      break;
+    }
+    case Algorithm::kESPQLen: {
+      bool first = true;
+      bool stopped = false;
+      while (cursor.Next()) {
+        if (first) {
+          stopped = KeywordCount(cursor.value()) == 0;
+          first = false;
+        }
+        if (!stopped) ++examined;
+      }
+      if (stopped) counters.Increment(counter::kEarlyTerminations);
+      break;
+    }
+    case Algorithm::kESPQSco: {
+      counters.Increment(counter::kEarlyTerminations);
+      while (cursor.Next()) {
+      }
+      break;
+    }
+  }
+  counters.Increment(counter::kFeaturesExamined, examined);
+  counters.Increment(counter::kPairsTested, 0);
+  return true;
+}
+
 /// Runs one warm job for either key/output shape. `serve_group(key,
 /// cursor, ctx)` evaluates one group against the store; `cell_of(key)`
 /// projects the group key onto the store cell.
@@ -262,14 +345,21 @@ StatusOr<mr::JobOutput<ResultEntry>> RunWarmQueryJob(
         spec,
     const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
     const std::vector<std::vector<geo::CellId>>& data_cells,
-    JoinMode join_mode) {
+    const SpqJobOptions& options) {
+  const uint64_t query_sig = text::TermSignature(query.keywords.ids());
   auto serve_group = [&](const CellKey& key, auto& cursor,
                          mr::ReduceContext<ResultEntry>& ctx) -> Status {
+    // Summary screen first: a skipped group never touches the partition —
+    // no lazy materialization, no O(n) score reset, no feature scoring.
+    if (TrySignatureSkip(store, algo, query, query_sig, options, key.cell,
+                         cursor, ctx.counters())) {
+      return Status::OK();
+    }
     SPQ_ASSIGN_OR_RETURN(CellStore::Partition * part, store.Serve(key.cell));
     // Per-query score scratch; eSPQsco tracks reports, not scores, so it
     // skips the O(n) reset.
     if (algo != Algorithm::kESPQSco) part->data.ResetScores();
-    reduce_core::RunReduce(algo, join_mode, query, part->data, part->index,
+    reduce_core::RunReduce(algo, options, query, part->data, part->index,
                            cursor, ctx.counters(),
                            [&ctx](const ResultEntry& e) { ctx.Emit(e); });
     return Status::OK();
@@ -284,16 +374,25 @@ StatusOr<mr::JobOutput<BatchResultEntry>> RunWarmBatchJob(
     const mr::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
                       BatchResultEntry>& spec,
     const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
-    JoinMode join_mode) {
+    const SpqJobOptions& options) {
+  std::vector<uint64_t> query_sigs;
+  query_sigs.reserve(queries.size());
+  for (const Query& q : queries) {
+    query_sigs.push_back(text::TermSignature(q.keywords.ids()));
+  }
   auto serve_group = [&](const BatchCellKey& key, auto& cursor,
                          mr::ReduceContext<BatchResultEntry>& ctx) -> Status {
     // The feature-only input cannot produce the data sentinel (query 0);
     // out-of-range indices are drained defensively like the cold reducer.
     if (key.query == 0 || key.query > queries.size()) return Status::OK();
     const uint32_t q = key.query - 1;
+    if (TrySignatureSkip(store, algo, queries[q], query_sigs[q], options,
+                         key.cell, cursor, ctx.counters())) {
+      return Status::OK();
+    }
     SPQ_ASSIGN_OR_RETURN(CellStore::Partition * part, store.Serve(key.cell));
     if (algo != Algorithm::kESPQSco) part->data.ResetScores();
-    reduce_core::RunReduce(algo, join_mode, queries[q], part->data,
+    reduce_core::RunReduce(algo, options, queries[q], part->data,
                            part->index, cursor, ctx.counters(),
                            [&ctx, q](const ResultEntry& e) {
                              ctx.Emit(BatchResultEntry{q, e});

@@ -1,6 +1,8 @@
 #ifndef SPQ_SPQ_CELL_STORE_H_
 #define SPQ_SPQ_CELL_STORE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -16,6 +18,52 @@
 #include "spq/types.h"
 
 namespace spq::core {
+
+/// \brief Compact keyword summary of everything that can reach one store
+/// cell's reduce groups: the OR of TermSignature over every
+/// keyword-bearing feature whose own cell is this cell or that Lemma-1
+/// duplication could copy here at any radius ≤ the store's max_radius,
+/// plus the min/max keyword-set length over those features.
+///
+/// Soundness: a warm query of radius r ≤ max_radius only receives features
+/// from exactly that reachable set (CellsWithinDist is monotone in r), so
+/// (query_sig & signature) == 0 proves every feature in the group shares
+/// no term with q.W — all scores are 0 and the whole group can be skipped.
+/// Likewise BestScoreBound caps every feature's Jaccard against q by the
+/// length-ratio bound of JaccardSortedBounded; a TopKList admits only
+/// scores > 0 (its threshold starts at 0), so a bound of 0 also proves the
+/// group empty-handed. Both tests are screening only — collisions or loose
+/// bounds cost a wasted check, never a wrong result.
+struct CellTextSummary {
+  uint64_t signature = 0;  ///< OR of reachable features' TermSignatures
+  uint32_t min_len = 0;    ///< shortest reachable keyword set (if any)
+  uint32_t max_len = 0;    ///< longest reachable keyword set (if any)
+  uint64_t reachable_features = 0;  ///< keyword-bearing features absorbed
+
+  void Absorb(uint64_t sig, uint32_t len) {
+    if (reachable_features == 0) {
+      min_len = len;
+      max_len = len;
+    } else {
+      min_len = std::min(min_len, len);
+      max_len = std::max(max_len, len);
+    }
+    signature |= sig;
+    ++reachable_features;
+  }
+
+  /// max over reachable lengths L of min(qlen, L) / max(qlen, L) — the
+  /// best Jaccard any reachable feature could possibly score against a
+  /// query of `qlen` keywords. 0 when nothing keyword-bearing reaches the
+  /// cell (then every feature scores 0) or qlen == 0.
+  double BestScoreBound(std::size_t qlen) const {
+    if (reachable_features == 0 || qlen == 0) return 0.0;
+    const double q = static_cast<double>(qlen);
+    if (qlen < min_len) return q / static_cast<double>(min_len);
+    if (qlen > max_len) return static_cast<double>(max_len) / q;
+    return 1.0;  // some reachable length equals qlen's regime
+  }
+};
 
 /// \brief Resident serving layer over the paper's grid partitioning of the
 /// object set O.
@@ -82,6 +130,12 @@ class CellStore {
   uint64_t cell_record_count(geo::CellId cell) const {
     return cells_[cell].record_count;
   }
+  /// The cell's keyword summary, built once from the store input's
+  /// features (valid for warm jobs over the same flattened dataset — the
+  /// engine contract). See CellTextSummary for the screening guarantees.
+  const CellTextSummary& text_summary(geo::CellId cell) const {
+    return text_summaries_[cell];
+  }
 
   /// Serving access for one reduce group: materializes the partition on
   /// first touch. The caller owns the per-query score-scratch reset
@@ -106,6 +160,7 @@ class CellStore {
   geo::UniformGrid grid_;
   double max_radius_;
   std::vector<Partition> cells_;
+  std::vector<CellTextSummary> text_summaries_;
   uint64_t data_objects_ = 0;
   mapreduce::JobStats build_stats_;
 };
@@ -120,6 +175,15 @@ class CellStore {
 /// bit-identical to the cold single-shot path; of the job-level stats,
 /// the map/shuffle figures cover only the feature side (the quantity the
 /// store amortizes away).
+///
+/// With options.signature_prefilter on, each group is first screened
+/// against its cell's CellTextSummary; a group the summary proves
+/// score-less is skipped whole — no Serve, no score reset, no feature
+/// scoring — with the baseline's exact counter footprint replayed
+/// (reduce.cells_pruned / reduce.signature_checks record the screening
+/// itself). Results and the pre-existing counters stay bit-identical to
+/// signature_prefilter=off; see store_equivalence / kernel_equivalence
+/// tests.
 StatusOr<mapreduce::JobOutput<ResultEntry>> RunWarmQueryJob(
     CellStore& store, Algorithm algo, const Query& query,
     const mapreduce::JobSpec<ShuffleObject, CellKey, ShuffleObject,
@@ -127,18 +191,20 @@ StatusOr<mapreduce::JobOutput<ResultEntry>> RunWarmQueryJob(
     const mapreduce::JobConfig& config,
     const std::vector<ShuffleObject>& features,
     const std::vector<std::vector<geo::CellId>>& data_cells,
-    JoinMode join_mode);
+    const SpqJobOptions& options);
 
 /// Batched twin of RunWarmQueryJob: every (cell, query) reduce group joins
 /// against the cell's ONE resident partition and its shared cached index —
 /// the batched job's former per-cell replay cache, now a view over the
-/// store.
+/// store. Applies the same per-group summary screen as RunWarmQueryJob,
+/// per (cell, query) group.
 StatusOr<mapreduce::JobOutput<BatchResultEntry>> RunWarmBatchJob(
     CellStore& store, Algorithm algo, const std::vector<Query>& queries,
     const mapreduce::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
                              BatchResultEntry>& spec,
     const mapreduce::JobConfig& config,
-    const std::vector<ShuffleObject>& features, JoinMode join_mode);
+    const std::vector<ShuffleObject>& features,
+    const SpqJobOptions& options);
 
 }  // namespace spq::core
 

@@ -83,6 +83,8 @@ SpqResult MakeSpqResult(const core::Query& query, Algorithm algo,
   info.pairs_tested = counters.Get(counter::kPairsTested);
   info.early_terminations = counters.Get(counter::kEarlyTerminations);
   info.reduce_groups = counters.Get(counter::kGroups);
+  info.cells_pruned = counters.Get(counter::kCellsPruned);
+  info.signature_checks = counters.Get(counter::kSignatureChecks);
   info.job = std::move(output.stats);
   return result;
 }
@@ -148,6 +150,8 @@ SpqJobOptions SpqEngine::MakeJobOptions() const {
   SpqJobOptions job_options;
   job_options.keyword_prefilter = options_.keyword_prefilter;
   job_options.join_mode = options_.join_mode;
+  job_options.kernel_mode = options_.kernel_mode;
+  job_options.signature_prefilter = options_.signature_prefilter;
   return job_options;
 }
 
@@ -292,7 +296,7 @@ StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
   SPQ_ASSIGN_OR_RETURN(
       auto output,
       RunWarmQueryJob(*store_, algo, query, spec, config, feature_input_,
-                      store_data_cells_, options_.join_mode));
+                      store_data_cells_, job_options));
   SpqResult result = MakeSpqResult(query, algo, grid.nx(),
                                    config.num_reduce_tasks,
                                    std::move(output));
@@ -334,7 +338,7 @@ StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
   SPQ_ASSIGN_OR_RETURN(
       auto output,
       RunWarmBatchJob(*store_, algo, queries, spec, config, feature_input_,
-                      options_.join_mode));
+                      job_options));
   SpqBatchResult result = MakeBatchResult(queries, std::move(output));
   result.warm_path = true;
   return result;

@@ -62,6 +62,23 @@ struct EngineOptions {
   /// feature, kept for A/B benchmarking (bench_reduce). Results are
   /// identical — see join_equivalence_test.cc.
   JoinMode join_mode = JoinMode::kGridIndex;
+  /// Distance-kernel backend for the reduce-side radius probes: kAuto
+  /// (default) batches each probe's candidates through the SIMD kernel
+  /// (AVX2 lanes of 4 when compiled in via SPQ_SIMD and supported by the
+  /// CPU, a portable batched loop otherwise); kScalar is the historical
+  /// one-candidate-at-a-time loop, kept for A/B benchmarking
+  /// (bench_reduce). Results and ALL SPQ counters are bit-identical — see
+  /// kernel_equivalence_test.cc.
+  simd::KernelMode kernel_mode = simd::KernelMode::kAuto;
+  /// Keyword-signature screening (64-bit TermSignature): map-side, a one-
+  /// AND screen stands in for the exact q.W ∩ f.W merge on provably
+  /// disjoint features; warm-path reducers also skip whole cells whose
+  /// keyword summary proves no positive score (mainly with the keyword
+  /// prefilter off — with it on, every surviving group shares a term with
+  /// q). Results and pre-existing counters are bit-identical either way;
+  /// only SpqRunInfo::cells_pruned / signature_checks are new. Off = the
+  /// A/B reference.
+  bool signature_prefilter = true;
 };
 
 /// \brief Derived, SPQ-specific measurements of one query execution,
@@ -81,6 +98,12 @@ struct SpqRunInfo {
   uint64_t pairs_tested = 0;         ///< data-feature distance evaluations
   uint64_t early_terminations = 0;   ///< reduce groups that stopped early
   uint64_t reduce_groups = 0;
+  /// Warm groups skipped whole by the cell keyword summary (0 on cold
+  /// runs and whenever signature_prefilter is off).
+  uint64_t cells_pruned = 0;
+  /// Warm cell-summary screening tests performed; the workload's pruned
+  /// rate is cells_pruned / signature_checks.
+  uint64_t signature_checks = 0;
 
   /// True when the run was served from the resident CellStore (warm path:
   /// only features were mapped and shuffled). All counters above are
@@ -214,7 +237,8 @@ class SpqEngine {
   /// cold, build and warm paths cannot drift apart.
   mapreduce::JobConfig MakeClusterConfig(uint32_t default_reduce_tasks,
                                          std::string job_name) const;
-  /// Same for the per-job SPQ options (prefilter, join mode).
+  /// Same for the per-job SPQ options (prefilter, join mode, kernel mode,
+  /// signature screening).
   SpqJobOptions MakeJobOptions() const;
 
   Dataset dataset_;

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/simd.h"
 #include "geo/point.h"
 #include "mapreduce/job.h"
 #include "spq/algorithms.h"
@@ -37,6 +38,14 @@ namespace spq::core::reduce_core {
 /// identical counters except `reduce.pairs_tested`, which counts the
 /// distance evaluations actually performed — the quantity the index
 /// shrinks.
+///
+/// Orthogonally, KernelMode (common/simd.h) picks how surviving candidates
+/// get their distance test: kScalar keeps the historical one-at-a-time
+/// loop, kAuto gathers each probe's candidates and evaluates them through
+/// the batched DistanceWithinMask kernel (AVX2 lanes of 4 when available).
+/// Results and ALL counters — including pairs_tested — are bit-identical
+/// across kernel modes; see kernel_equivalence_test.cc and the proof
+/// sketches at ScoreFeatureAgainstCell / RunEspqSco.
 
 /// In-memory O_i of one reduce group plus the running scores, kept as
 /// parallel contiguous arrays (SoA): `positions` doubles as the storage
@@ -340,30 +349,92 @@ class CellGridIndex {
 
 namespace internal {
 
+/// Per-group scratch for the batched distance kernel (KernelMode::kAuto):
+/// surviving candidate indices, their gathered coordinates in SoA form,
+/// and the kernel's verdict bytes. One instance lives per reduce group and
+/// is reused across that group's feature probes, so the steady state does
+/// no allocation — the buffers only grow to the largest probe seen.
+struct ProbeScratch {
+  std::vector<uint32_t> idx;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<uint8_t> within;
+
+  /// Copies candidate i's coordinates into the SoA lanes (resize first).
+  void Gather(const std::vector<geo::Point>& positions) {
+    const std::size_t n = idx.size();
+    xs.resize(n);
+    ys.resize(n);
+    within.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      xs[j] = positions[idx[j]].x;
+      ys[j] = positions[idx[j]].y;
+    }
+  }
+};
+
 /// The pSPQ/eSPQlen inner loop for one surviving feature: visits either
 /// every data object (kLinearScan) or the index candidates (kGridIndex)
 /// and applies the identical threshold-skip + distance test. The visit
 /// order is irrelevant here — each index is tested at most once per
 /// feature against pre-feature scores, and TopKList selection is a strict
 /// total order — so the unordered bucket walk is safe.
+///
+/// KernelMode::kAuto runs the same probe in three passes: gather the
+/// indices passing the threshold skip, evaluate their distances through
+/// simd::DistanceWithinMask, then apply the hits. This is bit-identical to
+/// the one-at-a-time kScalar loop: every index is visited at most once per
+/// probe, so the threshold reads `cell.scores[i]` sees at gather time are
+/// exactly the values the scalar loop sees at visit time (a probe only
+/// writes scores[i] for indices it visits, never twice), the kernel's lane
+/// arithmetic matches geo::Distance2 operation-for-operation (simd.h), and
+/// `pairs` counts the gathered indices — the same set the scalar loop
+/// counts one by one.
 template <typename X>
-inline void ScoreFeatureAgainstCell(JoinMode mode, const X& x, double w,
-                                    double radius, double r2, CellData& cell,
-                                    CellGridIndex& index, TopKList& lk,
-                                    uint64_t& pairs) {
-  auto test = [&](std::size_t i) {
-    if (w <= cell.scores[i]) return;  // cannot improve p's score
-    ++pairs;
-    if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
-      cell.scores[i] = w;
-      lk.Update(cell.ids[i], w);
+inline void ScoreFeatureAgainstCell(const SpqJobOptions& options, const X& x,
+                                    double w, double radius, double r2,
+                                    CellData& cell, CellGridIndex& index,
+                                    TopKList& lk, uint64_t& pairs,
+                                    ProbeScratch& scratch) {
+  if (options.kernel_mode == simd::KernelMode::kScalar) {
+    auto test = [&](std::size_t i) {
+      if (w <= cell.scores[i]) return;  // cannot improve p's score
+      ++pairs;
+      if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
+        cell.scores[i] = w;
+        lk.Update(cell.ids[i], w);
+      }
+    };
+    if (options.join_mode == JoinMode::kGridIndex) {
+      index.Sync(cell.positions);
+      index.ForEachCandidate(x.pos, radius, test);
+    } else {
+      for (std::size_t i = 0; i < cell.size(); ++i) test(i);
     }
+    return;
+  }
+  scratch.idx.clear();
+  auto gather = [&](std::size_t i) {
+    if (w <= cell.scores[i]) return;  // cannot improve p's score
+    scratch.idx.push_back(static_cast<uint32_t>(i));
   };
-  if (mode == JoinMode::kGridIndex) {
+  if (options.join_mode == JoinMode::kGridIndex) {
     index.Sync(cell.positions);
-    index.ForEachCandidate(x.pos, radius, test);
+    index.ForEachCandidate(x.pos, radius, gather);
   } else {
-    for (std::size_t i = 0; i < cell.size(); ++i) test(i);
+    for (std::size_t i = 0; i < cell.size(); ++i) gather(i);
+  }
+  const std::size_t n = scratch.idx.size();
+  if (n == 0) return;
+  pairs += n;
+  scratch.Gather(cell.positions);
+  simd::DistanceWithinMask(scratch.xs.data(), scratch.ys.data(), n, x.pos.x,
+                           x.pos.y, r2, scratch.within.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!scratch.within[j]) continue;
+    const uint32_t i = scratch.idx[j];
+    cell.scores[i] = w;
+    lk.Update(cell.ids[i], w);
   }
 }
 
@@ -381,13 +452,14 @@ inline void ScoreFeatureAgainstCell(JoinMode mode, const X& x, double w,
 
 /// Algorithm 2 (pSPQ): full scan of the cell's features, threshold-pruned.
 template <typename Values, typename EmitFn>
-void RunPspq(const Query& query, JoinMode join_mode, CellData& cell,
+void RunPspq(const Query& query, const SpqJobOptions& options, CellData& cell,
              CellGridIndex& index, Values& values,
              mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
+  internal::ProbeScratch scratch;
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
@@ -401,8 +473,8 @@ void RunPspq(const Query& query, JoinMode join_mode, CellData& cell,
         text::JaccardSortedBounded(KeywordData(x), KeywordCount(x),
                                    q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
-      internal::ScoreFeatureAgainstCell(join_mode, x, w, query.radius, r2,
-                                        cell, index, lk, pairs);
+      internal::ScoreFeatureAgainstCell(options, x, w, query.radius, r2, cell,
+                                        index, lk, pairs, scratch);
     }
   }
   counters.Increment(counter::kFeaturesExamined, examined);
@@ -412,14 +484,15 @@ void RunPspq(const Query& query, JoinMode join_mode, CellData& cell,
 
 /// Algorithm 4 (eSPQlen): features by increasing |f.W|; stop at Lemma 2.
 template <typename Values, typename EmitFn>
-void RunEspqLen(const Query& query, JoinMode join_mode, CellData& cell,
-                CellGridIndex& index, Values& values,
+void RunEspqLen(const Query& query, const SpqJobOptions& options,
+                CellData& cell, CellGridIndex& index, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
   const std::size_t qlen = q_ids.size();
+  internal::ProbeScratch scratch;
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
@@ -439,8 +512,8 @@ void RunEspqLen(const Query& query, JoinMode join_mode, CellData& cell,
         text::JaccardSortedBounded(KeywordData(x), KeywordCount(x),
                                    q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
-      internal::ScoreFeatureAgainstCell(join_mode, x, w, query.radius, r2,
-                                        cell, index, lk, pairs);
+      internal::ScoreFeatureAgainstCell(options, x, w, query.radius, r2, cell,
+                                        index, lk, pairs, scratch);
     }
   }
   counters.Increment(counter::kFeaturesExamined, examined);
@@ -451,8 +524,8 @@ void RunEspqLen(const Query& query, JoinMode join_mode, CellData& cell,
 /// Algorithm 6 (eSPQsco): features by decreasing score (read off the
 /// composite key's `order`); stop after k reports (Lemma 3).
 template <typename Values, typename EmitFn>
-void RunEspqSco(const Query& query, JoinMode join_mode, CellData& cell,
-                CellGridIndex& index, Values& values,
+void RunEspqSco(const Query& query, const SpqJobOptions& options,
+                CellData& cell, CellGridIndex& index, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   // Byte bitmap, parallel to CellData's arrays (a vector<bool> proxy per
@@ -460,6 +533,7 @@ void RunEspqSco(const Query& query, JoinMode join_mode, CellData& cell,
   // the borrowed cell's current population (warm path); grows with Add.
   std::vector<uint8_t> reported(cell.size(), 0);
   std::vector<uint32_t> probe_scratch;
+  internal::ProbeScratch scratch;
   const double r2 = query.radius * query.radius;
   uint32_t reported_count = 0;
   uint64_t examined = 0;
@@ -482,32 +556,74 @@ void RunEspqSco(const Query& query, JoinMode join_mode, CellData& cell,
     ++examined;
     // Lemma 3 reports in ascending data-index order and stops at k, so the
     // indexed probe must replay candidates in exactly that order.
-    auto test = [&](std::size_t i) {
-      if (reported[i]) return false;
-      ++pairs;
-      if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
-        // Decreasing-score order makes w the final τ(p) (Lemma 3).
-        emit(ResultEntry{cell.ids[i], w});
-        reported[i] = 1;
-        if (++reported_count == query.k) return true;
-      }
-      return false;
-    };
     bool done = false;
-    if (join_mode == JoinMode::kGridIndex) {
-      index.Sync(cell.positions);
-      index.SortedCandidates(x.pos, query.radius, &probe_scratch);
-      for (uint32_t i : probe_scratch) {
-        if (test(i)) {
-          done = true;
-          break;
+    if (options.kernel_mode == simd::KernelMode::kScalar) {
+      auto test = [&](std::size_t i) {
+        if (reported[i]) return false;
+        ++pairs;
+        if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
+          // Decreasing-score order makes w the final τ(p) (Lemma 3).
+          emit(ResultEntry{cell.ids[i], w});
+          reported[i] = 1;
+          if (++reported_count == query.k) return true;
+        }
+        return false;
+      };
+      if (options.join_mode == JoinMode::kGridIndex) {
+        index.Sync(cell.positions);
+        index.SortedCandidates(x.pos, query.radius, &probe_scratch);
+        for (uint32_t i : probe_scratch) {
+          if (test(i)) {
+            done = true;
+            break;
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < cell.size(); ++i) {
+          if (test(i)) {
+            done = true;
+            break;
+          }
         }
       }
     } else {
-      for (std::size_t i = 0; i < cell.size(); ++i) {
-        if (test(i)) {
-          done = true;
-          break;
+      // Batched: gather the ascending not-yet-reported candidates, run the
+      // kernel over all of them speculatively, then replay the verdicts in
+      // order. `pairs` counts only the lanes the replay actually walks —
+      // the replay stops at the k-th report exactly where the scalar loop
+      // stops testing, so lanes evaluated past that point (speculation the
+      // batch paid for but Lemma 3 never needed) stay uncounted and the
+      // counter matches kScalar bit for bit. The gather-time `reported[i]`
+      // reads equal the scalar loop's visit-time reads because a probe
+      // sees each index once and only writes reported[] for indices it
+      // walks.
+      scratch.idx.clear();
+      if (options.join_mode == JoinMode::kGridIndex) {
+        index.Sync(cell.positions);
+        index.SortedCandidates(x.pos, query.radius, &probe_scratch);
+        for (uint32_t i : probe_scratch) {
+          if (!reported[i]) scratch.idx.push_back(i);
+        }
+      } else {
+        for (std::size_t i = 0; i < cell.size(); ++i) {
+          if (!reported[i]) scratch.idx.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      const std::size_t n = scratch.idx.size();
+      if (n != 0) {
+        scratch.Gather(cell.positions);
+        simd::DistanceWithinMask(scratch.xs.data(), scratch.ys.data(), n,
+                                 x.pos.x, x.pos.y, r2, scratch.within.data());
+        for (std::size_t j = 0; j < n; ++j) {
+          ++pairs;
+          if (!scratch.within[j]) continue;
+          const uint32_t i = scratch.idx[j];
+          emit(ResultEntry{cell.ids[i], w});
+          reported[i] = 1;
+          if (++reported_count == query.k) {
+            done = true;
+            break;
+          }
         }
       }
     }
@@ -521,20 +637,22 @@ void RunEspqSco(const Query& query, JoinMode join_mode, CellData& cell,
 }
 
 /// Dispatch by algorithm, joining against a borrowed cell + index (see the
-/// borrowing contract above).
+/// borrowing contract above). `options` supplies the join mode and the
+/// distance-kernel mode; the keyword knobs are map-side / warm-serving
+/// concerns the cores never read.
 template <typename Values, typename EmitFn>
-void RunReduce(Algorithm algo, JoinMode join_mode, const Query& query,
-               CellData& cell, CellGridIndex& index, Values& values,
-               mapreduce::Counters& counters, EmitFn&& emit) {
+void RunReduce(Algorithm algo, const SpqJobOptions& options,
+               const Query& query, CellData& cell, CellGridIndex& index,
+               Values& values, mapreduce::Counters& counters, EmitFn&& emit) {
   switch (algo) {
     case Algorithm::kPSPQ:
-      RunPspq(query, join_mode, cell, index, values, counters, emit);
+      RunPspq(query, options, cell, index, values, counters, emit);
       return;
     case Algorithm::kESPQLen:
-      RunEspqLen(query, join_mode, cell, index, values, counters, emit);
+      RunEspqLen(query, options, cell, index, values, counters, emit);
       return;
     case Algorithm::kESPQSco:
-      RunEspqSco(query, join_mode, cell, index, values, counters, emit);
+      RunEspqSco(query, options, cell, index, values, counters, emit);
       return;
   }
 }
@@ -543,12 +661,12 @@ void RunReduce(Algorithm algo, JoinMode join_mode, const Query& query,
 /// cell state — the pre-CellStore behavior, used by the single-query
 /// reducers where nothing outlives the group.
 template <typename Values, typename EmitFn>
-void RunReduceOwned(Algorithm algo, JoinMode join_mode, const Query& query,
-                    Values& values, mapreduce::Counters& counters,
-                    EmitFn&& emit) {
+void RunReduceOwned(Algorithm algo, const SpqJobOptions& options,
+                    const Query& query, Values& values,
+                    mapreduce::Counters& counters, EmitFn&& emit) {
   CellData cell;
   CellGridIndex index;
-  RunReduce(algo, join_mode, query, cell, index, values, counters, emit);
+  RunReduce(algo, options, query, cell, index, values, counters, emit);
 }
 
 }  // namespace spq::core::reduce_core

@@ -57,6 +57,25 @@ double JaccardSorted(const TermId* a, std::size_t a_len, const TermId* b,
 double JaccardSorted(const std::vector<TermId>& a,
                      const std::vector<TermId>& b);
 
+/// \brief 64-bit one-bit-per-term hash signature of a sorted-unique id
+/// span: bit (Mix64(t) & 63) is set for every term t.
+///
+/// The screening property the prefilters rely on: two spans with a common
+/// term share a bit, so
+///
+///   (TermSignature(a) & TermSignature(b)) == 0
+///     ==>  SortedIntersectionSize(a, b) == 0.
+///
+/// The converse does not hold (distinct terms may collide into the same
+/// bit), so a non-empty AND means "compute the exact intersection", never
+/// "assume a match" — false positives cost speed only, correctness never.
+/// An empty span has signature 0; treat 0 as "no information" (it also
+/// AND-annihilates against everything).
+uint64_t TermSignature(const TermId* ids, std::size_t n);
+inline uint64_t TermSignature(const std::vector<TermId>& ids) {
+  return TermSignature(ids.data(), ids.size());
+}
+
 /// Threshold-aware Jaccard: when the size-ratio upper bound
 /// min(|a|,|b|) / max(|a|,|b|) already fails to exceed `threshold`, the
 /// bound itself is returned without touching the elements. Callers that

@@ -1,6 +1,7 @@
 #include "mapreduce/spill.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -12,8 +13,14 @@
 namespace spq::mapreduce {
 namespace {
 
+// Per-process unique: ctest runs each discovered test in its own process,
+// possibly in parallel, and SpillFilesRemovedAfterJob remove_all()s this
+// tree — a shared path let it yank spill files out from under sibling
+// tests mid-job.
 std::string SpillTestDir() {
-  return (std::filesystem::temp_directory_path() / "spq_spill_test").string();
+  return (std::filesystem::temp_directory_path() /
+          ("spq_spill_test_" + std::to_string(::getpid())))
+      .string();
 }
 
 TEST(SpillFileTest, WriteReadRoundTrip) {
