@@ -93,6 +93,9 @@ Status BufferReader::GetString(std::string* out) {
 
 Status BufferReader::GetBytes(void* out, std::size_t n) {
   if (remaining() < n) return Status::OutOfRange("GetBytes past end");
+  // n == 0 must not reach memcpy: `out` may be the null data() of an empty
+  // container, and memcpy's arguments are declared nonnull.
+  if (n == 0) return Status::OK();
   std::memcpy(out, data_ + pos_, n);
   pos_ += n;
   return Status::OK();

@@ -13,10 +13,16 @@ using BlockId = uint64_t;
 using NodeId = uint32_t;
 
 /// \brief Where one block of a file lives (HDFS block metadata):
-/// the block id, its byte length, and the replica nodes holding it.
+/// the block id, its byte length, its content checksum, and the replica
+/// nodes holding it.
 struct BlockLocation {
   BlockId block = 0;
   uint64_t length = 0;
+  /// CRC-32C of the block payload, recorded at write time (HDFS keeps the
+  /// same per-chunk checksums in .meta files). Reads verify length + CRC
+  /// per replica and fail over on mismatch, so a corrupted replica is
+  /// detected — never served.
+  uint32_t crc32c = 0;
   std::vector<NodeId> replicas;
 };
 

@@ -28,4 +28,17 @@ StatusOr<const std::vector<uint8_t>*> DataNode::Get(BlockId block) const {
   return &it->second;
 }
 
+Status DataNode::CorruptReplica(BlockId block, uint64_t byte_index) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " not on node " + std::to_string(id_));
+  }
+  if (it->second.empty()) {
+    return Status::InvalidArgument("cannot corrupt an empty block");
+  }
+  it->second[byte_index % it->second.size()] ^= 0x01;
+  return Status::OK();
+}
+
 }  // namespace spq::dfs

@@ -34,6 +34,13 @@ class DataNode {
   /// Reads a replica. IOError when dead, NotFound when never stored.
   StatusOr<const std::vector<uint8_t>*> Get(BlockId block) const;
 
+  /// Test hook simulating silent media corruption: flips one bit of the
+  /// stored replica at `byte_index` (modulo the block length). NotFound
+  /// when the block is not held; InvalidArgument for empty blocks. The
+  /// node stays alive — exactly the failure replica-read checksums exist
+  /// to catch.
+  Status CorruptReplica(BlockId block, uint64_t byte_index);
+
   bool Holds(BlockId block) const { return blocks_.count(block) > 0; }
   std::size_t num_blocks() const { return blocks_.size(); }
   /// Total bytes stored on this node.

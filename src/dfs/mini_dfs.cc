@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "common/crc32c.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
 namespace spq::dfs {
+
+namespace {
+
+/// One hash per (block, replica, direction) naming a storage I/O site for
+/// StorageFaultAt. Write faults are permanent per replica (the bad bytes
+/// sit on the node); read faults are also deterministic per replica, so
+/// failover — not blind retry — is the recovery mechanism, exactly like a
+/// replica on a bad disk.
+uint64_t ReplicaSite(BlockId block, NodeId node, bool write) {
+  return HashCombine(Mix64(block), Mix64((static_cast<uint64_t>(node) << 1) |
+                                         (write ? 1u : 0u)));
+}
+
+}  // namespace
 
 MiniDfs::MiniDfs(DfsOptions options)
     : options_(options), rng_(options.seed) {
@@ -76,7 +94,21 @@ Status MiniDfs::WriteFile(const std::string& name,
     location.replicas = replicas;
     std::vector<uint8_t> bytes(data.begin() + offset,
                                data.begin() + offset + len);
+    location.crc32c = Crc32c(bytes);
     for (NodeId node : replicas) {
+      // Injected write faults hit individual replicas: the bad bytes land
+      // on the node and stay there, to be caught by the read-side verify.
+      const uint64_t site = ReplicaSite(location.block, node, /*write=*/true);
+      const auto kind = mapreduce::StorageFaultAt(options_.faults, site);
+      if (kind != mapreduce::StorageFaultKind::kNone) {
+        std::vector<uint8_t> faulty = bytes;
+        if (mapreduce::CorruptImageForWrite(kind, site, &faulty)) {
+          faulty_replica_writes_.fetch_add(1, std::memory_order_relaxed);
+          SPQ_RETURN_NOT_OK(nodes_[node].Put(location.block,
+                                             std::move(faulty)));
+          continue;
+        }
+      }
       SPQ_RETURN_NOT_OK(nodes_[node].Put(location.block, bytes));
     }
     meta.blocks.push_back(std::move(location));
@@ -100,12 +132,37 @@ StatusOr<std::vector<uint8_t>> MiniDfs::ReadBlock(
                               " >= " + std::to_string(meta.blocks.size()));
   }
   const BlockLocation& location = meta.blocks[block_index];
-  // Replica failover: try each location until one serves the block.
+  // Replica failover: try each location until one serves the block AND its
+  // bytes verify against the write-time length + CRC. A replica that fails
+  // verification (torn/corrupted on the node, or an injected read fault)
+  // is counted and skipped — corrupt bytes are never returned.
   Status last = Status::IOError("block has no replicas");
   for (NodeId node : location.replicas) {
     auto data = nodes_[node].Get(location.block);
-    if (data.ok()) return **data;
-    last = data.status();
+    if (!data.ok()) {
+      last = data.status();
+      continue;
+    }
+    std::vector<uint8_t> bytes = **data;
+    const uint64_t site = ReplicaSite(location.block, node, /*write=*/false);
+    const auto kind = mapreduce::StorageFaultAt(options_.faults, site);
+    if (kind == mapreduce::StorageFaultKind::kShortRead && !bytes.empty()) {
+      bytes.resize(Mix64(site) % bytes.size());
+    } else if (kind != mapreduce::StorageFaultKind::kNone) {
+      mapreduce::CorruptImageForWrite(kind, site, &bytes);
+    }
+    if (bytes.size() != location.length ||
+        Crc32c(bytes) != location.crc32c) {
+      corrupt_replicas_detected_.fetch_add(1, std::memory_order_relaxed);
+      SPQ_LOG_WARN << "block " << location.block << " replica on node "
+                   << node << " failed checksum verification ("
+                   << bytes.size() << "/" << location.length
+                   << " bytes); failing over";
+      last = Status::IOError("replica checksum mismatch for block " +
+                             std::to_string(location.block));
+      continue;
+    }
+    return bytes;
   }
   return Status::IOError("all replicas unavailable for block " +
                          std::to_string(location.block) + ": " +

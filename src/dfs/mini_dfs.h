@@ -1,6 +1,7 @@
 #ifndef SPQ_DFS_MINI_DFS_H_
 #define SPQ_DFS_MINI_DFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -10,6 +11,7 @@
 #include "common/statusor.h"
 #include "dfs/block.h"
 #include "dfs/datanode.h"
+#include "mapreduce/fault.h"
 
 namespace spq::dfs {
 
@@ -20,6 +22,12 @@ struct DfsOptions {
   uint64_t block_size = 4 << 20;  // 4 MiB (scaled down from HDFS's 128 MB)
   uint32_t replication = 3;
   uint64_t seed = 1;  // replica placement randomness
+  /// Deterministic storage fault injection (FaultSpec::storage_fault_prob):
+  /// per-replica torn/corrupt writes and short/corrupt reads, keyed by
+  /// (block, node, direction). Every injected fault is detected by the
+  /// per-block CRC-32C + length check and handled by replica failover; a
+  /// block is unreadable only when every replica is faulted.
+  mapreduce::FaultSpec faults;
 };
 
 /// \brief A single-process simulation of HDFS: files are split into
@@ -69,6 +77,19 @@ class MiniDfs {
   /// Count of nodes currently alive.
   uint32_t alive_datanodes() const;
 
+  /// Replica reads that failed length/CRC verification (injected faults,
+  /// DataNode::CorruptReplica, torn replica writes). Each detection is a
+  /// replica failover, not served garbage. Atomic: reads may run from
+  /// parallel reduce tasks (cell-granular store recovery).
+  uint64_t corrupt_replicas_detected() const {
+    return corrupt_replicas_detected_.load(std::memory_order_relaxed);
+  }
+  /// Replica writes mutated by injected storage faults (torn or
+  /// bit-flipped before reaching the node).
+  uint64_t faulty_replica_writes() const {
+    return faulty_replica_writes_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Picks `replication` distinct live nodes, least-loaded first with a
   /// random tie-break (a simplification of HDFS placement).
@@ -79,6 +100,8 @@ class MiniDfs {
   std::map<std::string, FileMetadata> files_;  // the "NameNode"
   BlockId next_block_ = 1;
   mutable Rng rng_;
+  mutable std::atomic<uint64_t> corrupt_replicas_detected_{0};
+  std::atomic<uint64_t> faulty_replica_writes_{0};
 };
 
 }  // namespace spq::dfs

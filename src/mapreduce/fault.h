@@ -2,10 +2,26 @@
 #define SPQ_MAPREDUCE_FAULT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/hash.h"
 
 namespace spq::mapreduce {
+
+/// \brief What a deterministic storage fault does to one I/O site.
+///
+/// These are the classic disk/pipeline failure modes a checksummed store
+/// must detect: a write that persists only a prefix (power loss mid-write),
+/// a read that returns fewer bytes than the metadata claims, and a read or
+/// replica whose payload was silently bit-flipped. Detection is always via
+/// CRC/length verification — injected faults must surface as errors (and
+/// retries / replica failover), never as garbage data served.
+enum class StorageFaultKind : uint8_t {
+  kNone = 0,
+  kTornWrite = 1,    ///< only a prefix of the bytes reaches the medium
+  kShortRead = 2,    ///< the read returns fewer bytes than requested
+  kCorruptByte = 3,  ///< one bit of the payload is flipped
+};
 
 /// \brief Deterministic fault-injection policy for task attempts.
 ///
@@ -14,17 +30,28 @@ namespace spq::mapreduce {
 /// it, exactly like Hadoop's speculative re-execution of failed attempts.
 /// Failures are a pure function of (task kind, task id, attempt, seed) so
 /// runs are reproducible and a retried attempt can be made to succeed.
+///
+/// `storage_fault_prob` extends the model below the task layer: individual
+/// storage operations (spill file writes/reads, MiniDfs block replicas)
+/// fail per StorageFaultKind, keyed by a per-site hash that includes the
+/// attempt salt — so a retried attempt re-rolls its storage faults and the
+/// job still converges.
 struct FaultSpec {
   /// Probability that any given map task attempt fails mid-run.
   double map_failure_prob = 0.0;
   /// Probability that any given reduce task attempt fails mid-run.
   double reduce_failure_prob = 0.0;
+  /// Probability that one storage I/O site (a spill write, a spill read
+  /// page, a block replica) suffers a StorageFaultKind.
+  double storage_fault_prob = 0.0;
   /// Salt for the failure hash.
   uint64_t seed = 0;
 
   bool enabled() const {
-    return map_failure_prob > 0.0 || reduce_failure_prob > 0.0;
+    return map_failure_prob > 0.0 || reduce_failure_prob > 0.0 ||
+           storage_fault_prob > 0.0;
   }
+  bool storage_enabled() const { return storage_fault_prob > 0.0; }
 };
 
 /// Decides whether attempt `attempt` of task `task_id` fails.
@@ -40,6 +67,41 @@ inline bool AttemptFails(const FaultSpec& spec, int kind, uint32_t task_id,
   // Map the hash to [0,1) and compare.
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   return u < p;
+}
+
+/// Decides whether the storage operation identified by `site` suffers a
+/// fault, and which kind. `site` should hash together everything that
+/// names the operation (path, page/block, direction) AND the attempt salt,
+/// so a retried attempt sees an independent roll. Pure function of
+/// (spec.seed, site): reruns reproduce the same faults.
+inline StorageFaultKind StorageFaultAt(const FaultSpec& spec, uint64_t site) {
+  if (spec.storage_fault_prob <= 0.0) return StorageFaultKind::kNone;
+  const uint64_t h = Mix64(spec.seed ^ Mix64(site ^ 0x53544f5241474546ull));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= spec.storage_fault_prob) return StorageFaultKind::kNone;
+  return static_cast<StorageFaultKind>(1 + (h % 3));
+}
+
+/// Applies a write-side fault to a byte image about to hit the medium:
+/// kTornWrite truncates to a deterministic prefix, kCorruptByte flips one
+/// bit. kShortRead is a read-side fault and leaves the image alone (the
+/// reader injects it). Returns true when the image was mutated.
+inline bool CorruptImageForWrite(StorageFaultKind kind, uint64_t site,
+                                 std::vector<uint8_t>* image) {
+  if (image->empty()) return false;
+  const uint64_t h = Mix64(site ^ 0x494d414745ull);
+  switch (kind) {
+    case StorageFaultKind::kTornWrite:
+      image->resize(h % image->size());  // keep a strict prefix
+      return true;
+    case StorageFaultKind::kCorruptByte:
+      (*image)[h % image->size()] ^= static_cast<uint8_t>(1u << (h >> 61));
+      return true;
+    case StorageFaultKind::kShortRead:
+    case StorageFaultKind::kNone:
+      return false;
+  }
+  return false;
 }
 
 }  // namespace spq::mapreduce

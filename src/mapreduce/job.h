@@ -72,6 +72,12 @@ struct JobStats {
 
   uint32_t map_task_failures = 0;
   uint32_t reduce_task_failures = 0;
+  /// Injected (or real) storage corruptions the CRC framing caught and the
+  /// retry machinery recovered from: spill writes that failed their
+  /// verify-after-write, and reduce-side spill reads that hit a short read
+  /// or page checksum mismatch. Each one cost a task attempt, never a
+  /// wrong record.
+  uint32_t storage_fault_detections = 0;
 
   Counters counters;
 

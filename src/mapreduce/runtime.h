@@ -253,6 +253,7 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   std::vector<Counters> map_counters(num_maps);
   std::atomic<uint64_t> map_output_records{0};
   std::atomic<uint32_t> map_failures{0};
+  std::atomic<uint32_t> storage_detections{0};
   stats.map_task_seconds.assign(num_maps, 0.0);
   stats.reduce_task_seconds.assign(num_reduces, 0.0);
 
@@ -287,33 +288,50 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
         continue;  // discard attempt state, retry
       }
       // Spill: lay out each partition's sorted run and serialize it (to
-      // disk when the job requests an out-of-core shuffle).
+      // disk when the job requests an out-of-core shuffle). Injected
+      // storage faults are scoped to this attempt and salted with its
+      // number, so a spill write that fails its verify-after-write costs
+      // the attempt and the retry re-rolls with fresh fault sites.
       auto& parts = ctx.partitions();
       std::vector<Segment> task_segments(num_reduces);
-      bool spill_failed = false;
-      for (uint32_t r = 0; r < num_reduces; ++r) {
-        StatusOr<Segment> seg_or = spill_partition(parts[r]);
-        if (!seg_or.ok()) {
-          record_error(seg_or.status());
-          spill_failed = true;
-          break;
-        }
-        Segment& seg = task_segments[r];
-        seg = *std::move(seg_or);
-        if (!config.spill_dir.empty() && seg.num_records > 0) {
-          seg.spill_path = SpillPath(config.spill_dir, spill_run_id,
-                                     static_cast<uint32_t>(m), r);
-          Status st = WriteSpillFile(seg.spill_path, seg.bytes);
-          if (!st.ok()) {
-            record_error(st);
-            spill_failed = true;
+      Status spill_status;
+      {
+        ScopedStorageFaults storage_scope(
+            &config.faults,
+            Mix64((spill_run_id << 20) ^ 0x4d4150ull ^
+                  (static_cast<uint64_t>(m) << 8) ^
+                  static_cast<uint64_t>(attempt)));
+        for (uint32_t r = 0; r < num_reduces; ++r) {
+          StatusOr<Segment> seg_or = spill_partition(parts[r]);
+          if (!seg_or.ok()) {
+            spill_status = seg_or.status();
             break;
           }
-          seg.bytes.clear();
-          seg.bytes.shrink_to_fit();
+          Segment& seg = task_segments[r];
+          seg = *std::move(seg_or);
+          if (!config.spill_dir.empty() && seg.num_records > 0) {
+            seg.spill_path = SpillPath(config.spill_dir, spill_run_id,
+                                       static_cast<uint32_t>(m), r);
+            spill_status = WriteSpillFile(seg.spill_path, seg.bytes);
+            if (!spill_status.ok()) break;
+            seg.bytes.clear();
+            seg.bytes.shrink_to_fit();
+          }
         }
       }
-      if (spill_failed) return;
+      if (!spill_status.ok()) {
+        if (config.faults.storage_enabled() && spill_status.IsIOError()) {
+          // Detected storage corruption, not a logic error: retry the
+          // whole attempt (layout errors like InvalidArgument stay fatal).
+          storage_detections.fetch_add(1, std::memory_order_relaxed);
+          if (attempt + 1 < config.max_task_attempts) {
+            ++map_failures;
+            continue;
+          }
+        }
+        record_error(spill_status);
+        return;
+      }
       segments[m] = std::move(task_segments);
       map_counters[m].MergeFrom(ctx.counters());
       map_output_records += ctx.emitted();
@@ -378,9 +396,30 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
         continue;
       }
       ReduceContextImpl<Out> ctx;
-      Status st = reduce_partition(static_cast<uint32_t>(r),
-                                   reduce_inputs[r], ctx);
+      Status st;
+      {
+        // Scope injected storage read faults to this attempt, salted with
+        // the attempt number so a retry re-rolls its fault sites.
+        ScopedStorageFaults storage_scope(
+            &config.faults,
+            Mix64((spill_run_id << 20) ^ 0x524544ull ^
+                  (static_cast<uint64_t>(r) << 8) ^
+                  static_cast<uint64_t>(attempt)));
+        st = reduce_partition(static_cast<uint32_t>(r), reduce_inputs[r],
+                              ctx);
+      }
       if (!st.ok()) {
+        if (config.faults.storage_enabled() &&
+            (st.IsIOError() || st.IsOutOfRange())) {
+          // Detected storage corruption reading spilled segments (page
+          // checksum mismatch, short read, or a region truncated by a torn
+          // write): costs the attempt, never yields a wrong record.
+          storage_detections.fetch_add(1, std::memory_order_relaxed);
+          if (attempt + 1 < config.max_task_attempts) {
+            ++reduce_failures;
+            continue;
+          }
+        }
         record_error(st);
         return;
       }
@@ -399,6 +438,7 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   if (!first_error.ok()) return first_error;
 
   stats.reduce_task_failures = reduce_failures.load();
+  stats.storage_fault_detections = storage_detections.load();
   for (const auto& c : reduce_counters) stats.counters.MergeFrom(c);
 
   for (auto& outs : reduce_outputs) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "mapreduce/fault.h"
 
 namespace spq::mapreduce {
 
@@ -17,12 +18,48 @@ namespace spq::mapreduce {
 /// files back when they merge. This bounds the runtime's resident shuffle
 /// memory to the segments a reduce task is actively merging, at the cost
 /// of one write + one read per segment — exactly Hadoop's trade.
+///
+/// On-disk framing: spill files are checksummed per page, like HDFS's
+/// per-chunk CRCs. The payload ("body") is written verbatim at offset 0 —
+/// so region offsets into the segment image stay plain body offsets —
+/// followed by a CRC-32C table (one u32 per kSpillPageBytes page of body)
+/// and a fixed trailer {body_len u64, page_size u32, n_pages u32,
+/// table_crc u32, magic u32}. Readers verify each page before serving its
+/// bytes: corruption (bit rot, torn writes, injected faults) surfaces as
+/// IOError — never as garbage records.
 
-/// Writes `bytes` to `path` (creating parent directories). Overwrites.
+/// Body bytes covered by one CRC entry (the HDFS-style checksum chunk).
+inline constexpr std::size_t kSpillPageBytes = 64 * 1024;
+/// Fixed trailer size in bytes; the CRC table sits immediately before it.
+inline constexpr std::size_t kSpillTrailerBytes = 24;
+
+/// \brief RAII activation of deterministic storage-fault injection for
+/// spill I/O on the current thread (FaultSpec::storage_fault_prob).
+///
+/// The job runtime scopes one of these around each map attempt's spill
+/// writes and each reduce attempt's spill reads, salting the fault sites
+/// with (run, task, attempt) — a retried attempt therefore re-rolls its
+/// faults and converges. Inactive (zero-cost reads aside) when `spec` is
+/// null or has no storage faults. Not nestable; thread-local.
+class ScopedStorageFaults {
+ public:
+  ScopedStorageFaults(const FaultSpec* spec, uint64_t salt);
+  ~ScopedStorageFaults();
+
+  ScopedStorageFaults(const ScopedStorageFaults&) = delete;
+  ScopedStorageFaults& operator=(const ScopedStorageFaults&) = delete;
+};
+
+/// Writes `bytes` to `path` with page-CRC framing (creating parent
+/// directories). Overwrites. Under an active ScopedStorageFaults scope the
+/// write may be deterministically torn or bit-flipped, and is then read
+/// back and verified (the HDFS write-pipeline ack): a faulted image
+/// surfaces as IOError here so the task attempt can retry.
 Status WriteSpillFile(const std::string& path,
                       const std::vector<uint8_t>& bytes);
 
-/// Reads a spill file back in full.
+/// Reads a spill file's body back in full, verifying the framing and every
+/// page CRC. IOError on any mismatch — corrupt bytes are never returned.
 StatusOr<std::vector<uint8_t>> ReadSpillFile(const std::string& path);
 
 /// Deletes a spill file; missing files are not an error (idempotent).
@@ -103,21 +140,40 @@ class SpillRegionReader {
   uint64_t remaining() const { return region_remaining_; }
 
  private:
+  static constexpr uint64_t kNoPage = ~0ull;
+
   /// Moves the unconsumed tail to the buffer front.
   void Compact();
   /// Reads from disk until len_ >= min_len, opportunistically filling the
-  /// whole buffer (one transient open/seek per call).
+  /// whole buffer (one transient open/seek per call). Every byte served is
+  /// copied out of a CRC-verified page; a region reaching past the framed
+  /// body length is truncated (OutOfRange).
   Status FillTo(std::size_t min_len);
   Status Refill(std::size_t need);
+  /// Lazily parses + verifies the file's framing trailer and CRC table.
+  Status EnsureFraming(std::ifstream& in);
+  /// Loads body page `page` into scratch_ and verifies its CRC (cached, so
+  /// sub-page refills re-read at most one page). IOError on short reads or
+  /// checksum mismatch — injected or real.
+  Status LoadPage(std::ifstream& in, uint64_t page, uint64_t page_start,
+                  std::size_t page_len);
 
   std::string path_;
-  uint64_t next_read_offset_ = 0;  ///< file offset of the next refill
+  uint64_t next_read_offset_ = 0;  ///< body offset of the next refill
   std::vector<uint8_t> buf_;
   std::size_t capacity_ = 0;
   std::size_t pos_ = 0;            ///< consumed bytes within buf_
   std::size_t len_ = 0;            ///< valid bytes within buf_
   uint64_t file_remaining_ = 0;    ///< region bytes not yet read from disk
   uint64_t region_remaining_ = 0;  ///< region bytes not yet fetched
+
+  // Framing state (loaded lazily on the first refill).
+  bool framing_loaded_ = false;
+  uint64_t body_len_ = 0;
+  uint32_t page_size_ = 0;
+  std::vector<uint32_t> page_crcs_;
+  std::vector<uint8_t> scratch_;   ///< last verified page
+  uint64_t cached_page_ = kNoPage;
 };
 
 }  // namespace spq::mapreduce

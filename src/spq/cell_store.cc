@@ -1,9 +1,13 @@
 #include "spq/cell_store.h"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
+#include "common/buffer.h"
+#include "common/crc32c.h"
 #include "common/logging.h"
+#include "spq/wal.h"
 #include "text/keyword_set.h"
 
 namespace spq::core {
@@ -148,6 +152,25 @@ StatusOr<CellStore::Partition*> CellStore::Serve(geo::CellId cell) {
   }
   Partition& part = cells_[cell];
   if (!part.materialized) {
+    if (recovered() && part.record_count > 0 && part.segment.bytes.empty()) {
+      // Cell-granular lazy recovery (class invariant 3): pull this cell's
+      // image from the source checkpoint on first touch, verified against
+      // the manifest's size + CRC. A failed verification falls back to the
+      // deterministic rebuild (invariant 4) — loud and counted, never
+      // served as garbage.
+      auto image = RestoreImage(cell);
+      if (image.ok()) {
+        part.segment.bytes = *std::move(image);
+        cells_restored_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        SPQ_LOG_WARN << "store cell " << cell
+                     << ": checkpoint restore failed ("
+                     << image.status().ToString()
+                     << "); rebuilding from dataset";
+        SPQ_RETURN_NOT_OK(RebuildPartition(cell, part));
+        cells_rebuilt_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     // Idempotent under reduce-attempt retries: a prior pass that failed
     // mid-read must not leave stale rows behind.
     part.data.Clear();
@@ -169,6 +192,427 @@ StatusOr<CellStore::Partition*> CellStore::Serve(geo::CellId cell) {
     part.materialized = true;
   }
   return &part;
+}
+
+// --------------------------------------------------------------------------
+// Durability: checksummed checkpoints + WAL (class invariants 1-5).
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Manifest frame magic ("SPQM") and format version.
+constexpr uint32_t kManifestMagic = 0x5350514d;
+constexpr uint32_t kManifestVersion = 1;
+
+/// [magic u32][len u32][crc u32][payload] — one atomic checksummed unit;
+/// a manifest either decodes whole or is rejected whole.
+std::vector<uint8_t> FrameManifest(Buffer&& payload) {
+  Buffer frame;
+  frame.PutUint32(kManifestMagic);
+  frame.PutUint32(static_cast<uint32_t>(payload.size()));
+  frame.PutUint32(Crc32c(payload.data(), payload.size()));
+  frame.PutBytes(payload.data(), payload.size());
+  return frame.TakeBytes();
+}
+
+StatusOr<std::vector<uint8_t>> UnframeManifest(
+    const std::vector<uint8_t>& bytes) {
+  BufferReader reader(bytes);
+  uint32_t magic = 0, len = 0, crc = 0;
+  SPQ_RETURN_NOT_OK(reader.GetUint32(&magic));
+  SPQ_RETURN_NOT_OK(reader.GetUint32(&len));
+  SPQ_RETURN_NOT_OK(reader.GetUint32(&crc));
+  if (magic != kManifestMagic) {
+    return Status::IOError("bad manifest magic");
+  }
+  if (reader.remaining() != len) {
+    return Status::IOError("torn manifest: " +
+                           std::to_string(reader.remaining()) + " of " +
+                           std::to_string(len) + " payload bytes");
+  }
+  if (Crc32c(bytes.data() + reader.position(), len) != crc) {
+    return Status::IOError("manifest checksum mismatch");
+  }
+  std::vector<uint8_t> payload(len);
+  SPQ_RETURN_NOT_OK(reader.GetBytes(payload.data(), len));
+  return payload;
+}
+
+}  // namespace
+
+std::string CellStore::EpochDir(const std::string& name, uint64_t epoch) {
+  return name + "/epoch-" + std::to_string(epoch);
+}
+
+std::string CellStore::ManifestFile(const std::string& name,
+                                    uint64_t epoch) {
+  return EpochDir(name, epoch) + "/MANIFEST";
+}
+
+std::string CellStore::CellFile(const std::string& name, uint64_t epoch,
+                                geo::CellId cell) {
+  return EpochDir(name, epoch) + "/cell-" + std::to_string(cell);
+}
+
+StatusOr<std::vector<uint8_t>> CellStore::SegmentImageOf(
+    geo::CellId cell) const {
+  const Partition& part = cells_[cell];
+  if (part.record_count == 0) return std::vector<uint8_t>{};
+  if (!part.segment.bytes.empty()) {
+    // Untouched built (or restored) partition: the image is resident.
+    return part.segment.bytes;
+  }
+  if (part.materialized) {
+    // The bytes were released on materialization; re-encode the serving
+    // rows through the build's layout. Data objects carry no keywords and
+    // all store order keys are 0.0, so this reproduces the built image
+    // bit-identically (same rows, same order, empty pool).
+    std::vector<std::pair<CellKey, ShuffleObject>> rows;
+    rows.reserve(part.data.size());
+    for (std::size_t i = 0; i < part.data.size(); ++i) {
+      ShuffleObject o;
+      o.kind = ShuffleObject::kData;
+      o.id = part.data.ids[i];
+      o.pos = part.data.positions[i];
+      rows.emplace_back(CellKey{cell, 0.0}, std::move(o));
+    }
+    SPQ_ASSIGN_OR_RETURN(
+        mr::FlatSegment seg,
+        (mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(rows)));
+    return std::move(seg.bytes);
+  }
+  if (recovered() && dfs_ != nullptr) {
+    // Recovered and never touched: copy the image forward from the source
+    // checkpoint (verified there).
+    return RestoreImage(cell);
+  }
+  return Status::Internal("store cell " + std::to_string(cell) +
+                          " has records but no image source");
+}
+
+StatusOr<std::vector<uint8_t>> CellStore::RestoreImage(
+    geo::CellId cell) const {
+  SPQ_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      dfs_->ReadFile(CellFile(checkpoint_name_, checkpoint_epoch_, cell)));
+  const Partition& part = cells_[cell];
+  if (bytes.size() != part.segment.byte_size ||
+      Crc32c(bytes) != cell_crcs_[cell]) {
+    return Status::IOError("store cell " + std::to_string(cell) +
+                           " checkpoint image failed verification (" +
+                           std::to_string(bytes.size()) + " of " +
+                           std::to_string(part.segment.byte_size) +
+                           " bytes)");
+  }
+  return bytes;
+}
+
+Status CellStore::RebuildPartition(geo::CellId cell, Partition& part) {
+  if (rebuild_input_ == nullptr) {
+    return Status::IOError("store cell " + std::to_string(cell) +
+                           " restore failed and no dataset is attached "
+                           "for rebuild");
+  }
+  // The build pipeline's per-cell order is the dataset order: map splits
+  // are contiguous input ranges, every store key is (cell, 0.0), and the
+  // shuffle merge breaks ties by map task index. A plain in-order scan
+  // therefore reproduces the built rows exactly.
+  std::vector<std::pair<CellKey, ShuffleObject>> rows;
+  for (const ShuffleObject& x : *rebuild_input_) {
+    if (!x.is_data() || grid_.CellOf(x.pos) != cell) continue;
+    rows.emplace_back(CellKey{cell, 0.0}, x);
+  }
+  if (rows.size() != part.record_count) {
+    return Status::Internal(
+        "store cell " + std::to_string(cell) + " rebuild found " +
+        std::to_string(rows.size()) + " data objects, checkpoint recorded " +
+        std::to_string(part.record_count) +
+        " (dataset differs from the one the store was built from)");
+  }
+  SPQ_ASSIGN_OR_RETURN(
+      mr::FlatSegment seg,
+      (mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(rows)));
+  if (seg.byte_size != part.segment.byte_size ||
+      Crc32c(seg.bytes) != cell_crcs_[cell]) {
+    return Status::Internal("store cell " + std::to_string(cell) +
+                            " rebuild image diverges from the checkpoint "
+                            "manifest (dataset mismatch?)");
+  }
+  part.segment = std::move(seg);
+  return Status::OK();
+}
+
+StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
+    dfs::MiniDfs& dfs, const std::string& name,
+    CheckpointCrash crash) const {
+  StoreWal wal(&dfs, WalPrefix(name));
+  SPQ_ASSIGN_OR_RETURN(StoreWal::ReplayResult replay, wal.Replay());
+  uint64_t epoch = 0;
+  bool has_built = false;
+  for (const WalRecord& rec : replay.records) {
+    epoch = std::max(epoch, rec.epoch);
+    has_built |= rec.type == WalRecordType::kStoreBuilt;
+  }
+  // A burned epoch whose begin record became an unreadable WAL hole can
+  // still have files on the DFS; scan for them so its number is never
+  // reused (write-once files would collide).
+  const std::string epoch_prefix = name + "/epoch-";
+  for (const std::string& file : dfs.ListFiles()) {
+    if (file.rfind(epoch_prefix, 0) != 0) continue;
+    epoch = std::max<uint64_t>(
+        epoch,
+        std::strtoull(file.c_str() + epoch_prefix.size(), nullptr, 10));
+  }
+  ++epoch;  // epochs named in prior records or leftover files are burned
+
+  if (!has_built) {
+    WalRecord built;
+    built.type = WalRecordType::kStoreBuilt;
+    Buffer meta;
+    meta.PutUint64(data_objects_);
+    meta.PutDouble(max_radius_);
+    built.payload = meta.TakeBytes();
+    SPQ_RETURN_NOT_OK(wal.Append(built));
+  }
+
+  WalRecord begin;
+  begin.type = WalRecordType::kCheckpointBegin;
+  begin.epoch = epoch;
+  if (crash == CheckpointCrash::kMidWalBegin) {
+    SPQ_RETURN_NOT_OK(wal.AppendTorn(begin));
+    return Status::Aborted("injected crash: torn checkpoint-begin record");
+  }
+  SPQ_RETURN_NOT_OK(wal.Append(begin));
+  if (crash == CheckpointCrash::kAfterWalBegin) {
+    return Status::Aborted("injected crash: after checkpoint-begin record");
+  }
+
+  uint32_t nonempty = 0;
+  for (const Partition& p : cells_) nonempty += p.record_count > 0 ? 1 : 0;
+
+  CheckpointInfo info;
+  info.epoch = epoch;
+  std::vector<uint32_t> crcs(cells_.size(), 0);
+  for (geo::CellId cell = 0; cell < cells_.size(); ++cell) {
+    const Partition& part = cells_[cell];
+    if (part.record_count == 0) continue;
+    if (crash == CheckpointCrash::kMidCells &&
+        info.cells_written >= nonempty / 2) {
+      return Status::Aborted("injected crash: mid cell files");
+    }
+    SPQ_ASSIGN_OR_RETURN(std::vector<uint8_t> image, SegmentImageOf(cell));
+    if (image.size() != part.segment.byte_size) {
+      return Status::Internal("store cell " + std::to_string(cell) +
+                              " image size drifted from its segment");
+    }
+    crcs[cell] = Crc32c(image);
+    SPQ_RETURN_NOT_OK(dfs.WriteFile(CellFile(name, epoch, cell), image));
+    info.bytes_written += image.size();
+    ++info.cells_written;
+  }
+  if (crash == CheckpointCrash::kAfterCells) {
+    return Status::Aborted("injected crash: after cell files");
+  }
+
+  Buffer payload;
+  payload.PutUint32(kManifestVersion);
+  payload.PutUint64(epoch);
+  payload.PutDouble(max_radius_);
+  const geo::Rect& b = grid_.bounds();
+  payload.PutDouble(b.min_x);
+  payload.PutDouble(b.min_y);
+  payload.PutDouble(b.max_x);
+  payload.PutDouble(b.max_y);
+  payload.PutUint32(grid_.nx());
+  payload.PutUint32(grid_.ny());
+  payload.PutUint64(data_objects_);
+  payload.PutUint32(num_cells());
+  for (geo::CellId cell = 0; cell < cells_.size(); ++cell) {
+    const Partition& part = cells_[cell];
+    payload.PutVarint(part.record_count);
+    if (part.record_count > 0) {
+      payload.PutVarint(part.segment.byte_size);
+      payload.PutVarint(part.segment.pool_bytes);
+      payload.PutUint32(crcs[cell]);
+    }
+  }
+  for (const CellTextSummary& summary : text_summaries_) {
+    payload.PutUint64(summary.signature);
+    payload.PutVarint(summary.min_len);
+    payload.PutVarint(summary.max_len);
+    payload.PutVarint(summary.reachable_features);
+  }
+  std::vector<uint8_t> manifest = FrameManifest(std::move(payload));
+  info.bytes_written += manifest.size();
+  SPQ_RETURN_NOT_OK(dfs.WriteFile(ManifestFile(name, epoch), manifest));
+  if (crash == CheckpointCrash::kAfterManifest) {
+    return Status::Aborted("injected crash: after manifest, before commit");
+  }
+
+  WalRecord commit;
+  commit.type = WalRecordType::kCheckpointCommit;
+  commit.epoch = epoch;
+  if (crash == CheckpointCrash::kMidWalCommit) {
+    SPQ_RETURN_NOT_OK(wal.AppendTorn(commit));
+    return Status::Aborted("injected crash: torn checkpoint-commit record");
+  }
+  SPQ_RETURN_NOT_OK(wal.Append(commit));
+
+  // Epoch E is durable; everything older is dead weight (invariant 5).
+  const std::string gc_prefix = name + "/epoch-";
+  for (const std::string& file : dfs.ListFiles()) {
+    if (file.rfind(gc_prefix, 0) != 0) continue;
+    const uint64_t old_epoch =
+        std::strtoull(file.c_str() + gc_prefix.size(), nullptr, 10);
+    if (old_epoch < epoch) {
+      (void)dfs.DeleteFile(file);
+    }
+  }
+  return info;
+}
+
+StatusOr<std::unique_ptr<CellStore>> CellStore::Recover(
+    dfs::MiniDfs& dfs, const std::string& name,
+    const std::vector<ShuffleObject>& rebuild_input) {
+  StoreWal wal(&dfs, WalPrefix(name));
+  SPQ_ASSIGN_OR_RETURN(StoreWal::ReplayResult replay, wal.Replay());
+  std::vector<uint64_t> committed;
+  for (const WalRecord& rec : replay.records) {
+    if (rec.type == WalRecordType::kCheckpointCommit) {
+      committed.push_back(rec.epoch);
+    }
+  }
+  std::sort(committed.rbegin(), committed.rend());  // newest first
+
+  auto try_epoch =
+      [&](uint64_t epoch) -> StatusOr<std::unique_ptr<CellStore>> {
+    SPQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         dfs.ReadFile(ManifestFile(name, epoch)));
+    SPQ_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         UnframeManifest(bytes));
+    BufferReader reader(payload);
+    uint32_t version = 0;
+    SPQ_RETURN_NOT_OK(reader.GetUint32(&version));
+    if (version != kManifestVersion) {
+      return Status::IOError("unknown manifest version " +
+                             std::to_string(version));
+    }
+    uint64_t manifest_epoch = 0;
+    SPQ_RETURN_NOT_OK(reader.GetUint64(&manifest_epoch));
+    if (manifest_epoch != epoch) {
+      return Status::IOError("manifest epoch mismatch");
+    }
+    double max_radius = 0.0;
+    geo::Rect bounds;
+    uint32_t nx = 0, ny = 0;
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&max_radius));
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&bounds.min_x));
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&bounds.min_y));
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&bounds.max_x));
+    SPQ_RETURN_NOT_OK(reader.GetDouble(&bounds.max_y));
+    SPQ_RETURN_NOT_OK(reader.GetUint32(&nx));
+    SPQ_RETURN_NOT_OK(reader.GetUint32(&ny));
+    SPQ_ASSIGN_OR_RETURN(geo::UniformGrid grid,
+                         geo::UniformGrid::Make(bounds, nx, ny));
+    uint64_t data_objects = 0;
+    uint32_t num_cells = 0;
+    SPQ_RETURN_NOT_OK(reader.GetUint64(&data_objects));
+    SPQ_RETURN_NOT_OK(reader.GetUint32(&num_cells));
+    if (num_cells != grid.num_cells()) {
+      return Status::IOError("manifest cell count mismatch");
+    }
+    std::unique_ptr<CellStore> store(new CellStore(grid, max_radius));
+    store->data_objects_ = data_objects;
+    store->cell_crcs_.assign(num_cells, 0);
+    uint64_t records_total = 0;
+    for (geo::CellId cell = 0; cell < num_cells; ++cell) {
+      Partition& part = store->cells_[cell];
+      uint64_t record_count = 0;
+      SPQ_RETURN_NOT_OK(reader.GetVarint(&record_count));
+      part.record_count = record_count;
+      records_total += record_count;
+      if (record_count > 0) {
+        uint64_t byte_size = 0, pool_bytes = 0;
+        SPQ_RETURN_NOT_OK(reader.GetVarint(&byte_size));
+        SPQ_RETURN_NOT_OK(reader.GetVarint(&pool_bytes));
+        SPQ_RETURN_NOT_OK(reader.GetUint32(&store->cell_crcs_[cell]));
+        // Partition metadata only — the image itself stays on the DFS
+        // until the cell's first Serve (invariant 3).
+        part.segment.num_records = record_count;
+        part.segment.byte_size = byte_size;
+        part.segment.pool_bytes = pool_bytes;
+      }
+    }
+    if (records_total != data_objects) {
+      return Status::IOError("manifest record totals disagree");
+    }
+    store->text_summaries_.assign(num_cells, CellTextSummary{});
+    for (CellTextSummary& summary : store->text_summaries_) {
+      uint64_t min_len = 0, max_len = 0;
+      SPQ_RETURN_NOT_OK(reader.GetUint64(&summary.signature));
+      SPQ_RETURN_NOT_OK(reader.GetVarint(&min_len));
+      SPQ_RETURN_NOT_OK(reader.GetVarint(&max_len));
+      SPQ_RETURN_NOT_OK(reader.GetVarint(&summary.reachable_features));
+      summary.min_len = static_cast<uint32_t>(min_len);
+      summary.max_len = static_cast<uint32_t>(max_len);
+    }
+    if (!reader.exhausted()) {
+      return Status::IOError("trailing manifest bytes");
+    }
+    return store;
+  };
+
+  Status last = Status::OK();
+  for (uint64_t epoch : committed) {
+    auto store_or = try_epoch(epoch);
+    if (!store_or.ok()) {
+      // Invariant 1: a commit record alone does not make an epoch
+      // servable — its manifest must verify too. Fall back to the next
+      // older committed epoch, loudly.
+      SPQ_LOG_WARN << "store '" << name << "' committed epoch " << epoch
+                   << " unusable (" << store_or.status().ToString()
+                   << "); trying older epochs";
+      last = store_or.status();
+      continue;
+    }
+    std::unique_ptr<CellStore> store = std::move(*store_or);
+    // Dataset-shape check against the checkpoint's recorded data count.
+    // FlattenDataset lays rebuild_input out as a data prefix followed by a
+    // feature suffix, so probing the boundary elements is O(1); a full
+    // O(n) count runs only when the probes are inconclusive (recovery
+    // time is first-query latency, and this scan was most of it). A
+    // pathological non-flattened input that fools the probes still cannot
+    // serve garbage: RebuildPartition re-verifies exact per-cell counts
+    // before any rebuilt rows are served.
+    const uint64_t want = store->data_objects_;
+    bool shape_ok = rebuild_input.size() >= want &&
+                    (want == 0 || (rebuild_input.front().is_data() &&
+                                   rebuild_input[want - 1].is_data())) &&
+                    (rebuild_input.size() == want ||
+                     (rebuild_input[want].is_feature() &&
+                      rebuild_input.back().is_feature()));
+    if (!shape_ok) {
+      uint64_t input_data = 0;
+      for (const ShuffleObject& x : rebuild_input) {
+        input_data += x.is_data() ? 1 : 0;
+      }
+      shape_ok = input_data == want;
+    }
+    if (!shape_ok) {
+      return Status::InvalidArgument(
+          "recover dataset mismatch: checkpoint '" + name + "' holds " +
+          std::to_string(want) + " data objects, the supplied dataset ("
+          + std::to_string(rebuild_input.size()) + " records) disagrees");
+    }
+    store->dfs_ = &dfs;
+    store->checkpoint_name_ = name;
+    store->checkpoint_epoch_ = epoch;
+    store->rebuild_input_ = &rebuild_input;
+    return store;
+  }
+  return Status::NotFound(
+      "store '" + name + "' has no usable committed checkpoint" +
+      (last.ok() ? "" : " (" + last.ToString() + ")"));
 }
 
 namespace {

@@ -2,11 +2,14 @@
 #define SPQ_SPQ_CELL_STORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/statusor.h"
+#include "dfs/mini_dfs.h"
 #include "geo/grid.h"
 #include "mapreduce/job.h"
 #include "mapreduce/merge.h"
@@ -98,6 +101,43 @@ struct CellTextSummary {
 /// parallel reduce tasks touch disjoint cells (the partitioner assigns
 /// each cell to exactly one task), which is what makes the lazy
 /// materialization and per-cell score scratch safe without locks.
+///
+/// Durability & recovery invariants (Checkpoint / Recover):
+///
+///  1. Commit rule. A checkpoint epoch E is committed iff BOTH its
+///     kCheckpointCommit(E) WAL record decodes intact AND its MANIFEST
+///     passes the CRC + structure check. The commit record is written
+///     strictly after every cell file and the manifest, so a committed
+///     epoch's files are complete by construction; recovery serves the
+///     newest committed epoch and ignores everything else (partial
+///     epochs from crashes are dead weight until the next checkpoint's
+///     GC removes them).
+///  2. Torn WAL frames are holes, not poison. Replay verifies every
+///     frame (magic/length/CRC) and skips, loudly, any that fail — a
+///     torn frame can only be an append that was never acknowledged
+///     (each record is one write-once replicated DFS file, durable
+///     before the writer proceeds), so no committed state references
+///     it, and records appended after the hole (a re-checkpoint taken
+///     after recovering from that crash) stay visible. A crash
+///     mid-append loses at most the record being written.
+///  3. Cell-granular lazy recovery. Recover() reads only the WAL and one
+///     manifest — O(cells) metadata, no cell payloads. Each cell's
+///     partition is re-read from its checkpoint file at first query
+///     touch (Serve), verified against the manifest's per-cell byte size
+///     and CRC-32C and the flat-segment structure checks, and then
+///     materialized exactly like a built partition. Recovery cost is
+///     proportional to the cells a query touches, not store size.
+///  4. Verified or rebuilt, never garbage. A cell file that fails
+///     verification (every DFS replica corrupt, length drift) is loudly
+///     logged, counted (cells_rebuilt()), and rebuilt from the attached
+///     dataset by replaying the build's deterministic per-cell layout —
+///     byte-identical to the checkpointed image. Warm results and SPQ
+///     counters after any crash/recover/corrupt sequence are
+///     bit-identical to a never-crashed store (durability_test pins
+///     this across algorithms and shuffle modes).
+///  5. Re-checkpoint safety. Checkpoint() derives epoch E+1 from the WAL
+///     (E = newest epoch mentioned), so write-once DFS files never
+///     collide; after commit it garbage-collects epochs < E+1.
 class CellStore {
  public:
   /// One cell's resident partition (see class comment).
@@ -116,6 +156,51 @@ class CellStore {
   static StatusOr<std::unique_ptr<CellStore>> Build(
       const std::vector<ShuffleObject>& input, const geo::UniformGrid& grid,
       double max_radius, const mapreduce::JobConfig& config);
+
+  /// Crash-injection points for Checkpoint(), ordered along the write
+  /// path. Each aborts the checkpoint exactly at its boundary (the "Mid"
+  /// points additionally leave a deliberately torn artifact behind), so
+  /// the crash-point matrix test can recover from every prefix.
+  enum class CheckpointCrash {
+    kNone,
+    kMidWalBegin,    ///< torn kCheckpointBegin frame, nothing else
+    kAfterWalBegin,  ///< begin record durable, no cell files yet
+    kMidCells,       ///< half the cell files written, no manifest
+    kAfterCells,     ///< all cell files written, no manifest
+    kAfterManifest,  ///< manifest durable, commit record missing
+    kMidWalCommit,   ///< torn kCheckpointCommit frame
+  };
+
+  struct CheckpointInfo {
+    uint64_t epoch = 0;
+    uint32_t cells_written = 0;   ///< non-empty cells persisted
+    uint64_t bytes_written = 0;   ///< cell payload + manifest bytes
+  };
+
+  /// Persists the store under `<name>/` on `dfs`: one CRC-covered flat
+  /// segment image per non-empty cell, an atomic checksummed manifest
+  /// (grid geometry, per-cell record counts / sizes / CRCs, keyword
+  /// summaries), and WAL begin/commit records bracketing the epoch. Works
+  /// from any serving state: an untouched partition persists its segment
+  /// bytes verbatim, a materialized one re-encodes its serving rows
+  /// through the build's deterministic layout (bit-identical image), and
+  /// a recovered-but-untouched one copies forward from the source
+  /// checkpoint. See the class comment for the commit rule; `crash`
+  /// injects a stop at one write-path boundary (Aborted).
+  StatusOr<CheckpointInfo> Checkpoint(
+      dfs::MiniDfs& dfs, const std::string& name,
+      CheckpointCrash crash = CheckpointCrash::kNone) const;
+
+  /// Recovers a store from the newest committed checkpoint under
+  /// `<name>/`: replays the WAL tail and loads one manifest eagerly;
+  /// cell partitions stay on the DFS until their first Serve (invariant
+  /// 3). `rebuild_input` must be the same flattened dataset the store was
+  /// built from (validated against the manifest's data-object count); it
+  /// backs the per-cell corruption fallback (invariant 4). NotFound when
+  /// no epoch satisfies the commit rule — callers fall back to Build.
+  static StatusOr<std::unique_ptr<CellStore>> Recover(
+      dfs::MiniDfs& dfs, const std::string& name,
+      const std::vector<ShuffleObject>& rebuild_input);
 
   CellStore(const CellStore&) = delete;
   CellStore& operator=(const CellStore&) = delete;
@@ -153,9 +238,42 @@ class CellStore {
       const std::function<uint32_t(const CellKey&, uint32_t)>& partitioner,
       uint32_t num_partitions) const;
 
+  /// True when this store was opened from a checkpoint (Recover).
+  bool recovered() const { return checkpoint_epoch_ != 0; }
+  /// Committed epoch this store serves from; 0 for built stores.
+  uint64_t checkpoint_epoch() const { return checkpoint_epoch_; }
+  /// Cells lazily re-read (and verified) from the checkpoint so far.
+  /// Atomic: bumped by parallel reduce tasks on disjoint cells.
+  uint64_t cells_restored() const {
+    return cells_restored_.load(std::memory_order_relaxed);
+  }
+  /// Cells whose checkpoint image failed verification and were rebuilt
+  /// from the attached dataset instead (invariant 4; always logged).
+  uint64_t cells_rebuilt() const {
+    return cells_rebuilt_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoint file layout under a store name (exposed for tests/bench).
+  static std::string WalPrefix(const std::string& name) { return name; }
+  static std::string EpochDir(const std::string& name, uint64_t epoch);
+  static std::string ManifestFile(const std::string& name, uint64_t epoch);
+  static std::string CellFile(const std::string& name, uint64_t epoch,
+                              geo::CellId cell);
+
  private:
   CellStore(geo::UniformGrid grid, double max_radius)
       : grid_(grid), max_radius_(max_radius), cells_(grid.num_cells()) {}
+
+  /// The cell's persistable flat-segment image, from whichever form the
+  /// partition is currently in (see Checkpoint doc). Empty for empty
+  /// cells.
+  StatusOr<std::vector<uint8_t>> SegmentImageOf(geo::CellId cell) const;
+  /// Reads + verifies one cell's image from this store's source
+  /// checkpoint (size + CRC-32C against the manifest).
+  StatusOr<std::vector<uint8_t>> RestoreImage(geo::CellId cell) const;
+  /// Corruption fallback: re-derives the cell's image from the attached
+  /// dataset via the build's deterministic per-cell layout.
+  Status RebuildPartition(geo::CellId cell, Partition& part);
 
   geo::UniformGrid grid_;
   double max_radius_;
@@ -163,6 +281,15 @@ class CellStore {
   std::vector<CellTextSummary> text_summaries_;
   uint64_t data_objects_ = 0;
   mapreduce::JobStats build_stats_;
+
+  // Recovery state (set by Recover; empty/zero for built stores).
+  dfs::MiniDfs* dfs_ = nullptr;
+  std::string checkpoint_name_;
+  uint64_t checkpoint_epoch_ = 0;
+  const std::vector<ShuffleObject>* rebuild_input_ = nullptr;
+  std::vector<uint32_t> cell_crcs_;  ///< per-cell image CRCs (manifest)
+  std::atomic<uint64_t> cells_restored_{0};
+  std::atomic<uint64_t> cells_rebuilt_{0};
 };
 
 /// Runs one warm single-query job: maps and shuffles `features` (feature

@@ -242,25 +242,57 @@ Status SpqEngine::BuildStore(double max_radius, uint32_t grid_size_override) {
   SPQ_ASSIGN_OR_RETURN(auto store,
                        CellStore::Build(input_, grid, max_radius, config));
   store_ = std::move(store);
+  WireWarmServing();
+  return Status::OK();
+}
+
+void SpqEngine::WireWarmServing() {
   // Warm queries share the store grid and cluster shape, so everything a
   // query would otherwise rederive — the balanced assignment (a
   // full-dataset scan) and the per-partition resident-data cell lists
-  // (an all-cells scan) — is computed once here, not per query.
+  // (an all-cells scan) — is computed once here, not per query. Shared by
+  // BuildStore and OpenStore: a recovered store carries the same grid and
+  // record counts as the build it checkpointed, so the derived wiring —
+  // and therefore warm behavior — is identical.
+  const geo::UniformGrid& grid = store_->grid();
+  const uint32_t num_reduce_tasks =
+      MakeClusterConfig(grid.num_cells(), "cellstore-wire").num_reduce_tasks;
   store_balanced_ = MakeBalancedCellAssignment(dataset_, options_, grid,
-                                               config.num_reduce_tasks);
+                                               num_reduce_tasks);
   store_data_cells_ = store_->DataCellsByPartition(
       [this](const CellKey& key, uint32_t parts) {
         return AssignedPartition(store_balanced_, key, parts);
       },
-      config.num_reduce_tasks);
+      num_reduce_tasks);
 
   // The warm feature-side input: borrowed aliases into input_ (which the
   // engine owns for its lifetime), so no keyword list is cloned.
+  // FlattenDataset lays out data first, features last, so the features
+  // are exactly the tail — no full-input scan (this runs on the
+  // OpenStore recovery path, where wiring time is first-query latency).
   feature_input_.clear();
-  feature_input_.reserve(dataset_.features.size());
-  for (const ShuffleObject& x : input_) {
-    if (x.is_feature()) feature_input_.push_back(x.Borrowed());
+  const std::size_t num_features = dataset_.features.size();
+  feature_input_.reserve(num_features);
+  for (std::size_t i = input_.size() - num_features; i < input_.size(); ++i) {
+    feature_input_.push_back(input_[i].Borrowed());
   }
+}
+
+StatusOr<uint64_t> SpqEngine::CheckpointStore(dfs::MiniDfs& dfs,
+                                              const std::string& name) {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "no resident CellStore: call BuildStore() before CheckpointStore()");
+  }
+  SPQ_ASSIGN_OR_RETURN(CellStore::CheckpointInfo info,
+                       store_->Checkpoint(dfs, name));
+  return info.epoch;
+}
+
+Status SpqEngine::OpenStore(dfs::MiniDfs& dfs, const std::string& name) {
+  SPQ_ASSIGN_OR_RETURN(auto store, CellStore::Recover(dfs, name, input_));
+  store_ = std::move(store);
+  WireWarmServing();
   return Status::OK();
 }
 

@@ -12,6 +12,10 @@
 #include "spq/shuffle_types.h"
 #include "spq/types.h"
 
+namespace spq::dfs {
+class MiniDfs;  // dfs/mini_dfs.h — checkpoint/recovery storage
+}
+
 namespace spq::core {
 
 class CellStore;  // cell_store.h — the resident serving layer
@@ -224,6 +228,25 @@ class SpqEngine {
   StatusOr<SpqBatchResult> QueryBatch(const std::vector<core::Query>& queries,
                                       Algorithm algo);
 
+  /// Persists the resident store under `<name>/` on `dfs`: checksummed
+  /// per-cell images, an atomic manifest, and WAL begin/commit records
+  /// (CellStore::Checkpoint — its class comment states the durability
+  /// invariants). Requires a prior BuildStore()/OpenStore(). Returns the
+  /// committed epoch.
+  StatusOr<uint64_t> CheckpointStore(dfs::MiniDfs& dfs,
+                                     const std::string& name);
+
+  /// Opens the resident store from the newest committed checkpoint under
+  /// `<name>/` and wires the warm serving path exactly as BuildStore()
+  /// does (balanced assignment, resident-cell lists, borrowed feature
+  /// input) — warm queries behave bit-identically to a store built in
+  /// this process. Only the WAL tail and manifest are read eagerly; each
+  /// cell's partition loads (verified) at its first query touch.
+  /// NotFound when no committed checkpoint is usable — callers typically
+  /// fall back to BuildStore(); InvalidArgument when the checkpoint was
+  /// taken over a different dataset.
+  Status OpenStore(dfs::MiniDfs& dfs, const std::string& name);
+
   bool has_store() const { return store_ != nullptr; }
   /// The resident store, or nullptr before BuildStore().
   const CellStore* store() const { return store_.get(); }
@@ -240,6 +263,10 @@ class SpqEngine {
   /// Same for the per-job SPQ options (prefilter, join mode, kernel mode,
   /// signature screening).
   SpqJobOptions MakeJobOptions() const;
+  /// Post-store wiring shared by BuildStore and OpenStore: the balanced
+  /// cell assignment, per-partition resident-cell lists and borrowed
+  /// feature-side input, all derived from the store's grid.
+  void WireWarmServing();
 
   Dataset dataset_;
   EngineOptions options_;

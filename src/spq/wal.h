@@ -1,0 +1,93 @@
+#ifndef SPQ_SPQ_WAL_H_
+#define SPQ_SPQ_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "dfs/mini_dfs.h"
+
+namespace spq::core {
+
+/// \brief Record types of the per-store write-ahead log.
+enum class WalRecordType : uint32_t {
+  /// The store was built from a dataset; payload carries the build
+  /// fingerprint (data-object count) recovery validates against.
+  kStoreBuilt = 1,
+  /// A checkpoint of `epoch` started: its cell files and manifest may
+  /// exist in any partial state until the matching commit record.
+  kCheckpointBegin = 2,
+  /// Checkpoint `epoch` is durable: its manifest and every cell file were
+  /// fully written before this record. The newest committed epoch is the
+  /// one recovery serves from.
+  kCheckpointCommit = 3,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kStoreBuilt;
+  uint64_t epoch = 0;
+  /// Type-specific metadata (Buffer-encoded by the writer).
+  std::vector<uint8_t> payload;
+};
+
+/// \brief CRC-framed write-ahead log for one CellStore, hosted on MiniDfs.
+///
+/// MiniDfs files are write-once, so "append" means writing the next record
+/// as its own numbered file `<prefix>/wal/<seq>` — the way HDFS-era systems
+/// (HBase, early Kafka) segment their logs, shrunk to one record per
+/// segment. Each record is framed [magic u32][len u32][crc u32][payload]
+/// with a CRC-32C over the payload.
+///
+/// Replay scans seq 1, 2, ... upward; the first missing sequence number
+/// ends the log. A frame that fails its magic/length/CRC check — or a
+/// record file whose every DFS replica is corrupt — is a torn record:
+/// replay reports it loudly, counts it, and SKIPS it. Skipping is sound
+/// because every record is acknowledged only after its write-once file is
+/// fully replicated: a torn frame can only be an append whose writer
+/// crashed before acknowledgment, so no committed state references it,
+/// while the intact records after the hole (e.g. a re-checkpoint taken
+/// after recovering from that crash) stay visible. A crash mid-append
+/// therefore loses at most the record being written, never a committed
+/// one.
+class StoreWal {
+ public:
+  StoreWal(dfs::MiniDfs* dfs, std::string prefix);
+
+  /// Appends one record after the last existing sequence number.
+  Status Append(const WalRecord& record);
+
+  /// Crash-injection hook: writes a strict prefix of the record's frame
+  /// (a torn append), consuming the sequence slot. Replay must stop here.
+  Status AppendTorn(const WalRecord& record);
+
+  struct ReplayResult {
+    std::vector<WalRecord> records;  ///< the intact records, in log order
+    uint32_t torn_records = 0;       ///< frames skipped (torn/unreadable)
+  };
+
+  /// Decodes the log from the start and positions this writer after the
+  /// last existing slot (torn or not). Never fails on torn/corrupt
+  /// records — they are skipped (see class comment) and counted.
+  StatusOr<ReplayResult> Replay();
+
+  /// Sequence number the next Append will use.
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Log file for sequence `seq` under `prefix` (exposed for tests).
+  static std::string RecordFile(const std::string& prefix, uint64_t seq);
+
+ private:
+  static std::vector<uint8_t> EncodeFrame(const WalRecord& record);
+  static StatusOr<WalRecord> DecodeFrame(const std::vector<uint8_t>& bytes);
+
+  Status AppendImage(const std::vector<uint8_t>& image);
+
+  dfs::MiniDfs* dfs_;
+  std::string prefix_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_WAL_H_

@@ -1,7 +1,9 @@
 #include "mapreduce/fault.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -149,6 +151,76 @@ TEST(FaultInjectionTest, ExhaustedAttemptsAbortJob) {
   auto result = RunJob(SumSpec(), config, TestInput());
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsAborted());
+}
+
+// Storage faults on the spill path (torn writes caught by the
+// verify-after-write, short reads / bit flips caught by the page CRCs)
+// must behave like task failures: the attempt retries with a fresh fault
+// roll and the job converges to the exact clean-run output.
+TEST(FaultInjectionTest, StorageFaultsOnSpillPathConverge) {
+  const auto input = TestInput();
+
+  JobConfig clean;
+  clean.num_map_tasks = 6;
+  clean.num_reduce_tasks = 4;
+  auto expected = RunJob(SumSpec(), clean, input);
+  ASSERT_TRUE(expected.ok());
+
+  JobConfig faulty = clean;
+  faulty.spill_dir = (std::filesystem::temp_directory_path() /
+                      ("spq_fault_storage_" + std::to_string(::getpid())))
+                         .string();
+  faulty.faults.storage_fault_prob = 0.3;
+  faulty.faults.seed = 41;
+  faulty.max_task_attempts = 50;
+  auto result = RunJob(SumSpec(), faulty, input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(ToMap(result->records), ToMap(expected->records));
+  // p=0.3 per storage site over 24 spill files: detections are certain
+  // for this seed, and every one cost an attempt, never a wrong record.
+  EXPECT_GT(result->stats.storage_fault_detections, 0u);
+  std::filesystem::remove_all(faulty.spill_dir);
+}
+
+// Task faults and storage faults together: the combined retry machinery
+// must still converge to the clean output.
+TEST(FaultInjectionTest, TaskAndStorageFaultsTogetherConverge) {
+  const auto input = TestInput();
+  JobConfig clean;
+  clean.num_map_tasks = 5;
+  clean.num_reduce_tasks = 3;
+  auto expected = RunJob(SumSpec(), clean, input);
+  ASSERT_TRUE(expected.ok());
+
+  JobConfig faulty = clean;
+  faulty.spill_dir = (std::filesystem::temp_directory_path() /
+                      ("spq_fault_both_" + std::to_string(::getpid())))
+                         .string();
+  faulty.faults.map_failure_prob = 0.3;
+  faulty.faults.reduce_failure_prob = 0.3;
+  faulty.faults.storage_fault_prob = 0.2;
+  faulty.faults.seed = 97;
+  faulty.max_task_attempts = 60;
+  auto result = RunJob(SumSpec(), faulty, input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ToMap(result->records), ToMap(expected->records));
+  std::filesystem::remove_all(faulty.spill_dir);
+}
+
+// Without a spill dir there is no storage I/O to fault: the knob must be
+// inert for in-memory shuffles, not a hidden failure source.
+TEST(FaultInjectionTest, StorageFaultsInertWithoutSpill) {
+  const auto input = TestInput();
+  JobConfig config;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 4;
+  config.faults.storage_fault_prob = 1.0;
+  config.faults.seed = 3;
+  auto result = RunJob(SumSpec(), config, input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.storage_fault_detections, 0u);
+  EXPECT_EQ(result->records.size(), 10u);
 }
 
 TEST(FaultInjectionTest, ReduceOnlyFaultsRecover) {

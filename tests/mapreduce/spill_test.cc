@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 
@@ -144,6 +145,142 @@ TEST(SpillRegionReaderTest, TruncatedRegionSurfacesOutOfRange) {
   while (st.ok()) st = reader.FetchMore();
   EXPECT_TRUE(st.IsOutOfRange()) << st.ToString();
   EXPECT_EQ(reader.peek_len(), 100u);
+  RemoveSpillFile(path);
+}
+
+// ----- CRC framing: corruption is detected, never served -----
+
+/// Flips one bit of the on-disk file at `offset`.
+void FlipByteOnDisk(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c ^= 0x20;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+TEST(SpillFramingTest, CorruptBodyByteIsIOErrorNeverGarbage) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 20, 0);
+  const std::vector<uint8_t> bytes = PatternBytes(5'000);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+  FlipByteOnDisk(path, 1'234);  // inside the body
+
+  // Whole-file read: detected by the page CRC.
+  EXPECT_TRUE(ReadSpillFile(path).status().IsIOError());
+
+  // Region read: the reader must error out before serving the bad byte.
+  SpillRegionReader reader;
+  reader.Open(path, 0, bytes.size(), /*buffer_capacity=*/256);
+  std::vector<uint8_t> got;
+  Status st = Status::OK();
+  while (st.ok() && got.size() < bytes.size()) {
+    if (reader.peek_len() == 0) {
+      st = reader.FetchMore();
+      if (!st.ok()) break;
+    }
+    const std::size_t n = reader.peek_len();
+    got.insert(got.end(), reader.peek_data(), reader.peek_data() + n);
+    reader.Consume(n);
+  }
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // Everything served before the error was verified-intact.
+  EXPECT_LE(got.size(), 1'234u);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), bytes.begin()));
+  RemoveSpillFile(path);
+}
+
+TEST(SpillFramingTest, CorruptTrailerIsDetected) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 20, 1);
+  ASSERT_TRUE(WriteSpillFile(path, PatternBytes(300)).ok());
+  const auto file_size = std::filesystem::file_size(path);
+  FlipByteOnDisk(path, static_cast<std::size_t>(file_size) - 3);
+  EXPECT_TRUE(ReadSpillFile(path).status().IsIOError());
+  SpillRegionReader reader;
+  reader.Open(path, 0, 300, /*buffer_capacity=*/64);
+  EXPECT_TRUE(reader.FetchMore().IsIOError());
+  RemoveSpillFile(path);
+}
+
+TEST(SpillFramingTest, CorruptCrcTableIsDetected) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 20, 2);
+  const std::vector<uint8_t> bytes = PatternBytes(700);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+  FlipByteOnDisk(path, bytes.size() + 1);  // first page's table entry
+  EXPECT_TRUE(ReadSpillFile(path).status().IsIOError());
+  RemoveSpillFile(path);
+}
+
+TEST(SpillFramingTest, VerifyAfterWriteCatchesInjectedWriteFaults) {
+  // With prob 1.0 every storage site rolls SOME fault kind, but a site
+  // can roll a kind for the other direction (a write site drawing
+  // kShortRead injects nothing at write time) — so an individual write
+  // may legitimately be acknowledged. The contract under test is what
+  // faults may never do: an acknowledged write must round-trip the exact
+  // bytes, a failed write must be a deterministic IOError whose file is
+  // either detectably poisoned or clean — silent garbage is the one
+  // impossible outcome. 24 distinct paths (independent site rolls) make
+  // an all-inert run astronomically unlikely, so the verify-after-write
+  // pass is genuinely exercised.
+  FaultSpec spec;
+  spec.storage_fault_prob = 1.0;
+  spec.seed = 7;
+  const std::vector<uint8_t> bytes = PatternBytes(2'000);
+  const uint64_t run_id = NextSpillRunId();
+  int write_failures = 0;
+  for (uint32_t part = 0; part < 24; ++part) {
+    const std::string path = SpillPath(SpillTestDir(), run_id, 20, part);
+    Status st = Status::OK();
+    Status again = Status::OK();
+    {
+      ScopedStorageFaults scope(&spec, /*salt=*/1);
+      st = WriteSpillFile(path, bytes);
+      // Deterministic: the same (spec, salt, path) re-rolls identically.
+      again = WriteSpillFile(path, bytes);
+    }
+    EXPECT_EQ(st.ToString(), again.ToString());
+    auto read = ReadSpillFile(path);  // outside the scope: no read faults
+    if (st.ok()) {
+      // Acknowledged ⇒ the bytes on the medium are the bytes handed in.
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      EXPECT_EQ(*read, bytes);
+    } else {
+      EXPECT_TRUE(st.IsIOError()) << st.ToString();
+      ++write_failures;
+      // The unacknowledged file is torn/corrupt (framing detects it) or
+      // clean (the fault hit the verify read, not the medium) — never
+      // readable-but-wrong.
+      if (read.ok()) EXPECT_EQ(*read, bytes);
+    }
+    RemoveSpillFile(path);
+  }
+  EXPECT_GT(write_failures, 0);
+
+  // No scope: the same path writes and round-trips clean (a retried
+  // attempt with a different salt behaves the same way).
+  const std::string path = SpillPath(SpillTestDir(), run_id, 20, 100);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+  auto read = ReadSpillFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, bytes);
+  RemoveSpillFile(path);
+}
+
+TEST(SpillFramingTest, ZeroFaultProbScopeIsInert) {
+  const std::string path =
+      SpillPath(SpillTestDir(), NextSpillRunId(), 20, 4);
+  FaultSpec spec;  // storage_fault_prob = 0
+  ScopedStorageFaults scope(&spec, /*salt=*/9);
+  const std::vector<uint8_t> bytes = PatternBytes(500);
+  ASSERT_TRUE(WriteSpillFile(path, bytes).ok());
+  auto read = ReadSpillFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, bytes);
   RemoveSpillFile(path);
 }
 

@@ -20,6 +20,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <random>
@@ -150,6 +151,19 @@ void ExpectSameRun(const SpqResult& base, const SpqResult& var,
   // the knob's own bookkeeping and legitimately differ across variants.
 }
 
+/// The "faults"-labeled ctest entries set SPQ_TEST_FAULTS: the suite then
+/// runs under injected task + storage faults with a generous retry budget
+/// — kernel/signature equivalence must survive the retry machinery too.
+void ApplyEnvFaults(EngineOptions& options) {
+  const char* env = std::getenv("SPQ_TEST_FAULTS");
+  if (env == nullptr || *env == '\0' || *env == '0') return;
+  options.faults.map_failure_prob = 0.15;
+  options.faults.reduce_failure_prob = 0.15;
+  options.faults.storage_fault_prob = 0.05;
+  options.faults.seed = 1307;
+  options.max_task_attempts = 50;
+}
+
 class KernelEquivalenceTest
     : public ::testing::TestWithParam<std::tuple<Algorithm, bool>> {};
 
@@ -176,6 +190,7 @@ TEST_P(KernelEquivalenceTest, VariantsMatchScalarNoSigBaseline) {
     spill_dir = (std::filesystem::temp_directory_path() / unique).string();
     base_options.spill_dir = spill_dir;
   }
+  ApplyEnvFaults(base_options);
 
   const double cell_edge = 1.0 / kGridSize;
   const double max_radius = 0.6 * cell_edge;
@@ -260,6 +275,7 @@ TEST(KernelEquivalenceTest, BatchVariantsMatchBaseline) {
         options.num_reduce_tasks = 6;
         options.kernel_mode = kernel;
         options.signature_prefilter = sig;
+        ApplyEnvFaults(options);
         SpqEngine engine(dataset, options);
         ASSERT_TRUE(engine.BuildStore(max_radius).ok());
         auto cold = engine.ExecuteBatch(queries, algo);

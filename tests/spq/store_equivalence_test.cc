@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <tuple>
 #include <vector>
@@ -28,6 +29,21 @@ namespace {
 using mapreduce::ShuffleMode;
 
 constexpr uint32_t kGridSize = 9;
+
+/// The "faults"-labeled ctest entries set SPQ_TEST_FAULTS: the whole
+/// suite then runs under injected task + storage faults with a generous
+/// retry budget — warm/cold equivalence must survive the full retry
+/// machinery (task re-execution, spill verify-after-write, page-CRC
+/// re-reads) too.
+void ApplyEnvFaults(EngineOptions& options) {
+  const char* env = std::getenv("SPQ_TEST_FAULTS");
+  if (env == nullptr || *env == '\0' || *env == '0') return;
+  options.faults.map_failure_prob = 0.15;
+  options.faults.reduce_failure_prob = 0.15;
+  options.faults.storage_fault_prob = 0.05;
+  options.faults.seed = 1307;
+  options.max_task_attempts = 50;
+}
 
 Dataset MakeDataset(uint64_t seed, bool clustered) {
   if (clustered) {
@@ -119,6 +135,7 @@ TEST_P(StoreEquivalenceTest, WarmPathMatchesCold) {
     spill_dir = (std::filesystem::temp_directory_path() / unique).string();
     options.spill_dir = spill_dir;
   }
+  ApplyEnvFaults(options);
 
   const double cell_edge = 1.0 / kGridSize;
   const double max_radius = 0.6 * cell_edge;
@@ -193,6 +210,7 @@ TEST(StoreEquivalenceTest, WarmBatchMatchesColdBatch) {
     options.num_map_tasks = 3;
     options.num_reduce_tasks = 5;
     options.shuffle_mode = mode;
+    ApplyEnvFaults(options);
     SpqEngine engine(dataset, options);
     ASSERT_TRUE(engine.BuildStore(max_radius).ok());
     for (Algorithm algo : {Algorithm::kPSPQ, Algorithm::kESPQLen,
@@ -235,6 +253,7 @@ TEST(StoreEquivalenceTest, BalancedPartitionerWarmMatchesCold) {
   options.num_map_tasks = 5;
   options.num_reduce_tasks = 7;  // < cells, so the LPT assignment engages
   options.partitioner = PartitionerKind::kBalanced;
+  ApplyEnvFaults(options);
   SpqEngine engine(dataset, options);
   const double max_radius = 0.6 / kGridSize;
   ASSERT_TRUE(engine.BuildStore(max_radius).ok());
