@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verification in one command: the default build runs the FULL
+# suite (which includes the `concurrency` and `faults` ctest labels),
+# then the ThreadSanitizer build re-runs those two labels — the
+# concurrent-serving and fault-injection suites are exactly the tests
+# whose guarantees tsan can falsify.
+#
+# Usage: scripts/tier1.sh   (from the repo root)
+set -e
+cmake --workflow --preset tier1-default
+cmake --workflow --preset tier1-tsan

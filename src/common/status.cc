@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

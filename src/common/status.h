@@ -23,6 +23,7 @@ class Status {
     kOutOfRange = 5,
     kInternal = 6,
     kNotSupported = 7,
+    kUnavailable = 8,
   };
 
   /// Creates an OK status.
@@ -56,6 +57,11 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  /// Transient overload: the caller may retry later (admission-queue
+  /// backpressure, serving shutdown).
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -65,6 +71,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -73,22 +73,42 @@ void ThreadPool::WorkerLoop() {
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t workers = std::min(pool.num_threads(), n);
+  // The caller claims chunks too, so a single-item loop (or a pool whose
+  // workers are busy with another caller's job) runs inline with no
+  // submit/wake round trip.
+  const std::size_t helpers = std::min(pool.num_threads(), n - 1);
   std::atomic<std::size_t> next{0};
   // Dynamic chunking: each worker repeatedly claims a small contiguous block
   // so that skewed per-item costs (e.g. hot reducers) still balance.
-  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.Submit([&next, n, chunk, &fn] {
-      for (;;) {
-        std::size_t begin = next.fetch_add(chunk);
-        if (begin >= n) return;
-        std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      }
+  const std::size_t chunk = std::max<std::size_t>(1, n / ((helpers + 1) * 8));
+  auto run_chunks = [&next, n, chunk, &fn] {
+    for (;;) {
+      std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  // Per-call completion latch instead of pool.Wait(): Wait() observes the
+  // whole pool (queue empty AND no active task from *any* caller), which
+  // would make concurrent ParallelFor calls on a shared pool block on each
+  // other's unrelated work.
+  std::mutex latch_mutex;
+  std::condition_variable latch_cv;
+  std::size_t pending = helpers;
+  for (std::size_t w = 0; w < helpers; ++w) {
+    pool.Submit([&run_chunks, &latch_mutex, &latch_cv, &pending] {
+      run_chunks();
+      // Notify while holding the lock: the caller may destroy the latch the
+      // instant it observes pending == 0, so the helper must not touch it
+      // after releasing the mutex.
+      std::lock_guard<std::mutex> lock(latch_mutex);
+      if (--pending == 0) latch_cv.notify_one();
     });
   }
-  pool.Wait();
+  run_chunks();
+  std::unique_lock<std::mutex> lock(latch_mutex);
+  latch_cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 }  // namespace spq

@@ -58,8 +58,12 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) on `pool`, blocking until all complete.
-/// Work is divided into contiguous chunks, one per worker, to keep
-/// scheduling overhead low for fine-grained bodies.
+/// Work is claimed in contiguous chunks off a shared cursor; the calling
+/// thread participates as a worker, so n == 1 (and any call racing a busy
+/// pool) degrades to an inline loop instead of a submit/wake round trip.
+/// Safe for CONCURRENT callers sharing one pool: completion is tracked by a
+/// per-call latch, not pool.Wait(), so independent jobs never block on each
+/// other's outstanding tasks.
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 

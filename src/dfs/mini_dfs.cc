@@ -75,6 +75,7 @@ StatusOr<std::vector<NodeId>> MiniDfs::PlaceReplicas() {
 
 Status MiniDfs::WriteFile(const std::string& name,
                           const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.count(name) > 0) {
     return Status::InvalidArgument("file exists (HDFS is write-once): " +
                                    name);
@@ -118,15 +119,21 @@ Status MiniDfs::WriteFile(const std::string& name,
   return Status::OK();
 }
 
-StatusOr<FileMetadata> MiniDfs::GetMetadata(const std::string& name) const {
+StatusOr<FileMetadata> MiniDfs::GetMetadataLocked(
+    const std::string& name) const {
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return it->second;
 }
 
-StatusOr<std::vector<uint8_t>> MiniDfs::ReadBlock(
+StatusOr<FileMetadata> MiniDfs::GetMetadata(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetMetadataLocked(name);
+}
+
+StatusOr<std::vector<uint8_t>> MiniDfs::ReadBlockLocked(
     const std::string& name, std::size_t block_index) const {
-  SPQ_ASSIGN_OR_RETURN(FileMetadata meta, GetMetadata(name));
+  SPQ_ASSIGN_OR_RETURN(FileMetadata meta, GetMetadataLocked(name));
   if (block_index >= meta.blocks.size()) {
     return Status::OutOfRange("block index " + std::to_string(block_index) +
                               " >= " + std::to_string(meta.blocks.size()));
@@ -169,23 +176,33 @@ StatusOr<std::vector<uint8_t>> MiniDfs::ReadBlock(
                          last.ToString());
 }
 
+StatusOr<std::vector<uint8_t>> MiniDfs::ReadBlock(
+    const std::string& name, std::size_t block_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadBlockLocked(name, block_index);
+}
+
 StatusOr<std::vector<uint8_t>> MiniDfs::ReadFile(
     const std::string& name) const {
-  SPQ_ASSIGN_OR_RETURN(FileMetadata meta, GetMetadata(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  SPQ_ASSIGN_OR_RETURN(FileMetadata meta, GetMetadataLocked(name));
   std::vector<uint8_t> data;
   data.reserve(meta.size);
   for (std::size_t i = 0; i < meta.blocks.size(); ++i) {
-    SPQ_ASSIGN_OR_RETURN(std::vector<uint8_t> block, ReadBlock(name, i));
+    SPQ_ASSIGN_OR_RETURN(std::vector<uint8_t> block,
+                         ReadBlockLocked(name, i));
     data.insert(data.end(), block.begin(), block.end());
   }
   return data;
 }
 
 bool MiniDfs::FileExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(name) > 0;
 }
 
 std::vector<std::string> MiniDfs::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, meta] : files_) names.push_back(name);
@@ -193,6 +210,7 @@ std::vector<std::string> MiniDfs::ListFiles() const {
 }
 
 Status MiniDfs::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   // Note: block replicas stay on the nodes (like lazily-reclaimed HDFS

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,15 @@ struct DfsOptions {
 /// replication-1 node failures. Used by the io module to host datasets and
 /// by tests to exercise the fault-tolerance story the paper's platform
 /// provides.
+///
+/// Thread safety: the file API (WriteFile/ReadFile/ReadBlock/GetMetadata/
+/// FileExists/ListFiles/DeleteFile) is guarded by one coarse mutex, so
+/// concurrent lazy cell restores may race with a Checkpoint writing new
+/// files. This serializes I/O — acceptable for a single-process simulation;
+/// a real DFS client would stripe reads. The `datanode()` accessors hand
+/// out raw node references for test-side fault injection (kill/corrupt)
+/// and are NOT covered by the lock: tests mutate nodes only while no
+/// concurrent file I/O is in flight.
 class MiniDfs {
  public:
   explicit MiniDfs(DfsOptions options = {});
@@ -92,10 +102,19 @@ class MiniDfs {
 
  private:
   /// Picks `replication` distinct live nodes, least-loaded first with a
-  /// random tie-break (a simplification of HDFS placement).
+  /// random tie-break (a simplification of HDFS placement). Caller holds
+  /// `mu_`.
   StatusOr<std::vector<NodeId>> PlaceReplicas();
 
+  /// Unlocked internals — caller holds `mu_`.
+  StatusOr<FileMetadata> GetMetadataLocked(const std::string& name) const;
+  StatusOr<std::vector<uint8_t>> ReadBlockLocked(
+      const std::string& name, std::size_t block_index) const;
+
   DfsOptions options_;
+  /// Guards files_, next_block_, rng_, and node block maps reached through
+  /// the file API. Counters below stay atomic so accessors need no lock.
+  mutable std::mutex mu_;
   std::vector<DataNode> nodes_;
   std::map<std::string, FileMetadata> files_;  // the "NameNode"
   BlockId next_block_ = 1;

@@ -51,10 +51,10 @@ Rect UniformGrid::CellRect(CellId id) const {
   return r;
 }
 
-std::vector<CellId> UniformGrid::CellsWithinDist(const Point& p,
-                                                 double r) const {
-  std::vector<CellId> out;
-  if (r < 0.0) return out;
+void UniformGrid::CellsWithinDist(const Point& p, double r,
+                                  std::vector<CellId>& out) const {
+  out.clear();
+  if (r < 0.0) return;
   const CellId own = CellOf(p);
   // Candidate window: cells whose rect could be within r. Expand the point
   // by r in each direction and convert to index ranges.
@@ -88,7 +88,6 @@ std::vector<CellId> UniformGrid::CellsWithinDist(const Point& p,
       if (MinDist2(p, CellRect(id)) <= r2) out.push_back(id);
     }
   }
-  return out;
 }
 
 }  // namespace spq::geo

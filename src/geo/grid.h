@@ -51,7 +51,18 @@ class UniformGrid {
 
   /// All cells c != CellOf(p) with MINDIST(p, c) <= r, i.e. the duplication
   /// targets of a feature object at p (Lemma 1). r must be >= 0.
-  std::vector<CellId> CellsWithinDist(const Point& p, double r) const;
+  std::vector<CellId> CellsWithinDist(const Point& p, double r) const {
+    std::vector<CellId> out;
+    CellsWithinDist(p, r, out);
+    return out;
+  }
+
+  /// Scratch variant: clears and refills `out` (same contents as the
+  /// returning overload). The mappers call this once per (feature, query)
+  /// in the shuffle hot loop — reusing the caller's capacity removes a
+  /// per-call allocation that multiplies by the batch size.
+  void CellsWithinDist(const Point& p, double r,
+                       std::vector<CellId>& out) const;
 
  private:
   UniformGrid(const Rect& bounds, uint32_t nx, uint32_t ny);

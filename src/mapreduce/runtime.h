@@ -245,7 +245,15 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   const uint32_t num_reduces = config.num_reduce_tasks;
   const uint64_t spill_run_id = NextSpillRunId();
 
-  ThreadPool pool(config.num_workers);
+  // A long-lived caller (the warm serving path) shares one pool across
+  // jobs; otherwise the job owns a private pool for its duration.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* shared_pool = config.worker_pool;
+  if (shared_pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(config.num_workers);
+    shared_pool = owned_pool.get();
+  }
+  ThreadPool& pool = *shared_pool;
 
   // ---------------------------------------------------------------- map --
   // segments[m][r]: the sorted run map task m produced for reduce r.

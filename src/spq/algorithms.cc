@@ -70,11 +70,14 @@ class SpqMapper final
     const ShuffleObject borrowed = x.Borrowed();
     ctx.Emit(CellKey{cell, order}, borrowed);
     // Lemma 1: duplicate into every other cell within MINDIST <= r.
-    const auto targets = grid_.CellsWithinDist(x.pos, query_.radius);
-    for (geo::CellId target : targets) {
+    // Scratch overload: one target list reused across every feature this
+    // mapper instance maps (a per-feature allocation otherwise).
+    grid_.CellsWithinDist(x.pos, query_.radius, targets_scratch_);
+    for (geo::CellId target : targets_scratch_) {
       ctx.Emit(CellKey{target, order}, borrowed);
     }
-    ctx.counters().Increment(counter::kFeatureDuplicates, targets.size());
+    ctx.counters().Increment(counter::kFeatureDuplicates,
+                             targets_scratch_.size());
   }
 
  private:
@@ -83,6 +86,7 @@ class SpqMapper final
   geo::UniformGrid grid_;
   SpqJobOptions options_;
   uint64_t query_sig_;  ///< TermSignature(q.W), hoisted out of Map
+  std::vector<geo::CellId> targets_scratch_;  ///< CellsWithinDist reuse
 };
 
 /// Thin Reducer shims over the shared reduce cores (reduce_core.h).

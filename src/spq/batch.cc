@@ -1,5 +1,8 @@
 #include "spq/batch.h"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <memory>
 #include <utility>
 
@@ -35,6 +38,7 @@ class BatchMapper final
     for (const Query& query : *queries_) {
       query_sigs_.push_back(text::TermSignature(query.keywords.ids()));
     }
+    BuildTermDict();
   }
 
   void Map(const ShuffleObject& x, BatchMapContext& ctx) override {
@@ -44,11 +48,28 @@ class BatchMapper final
       ctx.Emit(BatchCellKey{cell, kDataQuery, 0.0}, x);
       return;
     }
+    // Exact dictionary screen: when the batch's distinct query terms fit
+    // the dict (the common case — B queries with a few keywords each),
+    // the per-(feature, query) keyword test collapses to a 2-word AND,
+    // and popcount of the AND *is* |x.W ∩ q.W| — no sorted merge at all.
+    // The 64-bit TermSignature screen below passes ~2/3 of truly disjoint
+    // pairs on keyword-dense features, so at batch scale the merges it
+    // fails to skip used to dominate the map phase.
+    if (dict_enabled_ && options_.keyword_prefilter) {
+      MapWithDict(x, cell, ctx);
+      return;
+    }
     // One borrowed alias serves every query's emissions: the batch
     // multiplies the per-feature emission count by the batch size, so the
     // O(1) span copy (vs. a keyword-vector clone per copy) matters even
     // more here than in the single-query mapper.
     const ShuffleObject borrowed = x.Borrowed();
+    // Counter tallies for the whole query loop, flushed once per record:
+    // Counters::Increment is a mutex + string-keyed map lookup, which at
+    // one call per (feature, query) pair was the single largest map-phase
+    // cost of a batch job — and the per-pair bookkeeping is exactly the
+    // kind of work batching exists to amortize. Totals are unchanged.
+    uint64_t pruned = 0, kept = 0, dups = 0;
     for (uint32_t q = 0; q < queries_->size(); ++q) {
       const Query& query = (*queries_)[q];
       // Signature screen (see SpqMapper): one AND replaces the exact merge
@@ -56,7 +77,7 @@ class BatchMapper final
       // a large batch. Same drop, same counter as the prefilter below.
       if (options_.keyword_prefilter && options_.signature_prefilter &&
           x.keyword_sig != 0 && (x.keyword_sig & query_sigs_[q]) == 0) {
-        ctx.counters().Increment(counter::kFeaturesPruned);
+        ++pruned;
         continue;
       }
       // Span accessors, not x.keywords: warm-path inputs are borrowed.
@@ -64,28 +85,127 @@ class BatchMapper final
           KeywordData(x), KeywordCount(x), query.keywords.ids().data(),
           query.keywords.ids().size());
       if (common == 0 && options_.keyword_prefilter) {
-        ctx.counters().Increment(counter::kFeaturesPruned);
+        ++pruned;
         continue;
       }
-      ctx.counters().Increment(counter::kFeaturesKept);
+      ++kept;
       const double order = FeatureOrder(algo_, query, x, common);
       ctx.Emit(BatchCellKey{cell, q + 1, order}, borrowed);
-      const auto targets = grid_.CellsWithinDist(x.pos, query.radius);
-      for (geo::CellId target : targets) {
+      // Scratch overload: the per-(feature, query) target-list allocation
+      // would otherwise multiply by the batch size.
+      grid_.CellsWithinDist(x.pos, query.radius, targets_scratch_);
+      for (geo::CellId target : targets_scratch_) {
         ctx.Emit(BatchCellKey{target, q + 1, order}, borrowed);
       }
-      ctx.counters().Increment(counter::kFeatureDuplicates, targets.size());
+      dups += targets_scratch_.size();
+    }
+    if (pruned > 0) {
+      ctx.counters().Increment(counter::kFeaturesPruned, pruned);
+    }
+    if (kept > 0) {
+      // kFeatureDuplicates flushes under the kept guard (not dups > 0):
+      // the per-pair code incremented it by targets.size() for every kept
+      // feature, so the counter existed whenever a feature was kept even
+      // if no query ever needed Lemma-1 duplication.
+      ctx.counters().Increment(counter::kFeaturesKept, kept);
+      ctx.counters().Increment(counter::kFeatureDuplicates, dups);
     }
   }
 
   static constexpr uint32_t kDataQuery = 0;
 
  private:
+  /// 256 dictionary bits: comfortably holds the distinct terms of a
+  /// coalesced batch (B queries × a few keywords, minus overlap) — e.g. a
+  /// 48-query batch of 5-keyword queries fits even with zero overlap —
+  /// at four ANDs + popcounts per screen.
+  static constexpr std::size_t kDictWords = 4;
+  using TermMask = std::array<uint64_t, kDictWords>;
+
+  /// Maps each distinct query term to one dictionary bit. Distinctness is
+  /// what makes the screen exact: popcount(feature_mask & query_mask) is
+  /// |x.W ∩ q.W| with no hash collisions, so the dict path prunes exactly
+  /// the common == 0 pairs the merge path prunes and feeds FeatureOrder
+  /// the same intersection size. Batches with more distinct terms than
+  /// bits keep the signature + merge path.
+  void BuildTermDict() {
+    std::vector<uint32_t> terms;
+    for (const Query& q : *queries_) {
+      terms.insert(terms.end(), q.keywords.ids().begin(),
+                   q.keywords.ids().end());
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    if (terms.size() > kDictWords * 64) return;
+    dict_terms_ = std::move(terms);
+    query_masks_.assign(queries_->size(), TermMask{});
+    for (std::size_t qi = 0; qi < queries_->size(); ++qi) {
+      for (uint32_t id : (*queries_)[qi].keywords.ids()) {
+        const std::size_t bit = static_cast<std::size_t>(
+            std::lower_bound(dict_terms_.begin(), dict_terms_.end(), id) -
+            dict_terms_.begin());
+        query_masks_[qi][bit / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
+    dict_enabled_ = true;
+  }
+
+  /// The dict-screened feature path: one linear walk tags the feature's
+  /// dictionary terms, then every query costs two ANDs and a popcount.
+  void MapWithDict(const ShuffleObject& x, geo::CellId cell,
+                   BatchMapContext& ctx) {
+    TermMask fmask{};
+    const uint32_t* kw = KeywordData(x);
+    const std::size_t n = KeywordCount(x);
+    // Both lists are sorted; lockstep walk, O(|x.W| + |dict|).
+    std::size_t di = 0;
+    for (std::size_t i = 0; i < n && di < dict_terms_.size(); ++i) {
+      while (di < dict_terms_.size() && dict_terms_[di] < kw[i]) ++di;
+      if (di < dict_terms_.size() && dict_terms_[di] == kw[i]) {
+        fmask[di / 64] |= uint64_t{1} << (di % 64);
+        ++di;
+      }
+    }
+    const ShuffleObject borrowed = x.Borrowed();
+    uint64_t pruned = 0, kept = 0, dups = 0;
+    for (uint32_t q = 0; q < queries_->size(); ++q) {
+      int common_bits = 0;
+      for (std::size_t w = 0; w < kDictWords; ++w) {
+        common_bits += std::popcount(fmask[w] & query_masks_[q][w]);
+      }
+      const std::size_t common = static_cast<std::size_t>(common_bits);
+      if (common == 0) {
+        ++pruned;
+        continue;
+      }
+      ++kept;
+      const Query& query = (*queries_)[q];
+      const double order = FeatureOrder(algo_, query, x, common);
+      ctx.Emit(BatchCellKey{cell, q + 1, order}, borrowed);
+      grid_.CellsWithinDist(x.pos, query.radius, targets_scratch_);
+      for (geo::CellId target : targets_scratch_) {
+        ctx.Emit(BatchCellKey{target, q + 1, order}, borrowed);
+      }
+      dups += targets_scratch_.size();
+    }
+    if (pruned > 0) {
+      ctx.counters().Increment(counter::kFeaturesPruned, pruned);
+    }
+    if (kept > 0) {
+      ctx.counters().Increment(counter::kFeaturesKept, kept);
+      ctx.counters().Increment(counter::kFeatureDuplicates, dups);
+    }
+  }
+
   Algorithm algo_;
   std::shared_ptr<const std::vector<Query>> queries_;
   geo::UniformGrid grid_;
   SpqJobOptions options_;
   std::vector<uint64_t> query_sigs_;  ///< TermSignature per batch query
+  std::vector<geo::CellId> targets_scratch_;  ///< CellsWithinDist reuse
+  std::vector<uint32_t> dict_terms_;  ///< sorted distinct query terms
+  std::vector<TermMask> query_masks_;  ///< per-query dictionary bits
+  bool dict_enabled_ = false;
 };
 
 /// Shared group protocol of both shuffle paths: groups arrive per cell as
@@ -99,12 +219,14 @@ class BatchMapper final
 /// partition: the sentinel group's data objects land straight in a
 /// CellData (SoA ids/positions — no retained ShuffleObjects or views) and
 /// the lazily built CellGridIndex is SHARED by every query group of the
-/// cell; only the per-query score scratch is reset between groups. Before
-/// this refactor each query group replayed the raw records through the
-/// reduce core, rebuilding CellData and the index per query.
+/// cell; the per-query state (scores / report bitmap) lives in the
+/// QueryScratch the reduce cores re-initialize each group. Before this
+/// refactor each query group replayed the raw records through the reduce
+/// core, rebuilding CellData and the index per query.
 struct BatchCellCache {
   reduce_core::CellData cell;
   reduce_core::CellGridIndex index;
+  reduce_core::QueryScratch scratch;
   geo::CellId cache_cell = 0;
   bool has_cache = false;
 
@@ -135,10 +257,10 @@ void BatchReduceGroup(Algorithm algo, const SpqJobOptions& options,
   const uint32_t q = group_key.query - 1;
   if (q >= queries.size()) return;  // defensive
   const Query& query = queries[q];
-  // Per-query score scratch; eSPQsco tracks reports, not scores, so it
-  // skips the O(n) reset.
-  if (algo != Algorithm::kESPQSco) state.cell.ResetScores();
-  reduce_core::RunReduce(algo, options, query, state.cell, state.index,
+  // Owned ref: the cache is private to this reduce task, and the index is
+  // still allowed to build lazily at the cell's first probe.
+  reduce_core::OwnedCellRef cell_ref{&state.cell, &state.index};
+  reduce_core::RunReduce(algo, options, query, cell_ref, state.scratch,
                          values, ctx.counters(),
                          [&ctx, q](const ResultEntry& e) {
                            ctx.Emit(BatchResultEntry{q, e});

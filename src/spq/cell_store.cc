@@ -146,51 +146,60 @@ std::vector<std::vector<geo::CellId>> CellStore::DataCellsByPartition(
   return by_partition;
 }
 
-StatusOr<CellStore::Partition*> CellStore::Serve(geo::CellId cell) {
+StatusOr<const CellStore::Partition*> CellStore::Serve(
+    geo::CellId cell) const {
   if (cell >= cells_.size()) {
     return Status::InvalidArgument("cell id outside the store grid");
   }
   Partition& part = cells_[cell];
-  if (!part.materialized) {
-    if (recovered() && part.record_count > 0 && part.segment.bytes.empty()) {
-      // Cell-granular lazy recovery (class invariant 3): pull this cell's
-      // image from the source checkpoint on first touch, verified against
-      // the manifest's size + CRC. A failed verification falls back to the
-      // deterministic rebuild (invariant 4) — loud and counted, never
-      // served as garbage.
-      auto image = RestoreImage(cell);
-      if (image.ok()) {
-        part.segment.bytes = *std::move(image);
-        cells_restored_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        SPQ_LOG_WARN << "store cell " << cell
-                     << ": checkpoint restore failed ("
-                     << image.status().ToString()
-                     << "); rebuilding from dataset";
-        SPQ_RETURN_NOT_OK(RebuildPartition(cell, part));
-        cells_rebuilt_.fetch_add(1, std::memory_order_relaxed);
-      }
+  // Fast path: a ready partition is frozen; the acquire pairs with the
+  // release below so the reader sees the completed data + index.
+  if (part.ready.load(std::memory_order_acquire)) return &part;
+  std::lock_guard<std::mutex> latch(part.latch);
+  if (part.ready.load(std::memory_order_relaxed)) return &part;
+  if (recovered() && part.record_count > 0 && part.segment.bytes.empty()) {
+    // Cell-granular lazy recovery (class invariant 3): pull this cell's
+    // image from the source checkpoint on first touch, verified against
+    // the manifest's size + CRC. A failed verification falls back to the
+    // deterministic rebuild (invariant 4) — loud and counted, never
+    // served as garbage.
+    auto image = RestoreImage(cell);
+    if (image.ok()) {
+      part.segment.bytes = *std::move(image);
+      cells_restored_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      SPQ_LOG_WARN << "store cell " << cell
+                   << ": checkpoint restore failed ("
+                   << image.status().ToString()
+                   << "); rebuilding from dataset";
+      SPQ_RETURN_NOT_OK(RebuildPartition(cell, part));
+      cells_rebuilt_.fetch_add(1, std::memory_order_relaxed);
     }
-    // Idempotent under reduce-attempt retries: a prior pass that failed
-    // mid-read must not leave stale rows behind.
-    part.data.Clear();
-    part.index.Reset();
-    part.data.Reserve(part.record_count);
-    if (part.record_count > 0) {
-      mr::internal::FlatSegmentReader<CellKey, ShuffleObject> reader(
-          &part.segment);
-      while (reader.Next()) part.data.Add(reader.view());
-      SPQ_RETURN_NOT_OK(reader.status());
-      if (part.data.size() != part.record_count) {
-        return Status::Internal("store partition truncated");
-      }
-      // The serving form replaces the persisted bytes (no double
-      // residency); record_count keeps the bookkeeping.
-      part.segment.bytes.clear();
-      part.segment.bytes.shrink_to_fit();
-    }
-    part.materialized = true;
   }
+  // Idempotent under reduce-attempt retries: a prior pass that failed
+  // mid-read (and returned without publishing `ready`) must not leave
+  // stale rows behind.
+  part.data.Clear();
+  part.index.Reset();
+  part.data.Reserve(part.record_count);
+  if (part.record_count > 0) {
+    mr::internal::FlatSegmentReader<CellKey, ShuffleObject> reader(
+        &part.segment);
+    while (reader.Next()) part.data.Add(reader.view());
+    SPQ_RETURN_NOT_OK(reader.status());
+    if (part.data.size() != part.record_count) {
+      return Status::Internal("store partition truncated");
+    }
+    // The serving form replaces the persisted bytes (no double
+    // residency); record_count keeps the bookkeeping.
+    part.segment.bytes.clear();
+    part.segment.bytes.shrink_to_fit();
+  }
+  // Build the index eagerly so serving never mutates a ready partition:
+  // the reduce cores' FrozenCellRef treats SyncIndex as a no-op. Same
+  // structure the first probe's lazy Sync would have built.
+  part.index.Build(part.data.positions);
+  part.ready.store(true, std::memory_order_release);
   return &part;
 }
 
@@ -256,38 +265,43 @@ std::string CellStore::CellFile(const std::string& name, uint64_t epoch,
 
 StatusOr<std::vector<uint8_t>> CellStore::SegmentImageOf(
     geo::CellId cell) const {
-  const Partition& part = cells_[cell];
+  Partition& part = cells_[cell];
   if (part.record_count == 0) return std::vector<uint8_t>{};
-  if (!part.segment.bytes.empty()) {
-    // Untouched built (or restored) partition: the image is resident.
-    return part.segment.bytes;
-  }
-  if (part.materialized) {
-    // The bytes were released on materialization; re-encode the serving
-    // rows through the build's layout. Data objects carry no keywords and
-    // all store order keys are 0.0, so this reproduces the built image
-    // bit-identically (same rows, same order, empty pool).
-    std::vector<std::pair<CellKey, ShuffleObject>> rows;
-    rows.reserve(part.data.size());
-    for (std::size_t i = 0; i < part.data.size(); ++i) {
-      ShuffleObject o;
-      o.kind = ShuffleObject::kData;
-      o.id = part.data.ids[i];
-      o.pos = part.data.positions[i];
-      rows.emplace_back(CellKey{cell, 0.0}, std::move(o));
+  if (!part.ready.load(std::memory_order_acquire)) {
+    // Not (yet) materialized: hold the cell's latch so a concurrent
+    // first-touch Serve can't release the segment bytes mid-copy.
+    std::lock_guard<std::mutex> latch(part.latch);
+    if (!part.ready.load(std::memory_order_relaxed)) {
+      if (!part.segment.bytes.empty()) {
+        // Untouched built (or restored) partition: the image is resident.
+        return part.segment.bytes;
+      }
+      if (recovered() && dfs_ != nullptr) {
+        // Recovered and never touched: copy the image forward from the
+        // source checkpoint (verified there).
+        return RestoreImage(cell);
+      }
+      return Status::Internal("store cell " + std::to_string(cell) +
+                              " has records but no image source");
     }
-    SPQ_ASSIGN_OR_RETURN(
-        mr::FlatSegment seg,
-        (mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(rows)));
-    return std::move(seg.bytes);
   }
-  if (recovered() && dfs_ != nullptr) {
-    // Recovered and never touched: copy the image forward from the source
-    // checkpoint (verified there).
-    return RestoreImage(cell);
+  // Ready ⇒ frozen: the bytes were released on materialization; re-encode
+  // the serving rows through the build's layout, lock-free. Data objects
+  // carry no keywords and all store order keys are 0.0, so this reproduces
+  // the built image bit-identically (same rows, same order, empty pool).
+  std::vector<std::pair<CellKey, ShuffleObject>> rows;
+  rows.reserve(part.data.size());
+  for (std::size_t i = 0; i < part.data.size(); ++i) {
+    ShuffleObject o;
+    o.kind = ShuffleObject::kData;
+    o.id = part.data.ids[i];
+    o.pos = part.data.positions[i];
+    rows.emplace_back(CellKey{cell, 0.0}, std::move(o));
   }
-  return Status::Internal("store cell " + std::to_string(cell) +
-                          " has records but no image source");
+  SPQ_ASSIGN_OR_RETURN(
+      mr::FlatSegment seg,
+      (mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(rows)));
+  return std::move(seg.bytes);
 }
 
 StatusOr<std::vector<uint8_t>> CellStore::RestoreImage(
@@ -307,7 +321,7 @@ StatusOr<std::vector<uint8_t>> CellStore::RestoreImage(
   return bytes;
 }
 
-Status CellStore::RebuildPartition(geo::CellId cell, Partition& part) {
+Status CellStore::RebuildPartition(geo::CellId cell, Partition& part) const {
   if (rebuild_input_ == nullptr) {
     return Status::IOError("store cell " + std::to_string(cell) +
                            " restore failed and no dataset is attached "
@@ -719,8 +733,11 @@ bool TrySignatureSkip(const CellStore& store, Algorithm algo,
 }
 
 /// Runs one warm job for either key/output shape. `serve_group(key,
-/// cursor, ctx)` evaluates one group against the store; `cell_of(key)`
-/// projects the group key onto the store cell.
+/// cursor, ctx, scratch)` evaluates one group against the store;
+/// `cell_of(key)` projects the group key onto the store cell. The
+/// QueryScratch is per reduce task (parallel tasks each get their own),
+/// reused across the task's groups so the warm loop stays allocation-free
+/// in steady state.
 template <typename K, typename Out, typename ServeGroup, typename CellOf>
 StatusOr<mr::JobOutput<Out>> RunWarmJob(
     const mr::JobSpec<ShuffleObject, K, ShuffleObject, Out>& spec,
@@ -738,13 +755,14 @@ StatusOr<mr::JobOutput<Out>> RunWarmJob(
       mr::FlatMergeStream<K, ShuffleObject> stream(segments);
       DataOnlyGroupAccountant accountant(
           data_cells != nullptr ? &(*data_cells)[r] : nullptr, ctx);
+      reduce_core::QueryScratch scratch;
       bool has = stream.Advance();
       while (has) {
         const K group_key = stream.key();
         accountant.OnGroup(cell_of(group_key));
         mr::FlatGroupCursor<K, ShuffleObject> cursor(&stream,
                                                      stream.bucket());
-        SPQ_RETURN_NOT_OK(serve_group(group_key, cursor, ctx));
+        SPQ_RETURN_NOT_OK(serve_group(group_key, cursor, ctx, scratch));
         has = cursor.FinishGroup();
       }
       accountant.Finish();
@@ -765,13 +783,14 @@ StatusOr<mr::JobOutput<Out>> RunWarmJob(
     mr::MergeStream<K, ShuffleObject> stream(segments, spec.sort_less);
     DataOnlyGroupAccountant accountant(
         data_cells != nullptr ? &(*data_cells)[r] : nullptr, ctx);
+    reduce_core::QueryScratch scratch;
     bool has = stream.Advance();
     while (has) {
       const K group_key = stream.key();
       accountant.OnGroup(cell_of(group_key));
       mr::internal::GroupCursor<K, ShuffleObject> cursor(&stream, &group_key,
                                                          &spec.group_equal);
-      SPQ_RETURN_NOT_OK(serve_group(group_key, cursor, ctx));
+      SPQ_RETURN_NOT_OK(serve_group(group_key, cursor, ctx, scratch));
       has = cursor.FinishGroup();
     }
     accountant.Finish();
@@ -784,7 +803,7 @@ StatusOr<mr::JobOutput<Out>> RunWarmJob(
 }  // namespace
 
 StatusOr<mr::JobOutput<ResultEntry>> RunWarmQueryJob(
-    CellStore& store, Algorithm algo, const Query& query,
+    const CellStore& store, Algorithm algo, const Query& query,
     const mr::JobSpec<ShuffleObject, CellKey, ShuffleObject, ResultEntry>&
         spec,
     const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
@@ -792,19 +811,19 @@ StatusOr<mr::JobOutput<ResultEntry>> RunWarmQueryJob(
     const SpqJobOptions& options) {
   const uint64_t query_sig = text::TermSignature(query.keywords.ids());
   auto serve_group = [&](const CellKey& key, auto& cursor,
-                         mr::ReduceContext<ResultEntry>& ctx) -> Status {
+                         mr::ReduceContext<ResultEntry>& ctx,
+                         reduce_core::QueryScratch& scratch) -> Status {
     // Summary screen first: a skipped group never touches the partition —
-    // no lazy materialization, no O(n) score reset, no feature scoring.
+    // no lazy materialization, no scratch reset, no feature scoring.
     if (TrySignatureSkip(store, algo, query, query_sig, options, key.cell,
                          cursor, ctx.counters())) {
       return Status::OK();
     }
-    SPQ_ASSIGN_OR_RETURN(CellStore::Partition * part, store.Serve(key.cell));
-    // Per-query score scratch; eSPQsco tracks reports, not scores, so it
-    // skips the O(n) reset.
-    if (algo != Algorithm::kESPQSco) part->data.ResetScores();
-    reduce_core::RunReduce(algo, options, query, part->data, part->index,
-                           cursor, ctx.counters(),
+    SPQ_ASSIGN_OR_RETURN(const CellStore::Partition* part,
+                         store.Serve(key.cell));
+    reduce_core::FrozenCellRef cell_ref{&part->data, &part->index};
+    reduce_core::RunReduce(algo, options, query, cell_ref, scratch, cursor,
+                           ctx.counters(),
                            [&ctx](const ResultEntry& e) { ctx.Emit(e); });
     return Status::OK();
   };
@@ -814,7 +833,7 @@ StatusOr<mr::JobOutput<ResultEntry>> RunWarmQueryJob(
 }
 
 StatusOr<mr::JobOutput<BatchResultEntry>> RunWarmBatchJob(
-    CellStore& store, Algorithm algo, const std::vector<Query>& queries,
+    const CellStore& store, Algorithm algo, const std::vector<Query>& queries,
     const mr::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
                       BatchResultEntry>& spec,
     const mr::JobConfig& config, const std::vector<ShuffleObject>& features,
@@ -825,7 +844,8 @@ StatusOr<mr::JobOutput<BatchResultEntry>> RunWarmBatchJob(
     query_sigs.push_back(text::TermSignature(q.keywords.ids()));
   }
   auto serve_group = [&](const BatchCellKey& key, auto& cursor,
-                         mr::ReduceContext<BatchResultEntry>& ctx) -> Status {
+                         mr::ReduceContext<BatchResultEntry>& ctx,
+                         reduce_core::QueryScratch& scratch) -> Status {
     // The feature-only input cannot produce the data sentinel (query 0);
     // out-of-range indices are drained defensively like the cold reducer.
     if (key.query == 0 || key.query > queries.size()) return Status::OK();
@@ -834,10 +854,11 @@ StatusOr<mr::JobOutput<BatchResultEntry>> RunWarmBatchJob(
                          key.cell, cursor, ctx.counters())) {
       return Status::OK();
     }
-    SPQ_ASSIGN_OR_RETURN(CellStore::Partition * part, store.Serve(key.cell));
-    if (algo != Algorithm::kESPQSco) part->data.ResetScores();
-    reduce_core::RunReduce(algo, options, queries[q], part->data,
-                           part->index, cursor, ctx.counters(),
+    SPQ_ASSIGN_OR_RETURN(const CellStore::Partition* part,
+                         store.Serve(key.cell));
+    reduce_core::FrozenCellRef cell_ref{&part->data, &part->index};
+    reduce_core::RunReduce(algo, options, queries[q], cell_ref, scratch,
+                           cursor, ctx.counters(),
                            [&ctx, q](const ResultEntry& e) {
                              ctx.Emit(BatchResultEntry{q, e});
                            });

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -90,17 +91,37 @@ struct CellTextSummary {
 /// Warm queries then shuffle only their features (see RunWarmQueryJob /
 /// RunWarmBatchJob): each reduce group joins its feature stream against
 /// the resident partition of its cell — the data side skips map and
-/// shuffle entirely. Only the per-query score scratch is reset between
-/// queries.
+/// shuffle entirely. Per-query state (scores, report bitmaps) lives in the
+/// caller's reduce_core::QueryScratch, never in the store.
 ///
 /// The store is built for a maximum radius class: the grid geometry is
 /// chosen for `max_radius`, and SpqEngine::Query refuses (loudly, via the
 /// cold-path fallback) to serve a larger radius from the store.
 ///
-/// Thread safety: a store may serve ONE job at a time. Within a job,
-/// parallel reduce tasks touch disjoint cells (the partitioner assigns
-/// each cell to exactly one task), which is what makes the lazy
-/// materialization and per-cell score scratch safe without locks.
+/// Thread-safety contract (any number of concurrent jobs):
+///
+///   - SNAPSHOT-IMMUTABLE: grid geometry, per-cell record counts, text
+///     summaries, build stats, checkpoint metadata — and, once a cell's
+///     `ready` flag is set, that cell's CellData + fully built
+///     CellGridIndex. Concurrent queries read all of it lock-free; the
+///     reduce cores access it through a const FrozenCellRef and write
+///     only into their own QueryScratch.
+///   - FIRST-TOUCH MUTABLE, latched: lazy materialization (restore from
+///     checkpoint / rebuild / decode + index build) runs under the cell's
+///     private mutex with double-checked `ready` (release-published,
+///     acquire-read), so cold cells stay cheap, concurrent first touches
+///     never race, and a failed restore retries on the next touch.
+///   - Serve() and Checkpoint() are const and safe to call concurrently
+///     with each other and themselves (Checkpoint takes a cell's latch
+///     only while the cell is not yet ready). Concurrent Checkpoints to
+///     the SAME store name must still be serialized externally — they
+///     would race on the WAL epoch. Counters crossing threads
+///     (cells_restored/cells_rebuilt) are std::atomic, relaxed: they are
+///     monotonic tallies with no ordering contract against the data they
+///     count — readers only ever observe a value ≤ the true total.
+///   - Build()/Recover() construct a store privately; publication to other
+///     threads is the caller's job (the engine swaps a
+///     shared_ptr<const StoreSnapshot> atomically — see engine.h).
 ///
 /// Durability & recovery invariants (Checkpoint / Recover):
 ///
@@ -140,14 +161,21 @@ struct CellTextSummary {
 ///     collide; after commit it garbage-collects epochs < E+1.
 class CellStore {
  public:
-  /// One cell's resident partition (see class comment).
+  /// One cell's resident partition (see class comment). Everything but
+  /// `segment.bytes`, `data` and `index` is immutable after Build/Recover;
+  /// those three change exactly once — under `latch`, before `ready` is
+  /// released — and are frozen from then on.
   struct Partition {
     mapreduce::FlatSegment segment;    ///< persisted form; bytes released
                                        ///< once materialized
-    reduce_core::CellData data;        ///< serving form (SoA)
-    reduce_core::CellGridIndex index;  ///< cached, incrementally synced
+    reduce_core::CellData data;        ///< serving form (SoA), frozen
+    reduce_core::CellGridIndex index;  ///< built eagerly with `data`, frozen
     uint64_t record_count = 0;         ///< data objects in the cell
-    bool materialized = false;
+    /// Materialization gate: acquire-load true ⇒ data/index are complete
+    /// and immutable. The mutex serializes the one-time materialization
+    /// (std::once_flag semantics, but re-armable on failure).
+    std::atomic<bool> ready{false};
+    mutable std::mutex latch;
   };
 
   /// Builds the store by running the map/shuffle pipeline once over
@@ -223,11 +251,10 @@ class CellStore {
   }
 
   /// Serving access for one reduce group: materializes the partition on
-  /// first touch. The caller owns the per-query score-scratch reset
-  /// (CellData::ResetScores — needed only by the algorithms that read
-  /// scores). The returned partition stays owned by the store; see the
-  /// class comment for the concurrency contract.
-  StatusOr<Partition*> Serve(geo::CellId cell);
+  /// first touch (latched — see the thread-safety contract above) and
+  /// returns it frozen. Safe for any number of concurrent callers; the
+  /// returned partition stays owned by the store and is immutable.
+  StatusOr<const Partition*> Serve(geo::CellId cell) const;
 
   /// Sorted list, per reduce partition, of the store cells that hold data
   /// — the resident half of the warm join, used by the single-query job
@@ -273,11 +300,13 @@ class CellStore {
   StatusOr<std::vector<uint8_t>> RestoreImage(geo::CellId cell) const;
   /// Corruption fallback: re-derives the cell's image from the attached
   /// dataset via the build's deterministic per-cell layout.
-  Status RebuildPartition(geo::CellId cell, Partition& part);
+  Status RebuildPartition(geo::CellId cell, Partition& part) const;
 
   geo::UniformGrid grid_;
   double max_radius_;
-  std::vector<Partition> cells_;
+  /// mutable: const Serve/Checkpoint perform the latched one-time
+  /// materialization (logical constness — a ready cell never changes).
+  mutable std::vector<Partition> cells_;
   std::vector<CellTextSummary> text_summaries_;
   uint64_t data_objects_ = 0;
   mapreduce::JobStats build_stats_;
@@ -288,8 +317,10 @@ class CellStore {
   uint64_t checkpoint_epoch_ = 0;
   const std::vector<ShuffleObject>* rebuild_input_ = nullptr;
   std::vector<uint32_t> cell_crcs_;  ///< per-cell image CRCs (manifest)
-  std::atomic<uint64_t> cells_restored_{0};
-  std::atomic<uint64_t> cells_rebuilt_{0};
+  // mutable: tallied from const Serve (first-touch materialization is a
+  // logically-const cache fill).
+  mutable std::atomic<uint64_t> cells_restored_{0};
+  mutable std::atomic<uint64_t> cells_rebuilt_{0};
 };
 
 /// Runs one warm single-query job: maps and shuffles `features` (feature
@@ -312,7 +343,7 @@ class CellStore {
 /// signature_prefilter=off; see store_equivalence / kernel_equivalence
 /// tests.
 StatusOr<mapreduce::JobOutput<ResultEntry>> RunWarmQueryJob(
-    CellStore& store, Algorithm algo, const Query& query,
+    const CellStore& store, Algorithm algo, const Query& query,
     const mapreduce::JobSpec<ShuffleObject, CellKey, ShuffleObject,
                              ResultEntry>& spec,
     const mapreduce::JobConfig& config,
@@ -326,7 +357,7 @@ StatusOr<mapreduce::JobOutput<ResultEntry>> RunWarmQueryJob(
 /// store. Applies the same per-group summary screen as RunWarmQueryJob,
 /// per (cell, query) group.
 StatusOr<mapreduce::JobOutput<BatchResultEntry>> RunWarmBatchJob(
-    CellStore& store, Algorithm algo, const std::vector<Query>& queries,
+    const CellStore& store, Algorithm algo, const std::vector<Query>& queries,
     const mapreduce::JobSpec<ShuffleObject, BatchCellKey, ShuffleObject,
                              BatchResultEntry>& spec,
     const mapreduce::JobConfig& config,

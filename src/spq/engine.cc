@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "geo/grid.h"
 #include "mapreduce/runtime.h"
 #include "spq/balanced_partitioner.h"
@@ -95,6 +96,13 @@ SpqBatchResult MakeBatchResult(const std::vector<core::Query>& queries,
   SpqBatchResult result;
   result.per_query.resize(queries.size());
   std::vector<std::vector<ResultEntry>> candidates(queries.size());
+  std::vector<std::size_t> counts(queries.size(), 0);
+  for (const BatchResultEntry& row : output.records) {
+    if (row.query < counts.size()) ++counts[row.query];
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    candidates[q].reserve(counts[q]);
+  }
   for (const BatchResultEntry& row : output.records) {
     if (row.query < candidates.size()) {
       candidates[row.query].push_back(row.entry);
@@ -109,10 +117,31 @@ SpqBatchResult MakeBatchResult(const std::vector<core::Query>& queries,
 
 }  // namespace
 
+// Out-of-line: CellStore is incomplete in engine.h.
+StoreSnapshot::StoreSnapshot() = default;
+StoreSnapshot::~StoreSnapshot() = default;
+
 SpqEngine::SpqEngine(Dataset dataset, EngineOptions options)
     : dataset_(std::move(dataset)),
       options_(options),
-      input_(FlattenDataset(dataset_)) {}
+      input_(FlattenDataset(dataset_)) {
+  // The warm feature-side input: borrowed aliases into input_ (which the
+  // engine owns for its lifetime), so no keyword list is cloned.
+  // FlattenDataset lays out data first, features last, so the features
+  // are exactly the tail — grid-independent, shared by every store
+  // generation, built once here.
+  const std::size_t num_features = dataset_.features.size();
+  feature_input_.reserve(num_features);
+  for (std::size_t i = input_.size() - num_features; i < input_.size(); ++i) {
+    feature_input_.push_back(input_[i].Borrowed());
+  }
+  // One pool for every warm job this engine runs, sized like the per-job
+  // cluster shape so sharing does not change simulated parallelism.
+  warm_pool_ = std::make_unique<ThreadPool>(
+      options_.num_workers > 0
+          ? options_.num_workers
+          : std::max(1u, std::thread::hardware_concurrency()));
+}
 
 SpqEngine::~SpqEngine() = default;
 
@@ -241,75 +270,73 @@ Status SpqEngine::BuildStore(double max_radius, uint32_t grid_size_override) {
       MakeClusterConfig(grid.num_cells(), "cellstore-build");
   SPQ_ASSIGN_OR_RETURN(auto store,
                        CellStore::Build(input_, grid, max_radius, config));
-  store_ = std::move(store);
-  WireWarmServing();
+  // RCU publication: in-flight warm queries keep serving the generation
+  // they pinned; new queries see this one.
+  snapshot_.store(MakeSnapshot(std::move(store)), std::memory_order_release);
   return Status::OK();
 }
 
-void SpqEngine::WireWarmServing() {
+std::shared_ptr<const StoreSnapshot> SpqEngine::MakeSnapshot(
+    std::unique_ptr<const CellStore> store) const {
   // Warm queries share the store grid and cluster shape, so everything a
   // query would otherwise rederive — the balanced assignment (a
   // full-dataset scan) and the per-partition resident-data cell lists
-  // (an all-cells scan) — is computed once here, not per query. Shared by
-  // BuildStore and OpenStore: a recovered store carries the same grid and
-  // record counts as the build it checkpointed, so the derived wiring —
-  // and therefore warm behavior — is identical.
-  const geo::UniformGrid& grid = store_->grid();
+  // (an all-cells scan) — is computed once per generation, not per
+  // query. Shared by BuildStore and OpenStore: a recovered store carries
+  // the same grid and record counts as the build it checkpointed, so the
+  // derived wiring — and therefore warm behavior — is identical.
+  auto snap = std::make_shared<StoreSnapshot>();
+  snap->store = std::move(store);
+  const geo::UniformGrid& grid = snap->store->grid();
   const uint32_t num_reduce_tasks =
       MakeClusterConfig(grid.num_cells(), "cellstore-wire").num_reduce_tasks;
-  store_balanced_ = MakeBalancedCellAssignment(dataset_, options_, grid,
-                                               num_reduce_tasks);
-  store_data_cells_ = store_->DataCellsByPartition(
-      [this](const CellKey& key, uint32_t parts) {
-        return AssignedPartition(store_balanced_, key, parts);
+  snap->balanced = MakeBalancedCellAssignment(dataset_, options_, grid,
+                                              num_reduce_tasks);
+  snap->data_cells = snap->store->DataCellsByPartition(
+      [&snap](const CellKey& key, uint32_t parts) {
+        return AssignedPartition(snap->balanced, key, parts);
       },
       num_reduce_tasks);
-
-  // The warm feature-side input: borrowed aliases into input_ (which the
-  // engine owns for its lifetime), so no keyword list is cloned.
-  // FlattenDataset lays out data first, features last, so the features
-  // are exactly the tail — no full-input scan (this runs on the
-  // OpenStore recovery path, where wiring time is first-query latency).
-  feature_input_.clear();
-  const std::size_t num_features = dataset_.features.size();
-  feature_input_.reserve(num_features);
-  for (std::size_t i = input_.size() - num_features; i < input_.size(); ++i) {
-    feature_input_.push_back(input_[i].Borrowed());
-  }
+  return snap;
 }
 
 StatusOr<uint64_t> SpqEngine::CheckpointStore(dfs::MiniDfs& dfs,
-                                              const std::string& name) {
-  if (store_ == nullptr) {
+                                              const std::string& name) const {
+  auto snap = snapshot();
+  if (snap == nullptr) {
     return Status::InvalidArgument(
         "no resident CellStore: call BuildStore() before CheckpointStore()");
   }
   SPQ_ASSIGN_OR_RETURN(CellStore::CheckpointInfo info,
-                       store_->Checkpoint(dfs, name));
+                       snap->store->Checkpoint(dfs, name));
   return info.epoch;
 }
 
 Status SpqEngine::OpenStore(dfs::MiniDfs& dfs, const std::string& name) {
   SPQ_ASSIGN_OR_RETURN(auto store, CellStore::Recover(dfs, name, input_));
-  store_ = std::move(store);
-  WireWarmServing();
+  snapshot_.store(MakeSnapshot(std::move(store)), std::memory_order_release);
   return Status::OK();
 }
 
 StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
-                                     Algorithm algo) {
+                                     Algorithm algo) const {
   SPQ_RETURN_NOT_OK(ValidateQuery(query));
-  if (store_ == nullptr) {
+  // Pin the current generation for the whole run: a concurrent
+  // BuildStore/OpenStore swap cannot pull the store out from under us.
+  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) {
     return Status::InvalidArgument(
         "no resident CellStore: call BuildStore() before Query()");
   }
-  if (query.radius > store_->max_radius()) {
+  const CellStore& store = *snap->store;
+  if (query.radius > store.max_radius()) {
     // The max-radius contract, loudly: the store's grid (and its Lemma-1
     // duplication geometry) was sized for the build radius, so this query
-    // cannot be answered from the warm path.
+    // cannot be answered from the warm path. Execute() is const and works
+    // off the engine's immutable flattened input — the fallback touches
+    // no snapshot-mutable state, so concurrent oversized queries are safe.
     SPQ_LOG_WARN << "Query radius " << query.radius
-                 << " exceeds the store build radius "
-                 << store_->max_radius()
+                 << " exceeds the store build radius " << store.max_radius()
                  << "; falling back to the cold single-shot path";
     // No grid override: the store grid was sized for the build radius;
     // the cold path sizes its own grid for this (larger) radius.
@@ -318,17 +345,18 @@ StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
     return result;
   }
 
-  const geo::UniformGrid& grid = store_->grid();
-  const mapreduce::JobConfig config =
+  const geo::UniformGrid& grid = store.grid();
+  mapreduce::JobConfig config =
       MakeClusterConfig(grid.num_cells(), AlgorithmName(algo) + "-warm");
+  config.worker_pool = warm_pool_.get();
 
   const SpqJobOptions job_options = MakeJobOptions();
   auto spec = MakeSpqJobSpec(algo, query, grid, job_options);
-  ApplyCellAssignment(store_balanced_, spec);
+  ApplyCellAssignment(snap->balanced, spec);
   SPQ_ASSIGN_OR_RETURN(
       auto output,
-      RunWarmQueryJob(*store_, algo, query, spec, config, feature_input_,
-                      store_data_cells_, job_options));
+      RunWarmQueryJob(store, algo, query, spec, config, feature_input_,
+                      snap->data_cells, job_options));
   SpqResult result = MakeSpqResult(query, algo, grid.nx(),
                                    config.num_reduce_tasks,
                                    std::move(output));
@@ -337,23 +365,24 @@ StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
 }
 
 StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
-    const std::vector<core::Query>& queries, Algorithm algo) {
+    const std::vector<core::Query>& queries, Algorithm algo) const {
   if (queries.empty()) {
     return Status::InvalidArgument("empty query batch");
   }
-  if (store_ == nullptr) {
+  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) {
     return Status::InvalidArgument(
         "no resident CellStore: call BuildStore() before QueryBatch()");
   }
+  const CellStore& store = *snap->store;
   double max_radius = 0.0;
   for (const core::Query& query : queries) {
     SPQ_RETURN_NOT_OK(ValidateQuery(query));
     max_radius = std::max(max_radius, query.radius);
   }
-  if (max_radius > store_->max_radius()) {
+  if (max_radius > store.max_radius()) {
     SPQ_LOG_WARN << "QueryBatch max radius " << max_radius
-                 << " exceeds the store build radius "
-                 << store_->max_radius()
+                 << " exceeds the store build radius " << store.max_radius()
                  << "; falling back to the cold single-shot path";
     // As in Query(): let the cold path size its own grid for this radius.
     auto result = ExecuteBatch(queries, algo);
@@ -361,15 +390,16 @@ StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
     return result;
   }
 
-  const geo::UniformGrid& grid = store_->grid();
-  const mapreduce::JobConfig config = MakeClusterConfig(
+  const geo::UniformGrid& grid = store.grid();
+  mapreduce::JobConfig config = MakeClusterConfig(
       grid.num_cells(), AlgorithmName(algo) + "-warm-batch");
+  config.worker_pool = warm_pool_.get();
 
   const SpqJobOptions job_options = MakeJobOptions();
   auto spec = MakeBatchSpqJobSpec(algo, queries, grid, job_options);
   SPQ_ASSIGN_OR_RETURN(
       auto output,
-      RunWarmBatchJob(*store_, algo, queries, spec, config, feature_input_,
+      RunWarmBatchJob(store, algo, queries, spec, config, feature_input_,
                       job_options));
   SpqBatchResult result = MakeBatchResult(queries, std::move(output));
   result.warm_path = true;

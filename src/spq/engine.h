@@ -1,6 +1,7 @@
 #ifndef SPQ_SPQ_ENGINE_H_
 #define SPQ_SPQ_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,6 +12,10 @@
 #include "spq/algorithms.h"
 #include "spq/shuffle_types.h"
 #include "spq/types.h"
+
+namespace spq {
+class ThreadPool;  // common/thread_pool.h — the engine's warm worker pool
+}
 
 namespace spq::dfs {
 class MiniDfs;  // dfs/mini_dfs.h — checkpoint/recovery storage
@@ -29,6 +34,28 @@ enum class PartitionerKind {
   /// cost estimates, countering the clustered-data reducer imbalance the
   /// paper reports in Section 7.2.4. Falls back to modulo when R >= cells.
   kBalanced,
+};
+
+/// \brief Knobs of the admission/batching front door (spq/serving.h).
+/// Concurrent Query() callers are coalesced into shared QueryBatch jobs:
+/// a batch closes when it reaches `max_batch` queries or when its oldest
+/// query has waited `max_wait_ms` — whichever comes first — so a lone
+/// caller pays at most the wait budget and a burst amortizes the per-job
+/// shuffle across the whole batch.
+struct ServingOptions {
+  /// Queries per coalesced batch before it closes (>= 1).
+  uint32_t max_batch = 16;
+  /// Latency budget: a non-full batch closes once its oldest admitted
+  /// query has waited this long. 0 disables coalescing-by-time (a batch
+  /// closes as soon as an executor is free to take what is queued).
+  double max_wait_ms = 2.0;
+  /// Bounded admission queue: queries beyond this many waiting are
+  /// rejected with Unavailable (counted in ServingStats::rejected).
+  /// 0 rejects every submission — useful to test backpressure.
+  uint32_t queue_capacity = 256;
+  /// Executor threads draining the queue. Each runs one batch job at a
+  /// time; more executors overlap independent batches.
+  uint32_t num_executors = 1;
 };
 
 /// \brief Tunables of a query execution on the simulated cluster.
@@ -83,6 +110,34 @@ struct EngineOptions {
   /// only SpqRunInfo::cells_pruned / signature_checks are new. Off = the
   /// A/B reference.
   bool signature_prefilter = true;
+  /// Admission/batching front door knobs (used by SpqFrontDoor; plain
+  /// Query()/QueryBatch() calls ignore them).
+  ServingOptions serving;
+};
+
+/// \brief One immutable, fully wired generation of the warm serving
+/// state: the resident CellStore plus everything the engine derives from
+/// its grid (the balanced cell->reducer assignment and the per-partition
+/// resident-data cell lists). Published RCU-style: the engine swaps a
+/// `shared_ptr<const StoreSnapshot>` atomically on BuildStore/OpenStore,
+/// and every warm query pins the snapshot it starts on for its whole
+/// run — a rebuild under traffic retires the old generation only after
+/// the last in-flight query drops its reference.
+struct StoreSnapshot {
+  StoreSnapshot();
+  ~StoreSnapshot();
+  StoreSnapshot(const StoreSnapshot&) = delete;
+  StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+
+  /// The resident store. Const: all serving entry points (Serve,
+  /// Checkpoint, accessors) are const; first-touch materialization is an
+  /// internally latched cache fill (see cell_store.h).
+  std::unique_ptr<const CellStore> store;
+  /// LPT cell->reducer assignment, or null when options don't call for
+  /// one. Computed once per snapshot (a full-dataset scan).
+  std::shared_ptr<const std::vector<uint32_t>> balanced;
+  /// Per-partition resident-data cell lists for warm group accounting.
+  std::vector<std::vector<geo::CellId>> data_cells;
 };
 
 /// \brief Derived, SPQ-specific measurements of one query execution,
@@ -179,9 +234,23 @@ struct SpqBatchResult {
 ///   for (const auto& e : result->entries) { ... }
 ///
 /// The engine flattens the dataset once (the map input "files").
-/// Thread safety: Execute/ExecuteBatch are const and may run concurrently;
-/// BuildStore/Query/QueryBatch mutate the resident store (per-query score
-/// scratch, lazy materialization) and must be externally serialized.
+///
+/// Thread safety: every serving entry point — Execute, ExecuteBatch,
+/// Query, QueryBatch, CheckpointStore — is const and safe to call from
+/// any number of threads concurrently. Warm queries carry no cross-query
+/// mutable state: per-query scratch lives in the reduce tasks
+/// (reduce_core::QueryScratch) and first-touch cell materialization is
+/// latched inside the store (cell_store.h). Each warm call pins the
+/// current StoreSnapshot for its whole run, so BuildStore()/OpenStore()
+/// may swap in a new store generation WHILE queries are in flight: the
+/// swap is an atomic shared_ptr publication, in-flight queries finish on
+/// the generation they started on, and the old store is destroyed when
+/// its last pin drops. The only non-concurrent calls are the engine's
+/// construction/destruction and overlapping BuildStore/OpenStore calls
+/// racing EACH OTHER (last publication wins; serialize them if the
+/// winner matters). Warm jobs share one engine-owned worker pool, so
+/// concurrent queries contend for the same simulated cluster rather than
+/// multiplying threads.
 class SpqEngine {
  public:
   /// The dataset is copied into the engine (the engine owns its "HDFS").
@@ -219,22 +288,29 @@ class SpqEngine {
   /// Warm-path evaluation against the resident store (requires a prior
   /// BuildStore()). Radius > the store's build radius falls back to the
   /// cold path with a warning; the result then has cold_fallback set.
-  StatusOr<SpqResult> Query(const core::Query& query, Algorithm algo);
+  /// The fallback runs Execute() — a snapshot-independent cold job over
+  /// the engine's immutable flattened input — so concurrent oversized
+  /// queries never touch store-mutable state and stay safe alongside
+  /// warm traffic, checkpoints and store swaps.
+  StatusOr<SpqResult> Query(const core::Query& query, Algorithm algo) const;
 
   /// Batched warm-path twin of Query(): one feature-side job, every
   /// (cell, query) group joined against the cell's shared resident
   /// partition and cached index. Falls back whole-batch if ANY radius
-  /// exceeds the store's build radius.
+  /// exceeds the store's build radius (same concurrency contract as
+  /// Query()'s fallback).
   StatusOr<SpqBatchResult> QueryBatch(const std::vector<core::Query>& queries,
-                                      Algorithm algo);
+                                      Algorithm algo) const;
 
   /// Persists the resident store under `<name>/` on `dfs`: checksummed
   /// per-cell images, an atomic manifest, and WAL begin/commit records
   /// (CellStore::Checkpoint — its class comment states the durability
   /// invariants). Requires a prior BuildStore()/OpenStore(). Returns the
-  /// committed epoch.
+  /// committed epoch. Const and safe under live query traffic (it pins
+  /// the current snapshot like a query does); concurrent checkpoints to
+  /// the SAME name must be serialized externally.
   StatusOr<uint64_t> CheckpointStore(dfs::MiniDfs& dfs,
-                                     const std::string& name);
+                                     const std::string& name) const;
 
   /// Opens the resident store from the newest committed checkpoint under
   /// `<name>/` and wires the warm serving path exactly as BuildStore()
@@ -247,9 +323,21 @@ class SpqEngine {
   /// taken over a different dataset.
   Status OpenStore(dfs::MiniDfs& dfs, const std::string& name);
 
-  bool has_store() const { return store_ != nullptr; }
-  /// The resident store, or nullptr before BuildStore().
-  const CellStore* store() const { return store_.get(); }
+  bool has_store() const { return snapshot() != nullptr; }
+  /// Pins and returns the current warm serving generation (null before
+  /// BuildStore()). Hold the shared_ptr for as long as the store is in
+  /// use — it is the RCU read-side pin.
+  std::shared_ptr<const StoreSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  /// The resident store, or nullptr before BuildStore(). Convenience for
+  /// single-threaded inspection: the raw pointer is valid only until the
+  /// next BuildStore()/OpenStore() — concurrent readers must use
+  /// snapshot() and keep the pin.
+  const CellStore* store() const {
+    auto snap = snapshot();
+    return snap ? snap->store.get() : nullptr;
+  }
 
   const Dataset& dataset() const { return dataset_; }
   const EngineOptions& options() const { return options_; }
@@ -263,24 +351,27 @@ class SpqEngine {
   /// Same for the per-job SPQ options (prefilter, join mode, kernel mode,
   /// signature screening).
   SpqJobOptions MakeJobOptions() const;
-  /// Post-store wiring shared by BuildStore and OpenStore: the balanced
-  /// cell assignment, per-partition resident-cell lists and borrowed
-  /// feature-side input, all derived from the store's grid.
-  void WireWarmServing();
+  /// Post-store wiring shared by BuildStore and OpenStore: derives the
+  /// balanced cell assignment and per-partition resident-cell lists from
+  /// the store's grid and returns the complete generation, ready to
+  /// publish into snapshot_.
+  std::shared_ptr<const StoreSnapshot> MakeSnapshot(
+      std::unique_ptr<const CellStore> store) const;
 
   Dataset dataset_;
   EngineOptions options_;
   std::vector<ShuffleObject> input_;  // flattened O ∪ F
-  /// Resident serving layer (BuildStore). The warm feature-side input is
-  /// kept as borrowed aliases into input_, so no keyword list is cloned,
-  /// and the balanced cell->reducer assignment (when the options call for
-  /// one — a full-dataset scan) is computed once at build time.
-  std::unique_ptr<CellStore> store_;
+  /// The warm feature-side input: borrowed aliases of input_'s feature
+  /// tail (no keyword list is cloned). Grid-independent, so it is built
+  /// once at construction and shared by every store generation.
   std::vector<ShuffleObject> feature_input_;
-  std::shared_ptr<const std::vector<uint32_t>> store_balanced_;
-  /// Per-partition resident-data cell lists for the warm group
-  /// accounting; like store_balanced_, fixed once the store is built.
-  std::vector<std::vector<geo::CellId>> store_data_cells_;
+  /// Current warm serving generation; see StoreSnapshot. Readers pin via
+  /// snapshot(); BuildStore/OpenStore publish with a release store.
+  std::atomic<std::shared_ptr<const StoreSnapshot>> snapshot_;
+  /// One persistent worker pool shared by every warm job this engine
+  /// runs (JobConfig::worker_pool): concurrent queries contend for the
+  /// same simulated cluster instead of spawning a pool per job.
+  std::unique_ptr<ThreadPool> warm_pool_;
 };
 
 /// Validates a query: k >= 1, radius >= 0 and finite. Empty q.W is legal

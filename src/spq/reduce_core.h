@@ -2,6 +2,7 @@
 #define SPQ_SPQ_REDUCE_CORE_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -47,34 +48,30 @@ namespace spq::core::reduce_core {
 /// across kernel modes; see kernel_equivalence_test.cc and the proof
 /// sketches at ScoreFeatureAgainstCell / RunEspqSco.
 
-/// In-memory O_i of one reduce group plus the running scores, kept as
-/// parallel contiguous arrays (SoA): `positions` doubles as the storage
-/// the CellGridIndex buckets refer into, so probes walk one cache-friendly
-/// array instead of chasing per-object records.
+/// In-memory O_i of one reduce group, kept as parallel contiguous arrays
+/// (SoA): `positions` doubles as the storage the CellGridIndex buckets
+/// refer into, so probes walk one cache-friendly array instead of chasing
+/// per-object records.
 ///
-/// Since the CellStore refactor the reduce cores *borrow* a CellData (and
-/// its CellGridIndex) from the caller instead of owning one: the cold path
-/// passes fresh locals, while the resident store and the batched reducer
-/// pass long-lived per-cell instances whose ids/positions/index survive
-/// across queries and only `scores` (per-query scratch) is reset.
+/// CellData holds ONLY query-independent state (ids + positions). The
+/// per-query running scores and report bitmap live in QueryScratch, passed
+/// into the reduce cores separately — that split is what lets a fully
+/// materialized store partition be shared read-only by concurrent queries.
 struct CellData {
   std::vector<ObjectId> ids;
   std::vector<geo::Point> positions;
-  std::vector<double> scores;
 
   /// Pre-sizes all arrays (used when the group's data-object count is
   /// known up front, e.g. the resident store's materialized partitions).
   void Reserve(std::size_t n) {
     ids.reserve(n);
     positions.reserve(n);
-    scores.reserve(n);
   }
 
   template <typename X>
   void Add(const X& x) {
     ids.push_back(x.id);
     positions.push_back(x.pos);
-    scores.push_back(0.0);
   }
   std::size_t size() const { return ids.size(); }
 
@@ -82,12 +79,7 @@ struct CellData {
   void Clear() {
     ids.clear();
     positions.clear();
-    scores.clear();
   }
-
-  /// Zeroes the per-query running scores; call between queries that share
-  /// this CellData (ids/positions/index stay valid).
-  void ResetScores() { std::fill(scores.begin(), scores.end(), 0.0); }
 };
 
 /// \brief SoA mini-grid over one reduce group's data-object positions
@@ -347,6 +339,49 @@ class CellGridIndex {
   std::size_t indexed_n_ = 0;  ///< built_n_ + pending_.size()
 };
 
+/// The reduce cores access cell state through one of two borrowed refs.
+/// The ref decides, at compile time, whether the group may still grow:
+///
+///  - OwnedCellRef: mutable cell + index, private to the calling task. Data
+///    records streaming through the group accumulate via Add and the index
+///    lazily Syncs against the grown positions before each probe. Used by
+///    the cold path (fresh locals per group, see RunReduceOwned) and the
+///    batched job's per-task replay cache.
+///  - FrozenCellRef: const cell + const FULLY BUILT index — an immutable
+///    store partition that any number of concurrent queries may share.
+///    Add is impossible by construction (warm streams carry only features;
+///    hitting it is a caller bug and asserts) and SyncIndex is a no-op
+///    (materialization builds the index eagerly, so serving never mutates).
+struct OwnedCellRef {
+  CellData* cell;
+  CellGridIndex* index;
+
+  const CellData& data() const { return *cell; }
+  const CellGridIndex& idx() const { return *index; }
+  template <typename X>
+  void Add(const X& x) {
+    cell->Add(x);
+  }
+  void SyncIndex() { index->Sync(cell->positions); }
+};
+
+struct FrozenCellRef {
+  const CellData* cell;
+  const CellGridIndex* index;
+
+  const CellData& data() const { return *cell; }
+  const CellGridIndex& idx() const { return *index; }
+  template <typename X>
+  void Add(const X&) {
+    // A data record in a frozen group would mean the warm map phase emitted
+    // dataset rows — impossible by construction (it maps features only).
+    // Mutating shared immutable state is never acceptable; drop the record
+    // loudly in debug builds rather than corrupt concurrent readers.
+    assert(false && "data record reached a frozen (immutable) cell");
+  }
+  void SyncIndex() const {}  // index is complete at materialization
+};
+
 namespace internal {
 
 /// Per-group scratch for the batched distance kernel (KernelMode::kAuto):
@@ -380,34 +415,39 @@ struct ProbeScratch {
 /// feature against pre-feature scores, and TopKList selection is a strict
 /// total order — so the unordered bucket walk is safe.
 ///
+/// `scores` is the query's running best-score array (parallel to the cell
+/// arrays, owned by the caller's QueryScratch): this function is the only
+/// writer the probe loops have, and the borrowed cell itself stays const.
+///
 /// KernelMode::kAuto runs the same probe in three passes: gather the
 /// indices passing the threshold skip, evaluate their distances through
 /// simd::DistanceWithinMask, then apply the hits. This is bit-identical to
 /// the one-at-a-time kScalar loop: every index is visited at most once per
-/// probe, so the threshold reads `cell.scores[i]` sees at gather time are
+/// probe, so the threshold reads `scores[i]` sees at gather time are
 /// exactly the values the scalar loop sees at visit time (a probe only
 /// writes scores[i] for indices it visits, never twice), the kernel's lane
 /// arithmetic matches geo::Distance2 operation-for-operation (simd.h), and
 /// `pairs` counts the gathered indices — the same set the scalar loop
 /// counts one by one.
-template <typename X>
+template <typename CellRef, typename X>
 inline void ScoreFeatureAgainstCell(const SpqJobOptions& options, const X& x,
                                     double w, double radius, double r2,
-                                    CellData& cell, CellGridIndex& index,
+                                    CellRef& ref, std::vector<double>& scores,
                                     TopKList& lk, uint64_t& pairs,
                                     ProbeScratch& scratch) {
+  const CellData& cell = ref.data();
   if (options.kernel_mode == simd::KernelMode::kScalar) {
     auto test = [&](std::size_t i) {
-      if (w <= cell.scores[i]) return;  // cannot improve p's score
+      if (w <= scores[i]) return;  // cannot improve p's score
       ++pairs;
       if (geo::Distance2(cell.positions[i], x.pos) <= r2) {
-        cell.scores[i] = w;
+        scores[i] = w;
         lk.Update(cell.ids[i], w);
       }
     };
     if (options.join_mode == JoinMode::kGridIndex) {
-      index.Sync(cell.positions);
-      index.ForEachCandidate(x.pos, radius, test);
+      ref.SyncIndex();
+      ref.idx().ForEachCandidate(x.pos, radius, test);
     } else {
       for (std::size_t i = 0; i < cell.size(); ++i) test(i);
     }
@@ -415,12 +455,12 @@ inline void ScoreFeatureAgainstCell(const SpqJobOptions& options, const X& x,
   }
   scratch.idx.clear();
   auto gather = [&](std::size_t i) {
-    if (w <= cell.scores[i]) return;  // cannot improve p's score
+    if (w <= scores[i]) return;  // cannot improve p's score
     scratch.idx.push_back(static_cast<uint32_t>(i));
   };
   if (options.join_mode == JoinMode::kGridIndex) {
-    index.Sync(cell.positions);
-    index.ForEachCandidate(x.pos, radius, gather);
+    ref.SyncIndex();
+    ref.idx().ForEachCandidate(x.pos, radius, gather);
   } else {
     for (std::size_t i = 0; i < cell.size(); ++i) gather(i);
   }
@@ -433,39 +473,60 @@ inline void ScoreFeatureAgainstCell(const SpqJobOptions& options, const X& x,
   for (std::size_t j = 0; j < n; ++j) {
     if (!scratch.within[j]) continue;
     const uint32_t i = scratch.idx[j];
-    cell.scores[i] = w;
+    scores[i] = w;
     lk.Update(cell.ids[i], w);
   }
 }
 
 }  // namespace internal
 
-/// The reduce cores below BORROW `cell` and `index` from the caller. The
-/// caller owns their lifetime and content contract:
-///  - cold path: pass fresh (empty) locals — data objects stream in through
-///    `values` and accumulate as before (see RunReduceOwned);
-///  - warm/resident path: pass a pre-populated CellData (and its cached
-///    index) whose `scores` have been reset since the previous query;
-///    `values` then carries only the query's features.
-/// Either way the cores lazily Sync the index against cell.positions, so
-/// late-arriving data appends incrementally instead of rebuilding.
+/// Per-QUERY mutable state of one reduce group, owned by the caller and
+/// passed into the cores alongside the (possibly shared, frozen) cell.
+/// Reusing one instance across a task's groups keeps the warm loop
+/// allocation-free in steady state — every container is assign()ed to the
+/// group's population, so capacity persists while values never leak from
+/// one query to the next. Never share an instance between threads.
+struct QueryScratch {
+  /// Running best score per data index (pSPQ/eSPQlen threshold skip).
+  std::vector<double> scores;
+  /// Per-query report bitmap (eSPQsco Lemma-3 first-hit accounting). Byte
+  /// bitmap, not vector<bool>: a proxy per probe costs more than the probe
+  /// itself on dense cells.
+  std::vector<uint8_t> reported;
+  /// SortedCandidates output, reused across probes.
+  std::vector<uint32_t> sorted;
+  /// Batched distance-kernel lanes.
+  internal::ProbeScratch probe;
+};
+
+/// The reduce cores below BORROW their cell state through a CellRef
+/// (OwnedCellRef or FrozenCellRef, above) and their per-query mutable
+/// state through a QueryScratch. The caller owns both lifetimes:
+///  - cold path: owned ref over fresh (empty) locals — data objects stream
+///    in through `values` and accumulate as before (see RunReduceOwned);
+///  - warm/resident path: frozen ref over a pre-populated immutable
+///    CellData + fully built index; `values` then carries only the query's
+///    features and the cores write exclusively into `scratch`.
+/// The scratch arrays are (re)initialized here to the group's population,
+/// so callers only provide storage, never reset it.
 
 /// Algorithm 2 (pSPQ): full scan of the cell's features, threshold-pruned.
-template <typename Values, typename EmitFn>
-void RunPspq(const Query& query, const SpqJobOptions& options, CellData& cell,
-             CellGridIndex& index, Values& values,
+template <typename CellRef, typename Values, typename EmitFn>
+void RunPspq(const Query& query, const SpqJobOptions& options, CellRef& cell,
+             QueryScratch& scratch, Values& values,
              mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
-  internal::ProbeScratch scratch;
+  scratch.scores.assign(cell.data().size(), 0.0);
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
     const auto& x = values.value();
     if (x.is_data()) {
       cell.Add(x);
+      scratch.scores.push_back(0.0);
       continue;
     }
     ++examined;
@@ -474,7 +535,8 @@ void RunPspq(const Query& query, const SpqJobOptions& options, CellData& cell,
                                    q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
       internal::ScoreFeatureAgainstCell(options, x, w, query.radius, r2, cell,
-                                        index, lk, pairs, scratch);
+                                        scratch.scores, lk, pairs,
+                                        scratch.probe);
     }
   }
   counters.Increment(counter::kFeaturesExamined, examined);
@@ -483,22 +545,23 @@ void RunPspq(const Query& query, const SpqJobOptions& options, CellData& cell,
 }
 
 /// Algorithm 4 (eSPQlen): features by increasing |f.W|; stop at Lemma 2.
-template <typename Values, typename EmitFn>
+template <typename CellRef, typename Values, typename EmitFn>
 void RunEspqLen(const Query& query, const SpqJobOptions& options,
-                CellData& cell, CellGridIndex& index, Values& values,
+                CellRef& cell, QueryScratch& scratch, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
   TopKList lk(query.k);
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
   const std::size_t qlen = q_ids.size();
-  internal::ProbeScratch scratch;
+  scratch.scores.assign(cell.data().size(), 0.0);
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
     const auto& x = values.value();
     if (x.is_data()) {
       cell.Add(x);
+      scratch.scores.push_back(0.0);
       continue;
     }
     const double upper = text::JaccardUpperBound(qlen, KeywordCount(x));
@@ -513,7 +576,8 @@ void RunEspqLen(const Query& query, const SpqJobOptions& options,
                                    q_ids.data(), q_ids.size(), lk.Threshold());
     if (w > lk.Threshold()) {
       internal::ScoreFeatureAgainstCell(options, x, w, query.radius, r2, cell,
-                                        index, lk, pairs, scratch);
+                                        scratch.scores, lk, pairs,
+                                        scratch.probe);
     }
   }
   counters.Increment(counter::kFeaturesExamined, examined);
@@ -523,25 +587,26 @@ void RunEspqLen(const Query& query, const SpqJobOptions& options,
 
 /// Algorithm 6 (eSPQsco): features by decreasing score (read off the
 /// composite key's `order`); stop after k reports (Lemma 3).
-template <typename Values, typename EmitFn>
+template <typename CellRef, typename Values, typename EmitFn>
 void RunEspqSco(const Query& query, const SpqJobOptions& options,
-                CellData& cell, CellGridIndex& index, Values& values,
+                CellRef& cell_ref, QueryScratch& qscratch, Values& values,
                 mapreduce::Counters& counters, EmitFn&& emit) {
   counters.Increment(counter::kGroups);
-  // Byte bitmap, parallel to CellData's arrays (a vector<bool> proxy per
-  // probe costs more than the probe itself on dense cells). Pre-sized to
-  // the borrowed cell's current population (warm path); grows with Add.
-  std::vector<uint8_t> reported(cell.size(), 0);
-  std::vector<uint32_t> probe_scratch;
-  internal::ProbeScratch scratch;
+  // Report bitmap pre-sized to the borrowed cell's current population
+  // (warm path); grows with Add on the owned path.
+  std::vector<uint8_t>& reported = qscratch.reported;
+  reported.assign(cell_ref.data().size(), 0);
+  std::vector<uint32_t>& probe_scratch = qscratch.sorted;
+  internal::ProbeScratch& scratch = qscratch.probe;
   const double r2 = query.radius * query.radius;
+  const CellData& cell = cell_ref.data();
   uint32_t reported_count = 0;
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
     const auto& x = values.value();
     if (x.is_data()) {
-      cell.Add(x);
+      cell_ref.Add(x);
       reported.push_back(0);
       continue;
     }
@@ -570,8 +635,8 @@ void RunEspqSco(const Query& query, const SpqJobOptions& options,
         return false;
       };
       if (options.join_mode == JoinMode::kGridIndex) {
-        index.Sync(cell.positions);
-        index.SortedCandidates(x.pos, query.radius, &probe_scratch);
+        cell_ref.SyncIndex();
+        cell_ref.idx().SortedCandidates(x.pos, query.radius, &probe_scratch);
         for (uint32_t i : probe_scratch) {
           if (test(i)) {
             done = true;
@@ -599,8 +664,8 @@ void RunEspqSco(const Query& query, const SpqJobOptions& options,
       // walks.
       scratch.idx.clear();
       if (options.join_mode == JoinMode::kGridIndex) {
-        index.Sync(cell.positions);
-        index.SortedCandidates(x.pos, query.radius, &probe_scratch);
+        cell_ref.SyncIndex();
+        cell_ref.idx().SortedCandidates(x.pos, query.radius, &probe_scratch);
         for (uint32_t i : probe_scratch) {
           if (!reported[i]) scratch.idx.push_back(i);
         }
@@ -636,23 +701,23 @@ void RunEspqSco(const Query& query, const SpqJobOptions& options,
   counters.Increment(counter::kPairsTested, pairs);
 }
 
-/// Dispatch by algorithm, joining against a borrowed cell + index (see the
-/// borrowing contract above). `options` supplies the join mode and the
-/// distance-kernel mode; the keyword knobs are map-side / warm-serving
-/// concerns the cores never read.
-template <typename Values, typename EmitFn>
+/// Dispatch by algorithm, joining against a borrowed cell ref + per-query
+/// scratch (see the borrowing contract above). `options` supplies the join
+/// mode and the distance-kernel mode; the keyword knobs are map-side /
+/// warm-serving concerns the cores never read.
+template <typename CellRef, typename Values, typename EmitFn>
 void RunReduce(Algorithm algo, const SpqJobOptions& options,
-               const Query& query, CellData& cell, CellGridIndex& index,
+               const Query& query, CellRef& cell, QueryScratch& scratch,
                Values& values, mapreduce::Counters& counters, EmitFn&& emit) {
   switch (algo) {
     case Algorithm::kPSPQ:
-      RunPspq(query, options, cell, index, values, counters, emit);
+      RunPspq(query, options, cell, scratch, values, counters, emit);
       return;
     case Algorithm::kESPQLen:
-      RunEspqLen(query, options, cell, index, values, counters, emit);
+      RunEspqLen(query, options, cell, scratch, values, counters, emit);
       return;
     case Algorithm::kESPQSco:
-      RunEspqSco(query, options, cell, index, values, counters, emit);
+      RunEspqSco(query, options, cell, scratch, values, counters, emit);
       return;
   }
 }
@@ -666,7 +731,9 @@ void RunReduceOwned(Algorithm algo, const SpqJobOptions& options,
                     mapreduce::Counters& counters, EmitFn&& emit) {
   CellData cell;
   CellGridIndex index;
-  RunReduce(algo, options, query, cell, index, values, counters, emit);
+  QueryScratch scratch;
+  OwnedCellRef ref{&cell, &index};
+  RunReduce(algo, options, query, ref, scratch, values, counters, emit);
 }
 
 }  // namespace spq::core::reduce_core

@@ -1,0 +1,137 @@
+#ifndef SPQ_SPQ_SERVING_H_
+#define SPQ_SPQ_SERVING_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/statusor.h"
+#include "spq/engine.h"
+
+namespace spq::core {
+
+/// \brief Aggregate measurements of the front door since construction.
+/// Every counter is tallied with relaxed atomics (monotonic tallies read
+/// for reporting — no counter ever gates control flow, so no ordering is
+/// needed); stats() returns a consistent-enough plain copy.
+struct ServingStats {
+  uint64_t submitted = 0;  ///< Submit() calls (admitted + rejected)
+  uint64_t admitted = 0;   ///< accepted into the admission queue
+  uint64_t rejected = 0;   ///< bounced with Unavailable (queue full/stopped)
+  /// Admitted queries that shared their batch job with at least one other
+  /// query — the coalescing the front door exists for.
+  uint64_t coalesced = 0;
+  uint64_t batches = 0;       ///< warm batch/single jobs dispatched
+  uint64_t cold_routed = 0;   ///< oversized-radius queries served solo (cold)
+  /// batch_size_hist[s] = number of dispatched warm jobs that served
+  /// exactly s queries (s = 1..max_batch; index 0 unused).
+  std::vector<uint64_t> batch_size_hist;
+};
+
+/// \brief Admission/batching front door over a warm SpqEngine: concurrent
+/// Query() callers are coalesced into shared QueryBatch jobs.
+///
+/// Why: one warm query pays a whole feature-side map/shuffle; a batch of
+/// B queries shares that scan (see batch.h), so under concurrent load the
+/// per-query cost drops toward the marginal reduce cost. The front door
+/// turns independent callers into batches without changing results: a
+/// coalesced query returns exactly the entries the same engine.Query()
+/// would have produced (batch equivalence is the store_equivalence /
+/// batch_equivalence test surface).
+///
+/// Mechanics (knobs in EngineOptions::serving):
+///   - Submit() appends to a bounded admission queue and returns a future.
+///     A full (or shut down) queue rejects immediately with Unavailable —
+///     backpressure is explicit and counted, never an unbounded buffer.
+///   - Executor threads drain the queue: a batch closes when it reaches
+///     max_batch queries or the oldest admitted query has waited
+///     max_wait_ms, whichever comes first. A lone caller therefore pays
+///     at most the wait budget on an idle door (and nothing when the
+///     queue is empty and an executor is already free).
+///   - A batch is a single-algorithm job: the drained run is grouped by
+///     algorithm (a mixed queue closes at the algorithm boundary).
+///   - Oversized-radius queries (radius > store build radius) are routed
+///     individually through engine.Query()'s loud cold fallback rather
+///     than dragging the whole batch onto the cold path.
+///   - Shutdown() (and the destructor) stops admission, serves what was
+///     already admitted, then joins the executors — an admitted query's
+///     future is always fulfilled.
+///
+/// Thread safety: Submit()/Query()/stats() may be called from any thread.
+/// The engine reference must stay valid for the door's lifetime, and the
+/// engine must have a store (Submit rejects otherwise). Store swaps
+/// (BuildStore/OpenStore) under live traffic are safe — each dispatched
+/// job pins the snapshot it starts on (see SpqEngine).
+class SpqFrontDoor {
+ public:
+  /// The door serves `engine` with per-query algorithms chosen at
+  /// Submit() time. Spawns ServingOptions::num_executors threads.
+  explicit SpqFrontDoor(const SpqEngine& engine);
+  ~SpqFrontDoor();
+
+  SpqFrontDoor(const SpqFrontDoor&) = delete;
+  SpqFrontDoor& operator=(const SpqFrontDoor&) = delete;
+
+  /// Admits one query; the future resolves to the same result
+  /// engine.Query(query, algo) would return (for coalesced queries,
+  /// SpqRunInfo carries the SHARED batch job's stats). Rejects with
+  /// Unavailable when the queue is at capacity or the door is stopped.
+  std::future<StatusOr<SpqResult>> Submit(const core::Query& query,
+                                          Algorithm algo);
+
+  /// Blocking convenience: Submit + wait.
+  StatusOr<SpqResult> Query(const core::Query& query, Algorithm algo);
+
+  /// Stops admission, serves every already admitted query, joins the
+  /// executors. Idempotent.
+  void Shutdown();
+
+  /// Point-in-time copy of the counters.
+  ServingStats stats() const;
+
+ private:
+  struct Pending {
+    core::Query query;
+    Algorithm algo = Algorithm::kPSPQ;
+    std::promise<StatusOr<SpqResult>> promise;
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  void ExecutorLoop();
+  /// Serves one drained run of same-algorithm queries (executor thread).
+  void ServeBatch(std::vector<Pending> batch);
+
+  const SpqEngine& engine_;
+  const ServingOptions opts_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< executors wait for work / stop
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  /// Serializes concurrent Shutdown() calls (destructor vs explicit).
+  std::mutex shutdown_mu_;
+
+  // Counter contract: see ServingStats. batch_size_hist_ is sized once
+  // in the constructor (max_batch + 1 slots), so executors index it
+  // without locks.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> cold_routed_{0};
+  std::vector<std::atomic<uint64_t>> batch_size_hist_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace spq::core
+
+#endif  // SPQ_SPQ_SERVING_H_

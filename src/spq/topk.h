@@ -84,8 +84,18 @@ class TopKList {
 /// deterministically (score desc, id asc).
 inline std::vector<ResultEntry> MergeTopK(std::vector<ResultEntry> candidates,
                                           uint32_t k) {
+  // Select-then-sort instead of a full sort: ResultBetter is a strict
+  // total order (ids are distinct — each data object belongs to exactly
+  // one cell), so the k selected entries and their order are identical to
+  // the full sort's prefix, at O(n + k log k) instead of O(n log n). The
+  // candidate list is every per-group top-k a query's reduce tasks
+  // emitted, so n >> k on any multi-cell query.
+  if (candidates.size() > k) {
+    std::nth_element(candidates.begin(), candidates.begin() + k,
+                     candidates.end(), ResultBetter);
+    candidates.resize(k);
+  }
   std::sort(candidates.begin(), candidates.end(), ResultBetter);
-  if (candidates.size() > k) candidates.resize(k);
   return candidates;
 }
 
