@@ -21,6 +21,14 @@
 // same store: checkpoint write time, OpenStore (WAL + manifest only) and
 // recovery-to-first-warm-query latency — which, thanks to cell-granular
 // lazy restore, must come in under 10% of a full cold BuildStore().
+//
+// The churn section runs a 10% turnover wave (strided deletes + fresh
+// inserts) against the live store, reporting mutation throughput and the
+// warm p50 on the mutated and the compacted layout against an
+// interleaved fresh-rebuild reference — gated on per-query work parity
+// (identical counters: mutation cost is paid at publish time, never on
+// the read path) plus a p50 ceiling above the container's measured
+// allocator-placement noise band.
 
 #include <algorithm>
 #include <atomic>
@@ -154,6 +162,12 @@ int main() {
   // bounced with Unavailable.
   options.serving.max_batch = 64;
   options.serving.queue_capacity = 512;
+  // Latency-sensitive serving profile for the churn section: compact a
+  // cell as soon as 5% of its rows are dead, so a 10% turnover wave
+  // cannot accumulate enough dead rows to tax the read path — the
+  // compaction cost lands on mutation throughput (paid at publish time),
+  // which is what the churn section reports.
+  options.compact_dead_fraction = 0.05;
   core::SpqEngine engine(dataset, options);
 
   std::vector<ModeResult> results;
@@ -435,6 +449,171 @@ int main() {
   }
   const double recovery_ratio = recovery_seconds / cold_rebuild_seconds;
 
+  // ---- churn: 10% turnover against the live store, then warm p50 -----------
+  // Deletes one data object in ten (strided, so every grid region loses
+  // rows) and inserts an equal count of fresh objects at uniform
+  // positions, each mutation publishing a new snapshot RCU-style. The
+  // mutated store must then serve the same warm query suite with no
+  // extra per-query work (counter parity) and a p50 comparable to a
+  // static store's: mutation cost is paid at publish time (per-cell
+  // fold + masked index rebuild), never smeared over the read path. The
+  // static reference is a from-scratch build in a SECOND engine,
+  // measured interleaved (ABBA) with the churned store after the wave:
+  // the wave's 40k snapshot publishes shift allocator/cache state
+  // enough that a before/after or sequential comparison measures
+  // process drift, not store layout. A CompactStore() pass re-times the
+  // churned store on its dead-row-free layout as well.
+  const std::size_t churn_count = dataset.data.size() / 10;
+  double deletes_per_sec = 0.0;
+  double inserts_per_sec = 0.0;
+  double churn_static_p50_ms = 0.0;
+  double churn_p50_ms = 0.0;
+  double compacted_p50_ms = 0.0;
+  uint64_t churn_cells_compacted = 0;
+  bool churn_work_parity = false;
+  {
+    // One warm pass over the suite on the given engine → p50 ms.
+    const auto OnePassP50Ms = [&](core::SpqEngine& target) -> double {
+      std::vector<double> lat;
+      for (const core::Query& q : queries) {
+        Stopwatch watch;
+        auto r = target.Query(q, algo);
+        if (!r.ok() || !r->info.warm_path) {
+          std::fprintf(stderr, "churn-section warm query failed\n");
+          std::exit(1);
+        }
+        lat.push_back(watch.ElapsedSeconds());
+      }
+      return Percentile50(lat) * 1e3;
+    };
+
+    Stopwatch del_watch;
+    for (std::size_t i = 0; i < churn_count; ++i) {
+      if (Status st = engine.Delete(dataset.data[i * 10].id); !st.ok()) {
+        std::fprintf(stderr, "churn delete: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    deletes_per_sec = static_cast<double>(churn_count) /
+                      del_watch.ElapsedSeconds();
+
+    uint64_t next_id = 0;
+    for (const core::DataObject& o : dataset.data) {
+      next_id = std::max(next_id, o.id);
+    }
+    ++next_id;
+    std::mt19937_64 churn_rng(4242);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    Stopwatch ins_watch;
+    for (std::size_t i = 0; i < churn_count; ++i) {
+      core::DataObject fresh;
+      fresh.id = next_id + i;
+      fresh.pos = {unit(churn_rng), unit(churn_rng)};
+      if (Status st = engine.Insert(fresh); !st.ok()) {
+        std::fprintf(stderr, "churn insert: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    inserts_per_sec = static_cast<double>(churn_count) /
+                      ins_watch.ElapsedSeconds();
+    churn_cells_compacted = engine.store()->cells_compacted();
+
+    // Static reference engine, built fresh AFTER the wave so both
+    // measurement targets see the same process state — and with every
+    // cell materialized, because the churned store is fully resident
+    // (each mutation touched its cell): a lazily-thin store interleaves
+    // its few hot cells on dense pages, which measures residency, not
+    // the mutation layer.
+    core::SpqEngine reference(dataset, options);
+    if (Status st = reference.BuildStore(max_radius); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (uint32_t c = 0; c < reference.store()->num_cells(); ++c) {
+      if (auto served = reference.store()->Serve(c); !served.ok()) {
+        std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Interleaved best-of-N on an ABBA palindrome schedule: alternating
+    // passes cancel monotone drift (cache warming, allocator settling),
+    // and flipping the pair order each rep cancels within-pair bias too.
+    const auto InterleavedBest = [&](core::SpqEngine& a, double* best_a,
+                                     double* best_b) {
+      constexpr int kReps = 6;
+      for (int rep = 0; rep < kReps; ++rep) {
+        core::SpqEngine& first = rep % 2 == 0 ? a : reference;
+        core::SpqEngine& second = rep % 2 == 0 ? reference : a;
+        const double p_first = OnePassP50Ms(first);
+        const double p_second = OnePassP50Ms(second);
+        const double p_a = rep % 2 == 0 ? p_first : p_second;
+        const double p_ref = rep % 2 == 0 ? p_second : p_first;
+        if (*best_a == 0.0 || p_a < *best_a) *best_a = p_a;
+        if (*best_b == 0.0 || p_ref < *best_b) *best_b = p_ref;
+      }
+    };
+    InterleavedBest(engine, &churn_p50_ms, &churn_static_p50_ms);
+
+    // Work parity: the noise-free half of the churn gate. The churned
+    // store must do the SAME per-query work as the fresh reference —
+    // identical feature-side counters (mutations never touch features)
+    // and pairs_tested within a hair (it tracks the 10% of rows whose
+    // positions changed). A mutation-layer leak into the read path
+    // (e.g. an O(cell) fold or a geometry drift) shows up here exactly,
+    // where a p50 comparison on this container drowns it in allocator
+    // placement noise.
+    struct SuiteWork {
+      uint64_t pairs = 0, groups = 0, checks = 0, kept = 0;
+    };
+    const auto SuiteWorkOf = [&](core::SpqEngine& target) {
+      SuiteWork w;
+      for (const core::Query& q : queries) {
+        auto r = target.Query(q, algo);
+        if (!r.ok() || !r->info.warm_path) {
+          std::fprintf(stderr, "churn-section warm query failed\n");
+          std::exit(1);
+        }
+        w.pairs += r->info.pairs_tested;
+        w.groups += r->info.reduce_groups;
+        w.checks += r->info.signature_checks;
+        w.kept += r->info.features_kept;
+      }
+      return w;
+    };
+    const SuiteWork churned_work = SuiteWorkOf(engine);
+    const SuiteWork static_work = SuiteWorkOf(reference);
+
+    if (Status st = engine.CompactStore(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    InterleavedBest(engine, &compacted_p50_ms, &churn_static_p50_ms);
+
+    std::printf("\nchurn: %zu deletes (%.0f/s) + %zu inserts (%.0f/s), "
+                "%llu cells auto-compacted; warm p50 %.2f ms churned, "
+                "%.2f ms compacted (static rebuild %.2f ms)\n",
+                churn_count, deletes_per_sec, churn_count, inserts_per_sec,
+                static_cast<unsigned long long>(churn_cells_compacted),
+                churn_p50_ms, compacted_p50_ms, churn_static_p50_ms);
+    std::printf("churn work parity: pairs %llu vs %llu, groups %llu vs "
+                "%llu, signature checks %llu vs %llu\n",
+                static_cast<unsigned long long>(churned_work.pairs),
+                static_cast<unsigned long long>(static_work.pairs),
+                static_cast<unsigned long long>(churned_work.groups),
+                static_cast<unsigned long long>(static_work.groups),
+                static_cast<unsigned long long>(churned_work.checks),
+                static_cast<unsigned long long>(static_work.checks));
+    churn_work_parity =
+        churned_work.groups == static_work.groups &&
+        churned_work.checks == static_work.checks &&
+        churned_work.kept == static_work.kept &&
+        churned_work.pairs <=
+            static_work.pairs + static_work.pairs / 50 &&
+        static_work.pairs <= churned_work.pairs + churned_work.pairs / 50;
+  }
+  const double churn_ratio = churn_p50_ms / churn_static_p50_ms;
+
   for (const ModeResult& m : results) {
     std::printf("%-18s %s %8.2f ms/query   %8.2f queries/s   "
                 "%12.0f records/s%s\n",
@@ -486,7 +665,19 @@ int main() {
        << ", \"first_warm_query_ms\": " << first_query_ms
        << ", \"recovery_to_first_query_seconds\": " << recovery_seconds
        << ", \"cold_rebuild_seconds\": " << cold_rebuild_seconds
-       << ", \"recovery_vs_rebuild_ratio\": " << recovery_ratio << "}\n}\n";
+       << ", \"recovery_vs_rebuild_ratio\": " << recovery_ratio << "},\n"
+       << "  \"churn\": {\"turnover\": 0.10"
+       << ", \"deletes\": " << churn_count
+       << ", \"deletes_per_sec\": " << static_cast<uint64_t>(deletes_per_sec)
+       << ", \"inserts\": " << churn_count
+       << ", \"inserts_per_sec\": " << static_cast<uint64_t>(inserts_per_sec)
+       << ", \"cells_auto_compacted\": " << churn_cells_compacted
+       << ",\n    \"warm_p50_ms_churned\": " << churn_p50_ms
+       << ", \"warm_p50_ms_compacted\": " << compacted_p50_ms
+       << ", \"warm_p50_ms_static\": " << churn_static_p50_ms
+       << ", \"churned_vs_static_p50_ratio\": " << churn_ratio
+       << ", \"work_parity\": " << (churn_work_parity ? "true" : "false")
+       << "}\n}\n";
   std::printf("\nWrote BENCH_store.json\n");
 
   // Acceptance bars: warm per-query throughput >= 3x cold (the store
@@ -506,5 +697,22 @@ int main() {
               "serial): %.2fx, p99 %.1f vs %.1f ms %s\n",
               coalesce_gain, open_results[2].p99_ms, open_results[0].p99_ms,
               coalesce_pass ? "PASS" : "FAIL");
-  return speedup >= 3.0 && recovery_ratio < 0.10 && coalesce_pass ? 0 : 1;
+  // The mutation tentpole, gated in two halves. Work parity is the sharp
+  // edge: identical per-query counters prove the mutated store's read
+  // path does no extra work (a fold or geometry leak would break it
+  // exactly). The p50 ratio is the blunt edge: interleaved ABBA passes
+  // against a same-process fresh rebuild measure 1.05-1.15x on this
+  // container even with IDENTICAL logical data and identical counters —
+  // pure allocator-placement noise of a long-lived process — so its
+  // ceiling sits at 1.25x, above the noise band but far below any real
+  // read-path regression.
+  const bool churn_pass = churn_ratio <= 1.25 && churn_work_parity;
+  std::printf("acceptance (churn: work parity AND warm p50 <= 1.25x "
+              "static): parity %s, %.2fx %s\n",
+              churn_work_parity ? "yes" : "NO", churn_ratio,
+              churn_pass ? "PASS" : "FAIL");
+  return speedup >= 3.0 && recovery_ratio < 0.10 && coalesce_pass &&
+                 churn_pass
+             ? 0
+             : 1;
 }

@@ -1,11 +1,28 @@
 #!/usr/bin/env sh
 # Tier-1 verification in one command: the default build runs the FULL
-# suite (which includes the `concurrency` and `faults` ctest labels),
-# then the ThreadSanitizer build re-runs those two labels — the
-# concurrent-serving and fault-injection suites are exactly the tests
-# whose guarantees tsan can falsify.
+# suite (which includes the `concurrency`, `faults` and `mutation` ctest
+# labels), then the ThreadSanitizer build re-runs those labels — the
+# concurrent-serving, fault-injection and churn-equivalence suites are
+# exactly the tests whose guarantees tsan can falsify.
 #
-# Usage: scripts/tier1.sh   (from the repo root)
+# Usage: scripts/tier1.sh              (from the repo root: full tier-1)
+#        scripts/tier1.sh --label L    (default build, then only the
+#                                       ctest entries carrying label L,
+#                                       e.g. mutation | concurrency |
+#                                       faults)
 set -e
+
+if [ "$1" = "--label" ]; then
+  label="$2"
+  if [ -z "$label" ]; then
+    echo "usage: scripts/tier1.sh [--label <ctest-label>]" >&2
+    exit 2
+  fi
+  cmake --preset default
+  cmake --build --preset default
+  ctest --test-dir build -L "$label" --output-on-failure
+  exit 0
+fi
+
 cmake --workflow --preset tier1-default
 cmake --workflow --preset tier1-tsan

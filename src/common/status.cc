@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

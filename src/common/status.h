@@ -24,6 +24,7 @@ class Status {
     kInternal = 6,
     kNotSupported = 7,
     kUnavailable = 8,
+    kFailedPrecondition = 9,
   };
 
   /// Creates an OK status.
@@ -62,6 +63,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// The operation is valid in general but not against the object's
+  /// current state (e.g. checkpointing a mutated store); the caller must
+  /// change the state first, not merely retry.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -72,6 +79,9 @@ class Status {
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,5 +1,6 @@
 #include "spq/cell_store.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <utility>
@@ -61,6 +62,7 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Build(
     return Status::InvalidArgument("store max_radius must be >= 0");
   }
   std::unique_ptr<CellStore> store(new CellStore(grid, max_radius));
+  store->AllocateCells();
 
   mr::JobSpec<ShuffleObject, CellKey, ShuffleObject, uint64_t> spec;
   spec.mapper_factory = [grid]() {
@@ -97,9 +99,10 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Build(
       auto seg_or =
           mr::internal::BuildFlatSegment<CellKey, ShuffleObject>(rows);
       if (!seg_or.ok()) return seg_or.status();
-      Partition& part = store_ptr->cells_[cell];  // one task per cell
+      Partition& part = *store_ptr->cells_[cell];  // one task per cell
       part.segment = *std::move(seg_or);
       part.record_count = part.segment.num_records;
+      part.live_count = part.record_count;
       has = cursor.FinishGroup();
     }
     return stream.status();
@@ -119,7 +122,7 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Build(
   // targets (CellsWithinDist is monotone in r, and the engine refuses
   // warm radii above max_radius). Keyword-less features are omitted: they
   // always score 0, which is exactly what the summary's absence encodes.
-  store->text_summaries_.assign(grid.num_cells(), CellTextSummary{});
+  std::vector<CellTextSummary> summaries(grid.num_cells());
   for (const ShuffleObject& x : input) {
     if (x.is_data()) continue;
     const uint32_t len = static_cast<uint32_t>(KeywordCount(x));
@@ -127,11 +130,13 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Build(
     const uint64_t sig = x.keyword_sig != 0
                              ? x.keyword_sig
                              : text::TermSignature(KeywordData(x), len);
-    store->text_summaries_[grid.CellOf(x.pos)].Absorb(sig, len);
+    summaries[grid.CellOf(x.pos)].Absorb(sig, len);
     for (geo::CellId c : grid.CellsWithinDist(x.pos, max_radius)) {
-      store->text_summaries_[c].Absorb(sig, len);
+      summaries[c].Absorb(sig, len);
     }
   }
+  store->text_summaries_ = std::make_shared<const std::vector<CellTextSummary>>(
+      std::move(summaries));
   return store;
 }
 
@@ -140,7 +145,10 @@ std::vector<std::vector<geo::CellId>> CellStore::DataCellsByPartition(
     uint32_t num_partitions) const {
   std::vector<std::vector<geo::CellId>> by_partition(num_partitions);
   for (geo::CellId c = 0; c < num_cells(); ++c) {
-    if (cell_record_count(c) == 0) continue;
+    // LIVE rows decide residency: a fully tombstoned (but uncompacted)
+    // cell is logically empty, exactly as a fresh build of the equivalent
+    // dataset would leave it (invariant M2).
+    if (cells_[c]->live_count == 0) continue;
     by_partition[partitioner(CellKey{c, 0.0}, num_partitions)].push_back(c);
   }
   return by_partition;
@@ -151,13 +159,31 @@ StatusOr<const CellStore::Partition*> CellStore::Serve(
   if (cell >= cells_.size()) {
     return Status::InvalidArgument("cell id outside the store grid");
   }
-  Partition& part = cells_[cell];
+  Partition& part = *cells_[cell];
   // Fast path: a ready partition is frozen; the acquire pairs with the
   // release below so the reader sees the completed data + index.
   if (part.ready.load(std::memory_order_acquire)) return &part;
   std::lock_guard<std::mutex> latch(part.latch);
   if (part.ready.load(std::memory_order_relaxed)) return &part;
-  if (recovered() && part.record_count > 0 && part.segment.bytes.empty()) {
+  if (part.record_count == 0) {
+    // Nothing to serve: an empty cell, or a delta-mutated cell whose
+    // fold-time compaction leaves no rows (every base row tombstoned,
+    // every pending insert erased). Drop the persisted form and the delta
+    // whole — decoding rows just to discard them buys nothing.
+    part.data.Clear();
+    part.index.Reset();
+    part.segment.bytes.clear();
+    part.segment.bytes.shrink_to_fit();
+    part.delta_inserts.clear();
+    part.delta_tombstones.clear();
+    part.dead.clear();
+    part.dead_rows.clear();
+    part.index.Build(part.data.positions);
+    part.ready.store(true, std::memory_order_release);
+    return &part;
+  }
+  if (recovered() && part.segment.num_records > 0 &&
+      part.segment.bytes.empty()) {
     // Cell-granular lazy recovery (class invariant 3): pull this cell's
     // image from the source checkpoint on first touch, verified against
     // the manifest's size + CRC. A failed verification falls back to the
@@ -178,27 +204,47 @@ StatusOr<const CellStore::Partition*> CellStore::Serve(
   }
   // Idempotent under reduce-attempt retries: a prior pass that failed
   // mid-read (and returned without publishing `ready`) must not leave
-  // stale rows behind.
+  // stale rows or a stale tombstone mask behind. The delta log itself is
+  // read-only until the fold succeeds, so retries replay it intact.
   part.data.Clear();
   part.index.Reset();
+  part.dead.clear();
+  part.dead_rows.clear();
   part.data.Reserve(part.record_count);
-  if (part.record_count > 0) {
+  if (part.segment.num_records > 0) {
     mr::internal::FlatSegmentReader<CellKey, ShuffleObject> reader(
         &part.segment);
     while (reader.Next()) part.data.Add(reader.view());
     SPQ_RETURN_NOT_OK(reader.status());
-    if (part.data.size() != part.record_count) {
+    if (part.data.size() != part.segment.num_records) {
       return Status::Internal("store partition truncated");
     }
     // The serving form replaces the persisted bytes (no double
-    // residency); record_count keeps the bookkeeping.
+    // residency); segment.num_records keeps the base bookkeeping.
     part.segment.bytes.clear();
     part.segment.bytes.shrink_to_fit();
   }
+  // Fold the delta log (no-op for clean partitions): append pending
+  // inserts, mark base tombstones, and compact if the mutation layer
+  // ordered it (invariants M2-M4).
+  SPQ_RETURN_NOT_OK(FoldDelta(part));
+  if (part.data.size() != part.record_count) {
+    return Status::Internal("store partition fold left " +
+                            std::to_string(part.data.size()) + " rows, " +
+                            std::to_string(part.record_count) + " expected");
+  }
   // Build the index eagerly so serving never mutates a ready partition:
-  // the reduce cores' FrozenCellRef treats SyncIndex as a no-op. Same
-  // structure the first probe's lazy Sync would have built.
-  part.index.Build(part.data.positions);
+  // the reduce cores' FrozenCellRef treats SyncIndex as a no-op. Dead
+  // rows are masked out of the bucket geometry so probes enumerate
+  // exactly the candidate sets a fresh build over the surviving rows
+  // would (invariant M2 — pairs_tested counts those sets).
+  part.index.Build(part.data.positions,
+                   part.dead.empty() ? nullptr : &part.dead);
+  // Nothing after this point can fail: the delta is folded in, release it.
+  part.delta_inserts.clear();
+  part.delta_inserts.shrink_to_fit();
+  part.delta_tombstones.clear();
+  part.delta_tombstones.shrink_to_fit();
   part.ready.store(true, std::memory_order_release);
   return &part;
 }
@@ -265,7 +311,7 @@ std::string CellStore::CellFile(const std::string& name, uint64_t epoch,
 
 StatusOr<std::vector<uint8_t>> CellStore::SegmentImageOf(
     geo::CellId cell) const {
-  Partition& part = cells_[cell];
+  Partition& part = *cells_[cell];
   if (part.record_count == 0) return std::vector<uint8_t>{};
   if (!part.ready.load(std::memory_order_acquire)) {
     // Not (yet) materialized: hold the cell's latch so a concurrent
@@ -309,7 +355,7 @@ StatusOr<std::vector<uint8_t>> CellStore::RestoreImage(
   SPQ_ASSIGN_OR_RETURN(
       std::vector<uint8_t> bytes,
       dfs_->ReadFile(CellFile(checkpoint_name_, checkpoint_epoch_, cell)));
-  const Partition& part = cells_[cell];
+  const Partition& part = *cells_[cell];
   if (bytes.size() != part.segment.byte_size ||
       Crc32c(bytes) != cell_crcs_[cell]) {
     return Status::IOError("store cell " + std::to_string(cell) +
@@ -336,11 +382,14 @@ Status CellStore::RebuildPartition(geo::CellId cell, Partition& part) const {
     if (!x.is_data() || grid_.CellOf(x.pos) != cell) continue;
     rows.emplace_back(CellKey{cell, 0.0}, x);
   }
-  if (rows.size() != part.record_count) {
+  // Compare against the PERSISTED base rows: a mutated cell's serving
+  // row count legitimately differs (delta inserts / fold-time
+  // compaction), but the checkpoint image always holds the build rows.
+  if (rows.size() != part.segment.num_records) {
     return Status::Internal(
         "store cell " + std::to_string(cell) + " rebuild found " +
         std::to_string(rows.size()) + " data objects, checkpoint recorded " +
-        std::to_string(part.record_count) +
+        std::to_string(part.segment.num_records) +
         " (dataset differs from the one the store was built from)");
   }
   SPQ_ASSIGN_OR_RETURN(
@@ -359,6 +408,19 @@ Status CellStore::RebuildPartition(geo::CellId cell, Partition& part) const {
 StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
     dfs::MiniDfs& dfs, const std::string& name,
     CheckpointCrash crash) const {
+  if (mutated_) {
+    // Invariant M5: the persisted segments describe the BUILD dataset and
+    // Recover() validates/rebuilds against it — persisting them under a
+    // mutated logical dataset would silently resurrect deleted rows and
+    // drop inserts on recovery. Fail loudly until incremental checkpoints
+    // land (ROADMAP open item).
+    return Status::FailedPrecondition(
+        "store has been mutated since build/recover (" +
+        std::to_string(inserts_applied_) + " inserts, " +
+        std::to_string(deletes_applied_) +
+        " deletes); its persisted segments are stale — rebuild the store "
+        "before checkpointing");
+  }
   StoreWal wal(&dfs, WalPrefix(name));
   SPQ_ASSIGN_OR_RETURN(StoreWal::ReplayResult replay, wal.Replay());
   uint64_t epoch = 0;
@@ -402,13 +464,13 @@ StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
   }
 
   uint32_t nonempty = 0;
-  for (const Partition& p : cells_) nonempty += p.record_count > 0 ? 1 : 0;
+  for (const auto& p : cells_) nonempty += p->record_count > 0 ? 1 : 0;
 
   CheckpointInfo info;
   info.epoch = epoch;
   std::vector<uint32_t> crcs(cells_.size(), 0);
   for (geo::CellId cell = 0; cell < cells_.size(); ++cell) {
-    const Partition& part = cells_[cell];
+    const Partition& part = *cells_[cell];
     if (part.record_count == 0) continue;
     if (crash == CheckpointCrash::kMidCells &&
         info.cells_written >= nonempty / 2) {
@@ -442,7 +504,7 @@ StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
   payload.PutUint64(data_objects_);
   payload.PutUint32(num_cells());
   for (geo::CellId cell = 0; cell < cells_.size(); ++cell) {
-    const Partition& part = cells_[cell];
+    const Partition& part = *cells_[cell];
     payload.PutVarint(part.record_count);
     if (part.record_count > 0) {
       payload.PutVarint(part.segment.byte_size);
@@ -450,7 +512,7 @@ StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
       payload.PutUint32(crcs[cell]);
     }
   }
-  for (const CellTextSummary& summary : text_summaries_) {
+  for (const CellTextSummary& summary : *text_summaries_) {
     payload.PutUint64(summary.signature);
     payload.PutVarint(summary.min_len);
     payload.PutVarint(summary.max_len);
@@ -536,14 +598,16 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Recover(
       return Status::IOError("manifest cell count mismatch");
     }
     std::unique_ptr<CellStore> store(new CellStore(grid, max_radius));
+    store->AllocateCells();
     store->data_objects_ = data_objects;
     store->cell_crcs_.assign(num_cells, 0);
     uint64_t records_total = 0;
     for (geo::CellId cell = 0; cell < num_cells; ++cell) {
-      Partition& part = store->cells_[cell];
+      Partition& part = *store->cells_[cell];
       uint64_t record_count = 0;
       SPQ_RETURN_NOT_OK(reader.GetVarint(&record_count));
       part.record_count = record_count;
+      part.live_count = record_count;
       records_total += record_count;
       if (record_count > 0) {
         uint64_t byte_size = 0, pool_bytes = 0;
@@ -560,8 +624,8 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Recover(
     if (records_total != data_objects) {
       return Status::IOError("manifest record totals disagree");
     }
-    store->text_summaries_.assign(num_cells, CellTextSummary{});
-    for (CellTextSummary& summary : store->text_summaries_) {
+    std::vector<CellTextSummary> summaries(num_cells);
+    for (CellTextSummary& summary : summaries) {
       uint64_t min_len = 0, max_len = 0;
       SPQ_RETURN_NOT_OK(reader.GetUint64(&summary.signature));
       SPQ_RETURN_NOT_OK(reader.GetVarint(&min_len));
@@ -570,6 +634,9 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Recover(
       summary.min_len = static_cast<uint32_t>(min_len);
       summary.max_len = static_cast<uint32_t>(max_len);
     }
+    store->text_summaries_ =
+        std::make_shared<const std::vector<CellTextSummary>>(
+            std::move(summaries));
     if (!reader.exhausted()) {
       return Status::IOError("trailing manifest bytes");
     }
@@ -627,6 +694,287 @@ StatusOr<std::unique_ptr<CellStore>> CellStore::Recover(
   return Status::NotFound(
       "store '" + name + "' has no usable committed checkpoint" +
       (last.ok() ? "" : " (" + last.ToString() + ")"));
+}
+
+// --------------------------------------------------------------------------
+// Mutation layer: cell-level copy-on-write generations (invariants M1-M5).
+// --------------------------------------------------------------------------
+
+void CellStore::AllocateCells() {
+  cells_.clear();
+  cells_.reserve(grid_.num_cells());
+  for (uint32_t i = 0; i < grid_.num_cells(); ++i) {
+    cells_.push_back(std::make_shared<Partition>());
+  }
+}
+
+std::unique_ptr<CellStore> CellStore::CloneShared() const {
+  std::unique_ptr<CellStore> next(new CellStore(grid_, max_radius_));
+  next->cells_ = cells_;  // shared partitions; the caller swaps mutated ones
+  next->text_summaries_ = text_summaries_;
+  next->data_objects_ = data_objects_;
+  next->build_stats_ = build_stats_;
+  next->mutated_ = mutated_;
+  next->inserts_applied_ = inserts_applied_;
+  next->deletes_applied_ = deletes_applied_;
+  next->cells_compacted_ = cells_compacted_;
+  next->dfs_ = dfs_;
+  next->checkpoint_name_ = checkpoint_name_;
+  next->checkpoint_epoch_ = checkpoint_epoch_;
+  next->rebuild_input_ = rebuild_input_;
+  next->cell_crcs_ = cell_crcs_;
+  next->cells_restored_.store(cells_restored(), std::memory_order_relaxed);
+  next->cells_rebuilt_.store(cells_rebuilt(), std::memory_order_relaxed);
+  return next;
+}
+
+std::shared_ptr<CellStore::Partition> CellStore::CowPartition(
+    geo::CellId cell) const {
+  const Partition& base = *cells_[cell];
+  auto part = std::make_shared<Partition>();
+  auto copy_serving_form = [&part, &base]() {
+    part->data = base.data;
+    part->index = base.index;
+    part->dead = base.dead;
+    part->dead_rows = base.dead_rows;
+    // Base bookkeeping travels along so checkpoints/restores of OTHER
+    // generations stay unaffected and Serve's invariants keep holding.
+    part->segment.num_records = base.segment.num_records;
+    part->segment.byte_size = base.segment.byte_size;
+    part->segment.pool_bytes = base.segment.pool_bytes;
+    part->record_count = base.record_count;
+    part->live_count = base.live_count;
+    // Readers only reach this partition through the engine's RCU snapshot
+    // publication, which release-orders everything above; relaxed is
+    // enough here.
+    part->ready.store(true, std::memory_order_relaxed);
+  };
+  if (base.ready.load(std::memory_order_acquire)) {
+    copy_serving_form();  // ready ⇒ frozen: lock-free copy
+    return part;
+  }
+  // Unready: a concurrent first-touch Serve on an older generation may be
+  // materializing `base` right now (it releases segment.bytes when done),
+  // so copy the persisted + delta form under the base latch.
+  std::lock_guard<std::mutex> latch(base.latch);
+  if (base.ready.load(std::memory_order_relaxed)) {
+    copy_serving_form();
+    return part;
+  }
+  part->segment = base.segment;
+  part->delta_inserts = base.delta_inserts;
+  part->delta_tombstones = base.delta_tombstones;
+  part->compact_on_fold = base.compact_on_fold;
+  part->record_count = base.record_count;
+  part->live_count = base.live_count;
+  return part;
+}
+
+void CellStore::DropDeadRows(Partition& part) {
+  if (!part.dead_rows.empty()) {
+    reduce_core::CellData live;
+    live.Reserve(static_cast<std::size_t>(part.live_count));
+    for (std::size_t i = 0; i < part.data.size(); ++i) {
+      if (part.dead[i]) continue;
+      live.ids.push_back(part.data.ids[i]);
+      live.positions.push_back(part.data.positions[i]);
+    }
+    part.data = std::move(live);
+    part.dead.clear();
+    part.dead_rows.clear();
+  }
+  part.record_count = part.data.size();
+}
+
+void CellStore::CompactPartition(Partition& part) {
+  DropDeadRows(part);
+  // A fresh Build gives exactly the structure a from-scratch store build
+  // would serve for the surviving rows (invariant M4).
+  part.index.Build(part.data.positions);
+}
+
+bool CellStore::MaybeCompact(Partition& part,
+                             const MutationOptions& options) {
+  const bool is_ready = part.ready.load(std::memory_order_relaxed);
+  const uint64_t physical =
+      is_ready ? part.record_count
+               : part.segment.num_records + part.delta_inserts.size();
+  const uint64_t dead = physical - part.live_count;
+  if (dead == 0) return false;
+  if (static_cast<double>(dead) <
+      options.compact_dead_fraction * static_cast<double>(physical)) {
+    return false;
+  }
+  if (is_ready) {
+    CompactPartition(part);
+  } else {
+    // Fold-time order (invariant M3/M4): record_count becomes the
+    // post-compaction row count now so Serve's fold check stays exact.
+    part.compact_on_fold = true;
+    part.record_count = part.live_count;
+  }
+  return true;
+}
+
+Status CellStore::FoldDelta(Partition& part) {
+  const std::size_t base_rows = part.data.size();
+  // Tombstones name base rows only, each at most once (invariant M3): a
+  // delete that targeted a still-pending insert erased the insert instead
+  // of logging a tombstone.
+  if (!part.delta_tombstones.empty()) {
+    part.dead.assign(base_rows, 0);
+    part.dead_rows.reserve(part.delta_tombstones.size());
+    for (ObjectId id : part.delta_tombstones) {
+      bool found = false;
+      for (std::size_t i = 0; i < base_rows; ++i) {
+        if (part.data.ids[i] == id && !part.dead[i]) {
+          part.dead[i] = 1;
+          part.dead_rows.push_back(static_cast<uint32_t>(i));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Internal("store delta tombstone names object " +
+                                std::to_string(id) +
+                                " absent from its cell's base rows");
+      }
+    }
+  }
+  for (const ShuffleObject& row : part.delta_inserts) {
+    part.data.Add(row);
+    if (!part.dead.empty()) part.dead.push_back(0);
+  }
+  if (part.compact_on_fold) DropDeadRows(part);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<CellStore>> CellStore::WithInsert(
+    const DataObject& object, const MutationOptions& options) const {
+  if (!(std::isfinite(object.pos.x) && std::isfinite(object.pos.y))) {
+    return Status::InvalidArgument("insert position must be finite");
+  }
+  // Single placement (invariant M1): out-of-bounds positions clamp onto an
+  // edge cell, the same rule the build mapper applies — so a fresh build
+  // over the equivalent dataset places the row identically.
+  const geo::CellId cell = grid_.CellOf(object.pos);
+  std::unique_ptr<CellStore> next = CloneShared();
+  std::shared_ptr<Partition> part = CowPartition(cell);
+  if (part->ready.load(std::memory_order_relaxed)) {
+    part->data.Add(object);
+    if (!part->dead.empty()) part->dead.push_back(0);
+    part->record_count = part->data.size();
+    ++part->live_count;
+    // Fresh rebuild, not a pending-list Append: the bucket geometry (live
+    // bbox, side ≈ √live) must equal what a from-scratch build over the
+    // logical rows derives, or probe candidate supersets — and therefore
+    // pairs_tested — drift from the rebuild reference (invariant M2).
+    // O(cell rows), amortized fine: cells hold ~n/cells rows.
+    part->index.Build(part->data.positions,
+                      part->dead.empty() ? nullptr : &part->dead);
+  } else {
+    ShuffleObject row;
+    row.kind = ShuffleObject::kData;
+    row.id = object.id;
+    row.pos = object.pos;
+    part->delta_inserts.push_back(std::move(row));
+    ++part->live_count;
+    part->record_count =
+        part->compact_on_fold
+            ? part->live_count
+            : part->segment.num_records + part->delta_inserts.size();
+  }
+  if (MaybeCompact(*part, options)) ++next->cells_compacted_;
+  next->cells_[cell] = std::move(part);
+  ++next->data_objects_;
+  next->mutated_ = true;
+  ++next->inserts_applied_;
+  return next;
+}
+
+StatusOr<std::unique_ptr<CellStore>> CellStore::WithDelete(
+    ObjectId id, geo::CellId cell, const MutationOptions& options) const {
+  if (cell >= cells_.size()) {
+    return Status::InvalidArgument("cell id outside the store grid");
+  }
+  std::unique_ptr<CellStore> next = CloneShared();
+  std::shared_ptr<Partition> part = CowPartition(cell);
+  if (part->live_count == 0) {
+    return Status::NotFound("data object " + std::to_string(id) +
+                            " has no live row in cell " +
+                            std::to_string(cell));
+  }
+  if (part->ready.load(std::memory_order_relaxed)) {
+    // Back-scan: a re-inserted id appends after its tombstoned
+    // predecessor, so the LIVE instance is always the last match.
+    std::size_t row = part->data.size();
+    for (std::size_t i = part->data.size(); i-- > 0;) {
+      if (part->data.ids[i] == id &&
+          (part->dead.empty() || !part->dead[i])) {
+        row = i;
+        break;
+      }
+    }
+    if (row == part->data.size()) {
+      return Status::NotFound("data object " + std::to_string(id) +
+                              " has no live row in cell " +
+                              std::to_string(cell));
+    }
+    if (part->dead.empty()) part->dead.assign(part->data.size(), 0);
+    part->dead[row] = 1;
+    part->dead_rows.push_back(static_cast<uint32_t>(row));
+    --part->live_count;
+    // Same geometry contract as the insert path: the dead row must leave
+    // the bucket geometry immediately (invariant M2).
+    part->index.Build(part->data.positions, &part->dead);
+  } else {
+    auto it = std::find_if(
+        part->delta_inserts.begin(), part->delta_inserts.end(),
+        [id](const ShuffleObject& o) { return o.id == id; });
+    if (it != part->delta_inserts.end()) {
+      // Deleting a still-pending insert erases it: absent at fold time ≡
+      // tombstoned at birth, and invariant M3's "tombstones name base
+      // rows" stays true.
+      part->delta_inserts.erase(it);
+    } else {
+      // Presence in the base rows is the caller's (engine locator's)
+      // contract; a lie surfaces loudly as FoldDelta's Internal error at
+      // the cell's first touch.
+      part->delta_tombstones.push_back(id);
+    }
+    --part->live_count;
+    part->record_count =
+        part->compact_on_fold
+            ? part->live_count
+            : part->segment.num_records + part->delta_inserts.size();
+  }
+  if (MaybeCompact(*part, options)) ++next->cells_compacted_;
+  next->cells_[cell] = std::move(part);
+  --next->data_objects_;
+  next->mutated_ = true;
+  ++next->deletes_applied_;
+  return next;
+}
+
+StatusOr<std::unique_ptr<CellStore>> CellStore::Compacted() const {
+  std::unique_ptr<CellStore> next = CloneShared();
+  for (geo::CellId cell = 0; cell < cells_.size(); ++cell) {
+    // Dirty ⇔ live and physical row counts disagree. Cells already under
+    // a fold-time compaction order keep record_count == live_count and
+    // were tallied when the order was placed.
+    const Partition& base = *cells_[cell];
+    if (base.live_count == base.record_count) continue;
+    std::shared_ptr<Partition> part = CowPartition(cell);
+    if (part->ready.load(std::memory_order_relaxed)) {
+      CompactPartition(*part);
+    } else {
+      part->compact_on_fold = true;
+      part->record_count = part->live_count;
+    }
+    next->cells_[cell] = std::move(part);
+    ++next->cells_compacted_;
+  }
+  return next;
 }
 
 namespace {
@@ -821,7 +1169,8 @@ StatusOr<mr::JobOutput<ResultEntry>> RunWarmQueryJob(
     }
     SPQ_ASSIGN_OR_RETURN(const CellStore::Partition* part,
                          store.Serve(key.cell));
-    reduce_core::FrozenCellRef cell_ref{&part->data, &part->index};
+    reduce_core::FrozenCellRef cell_ref{&part->data, &part->index,
+                                        &part->dead_rows};
     reduce_core::RunReduce(algo, options, query, cell_ref, scratch, cursor,
                            ctx.counters(),
                            [&ctx](const ResultEntry& e) { ctx.Emit(e); });
@@ -856,7 +1205,8 @@ StatusOr<mr::JobOutput<BatchResultEntry>> RunWarmBatchJob(
     }
     SPQ_ASSIGN_OR_RETURN(const CellStore::Partition* part,
                          store.Serve(key.cell));
-    reduce_core::FrozenCellRef cell_ref{&part->data, &part->index};
+    reduce_core::FrozenCellRef cell_ref{&part->data, &part->index,
+                                        &part->dead_rows};
     reduce_core::RunReduce(algo, options, queries[q], cell_ref, scratch,
                            cursor, ctx.counters(),
                            [&ctx, q](const ResultEntry& e) {

@@ -159,18 +159,90 @@ struct CellTextSummary {
 ///  5. Re-checkpoint safety. Checkpoint() derives epoch E+1 from the WAL
 ///     (E = newest epoch mentioned), so write-once DFS files never
 ///     collide; after commit it garbage-collects epochs < E+1.
+///
+/// Mutation layer (WithInsert / WithDelete / Compacted): the store is
+/// structurally immutable — a mutation never changes an existing CellStore,
+/// it derives a NEW generation that shares every untouched cell's Partition
+/// (cell-level copy-on-write over shared_ptr) and replaces exactly the
+/// mutated cell. Generations publish through the engine's RCU snapshot
+/// swap, so in-flight queries keep serving their pinned generation
+/// untouched. Five invariants govern the layer:
+///
+///  M1. Single placement. A data object lives in exactly one cell
+///      (grid.CellOf clamps out-of-bounds inserts onto an edge cell, the
+///      same rule the build mapper applies). Lemma-1 duplication is a
+///      FEATURE-side, per-query concern — the resident store is data-only
+///      and CellTextSummary is feature-derived — so data mutations never
+///      touch duplication geometry or the keyword summaries.
+///  M2. Rebuild bit-identity. The logically-equivalent dataset of a
+///      mutated store is "surviving base rows in original dataset order,
+///      then inserts in insert order". Inserts APPEND (to the serving
+///      arrays of a materialized cell, or to the cell's delta log
+///      otherwise) and deletes TOMBSTONE in place, so a cell's physical
+///      row order always equals the order a fresh BuildStore() over the
+///      equivalent dataset would produce. Tombstoned rows are masked out
+///      of the reduce cores' per-query scratch before any pair is counted
+///      (FrozenCellRef::DeadRows) — provably equivalent to physical
+///      absence for results and every counter under a linear scan — and
+///      a mutation on a materialized cell rebuilds its mini-grid index
+///      with the dead rows masked OUT of the bucket geometry
+///      (CellGridIndex's dead-masked Build), so indexed probes enumerate
+///      exactly the candidate supersets a fresh build over the surviving
+///      rows enumerates. pairs_tested counts those supersets: an
+///      incremental pending-list append or a geometry still spanning dead
+///      rows would drift the counter even though results stay correct,
+///      which is why the serving index is rebuilt fresh per mutation.
+///  M3. Delta logs fold at first touch. A mutation against a cell that is
+///      not materialized (never served, or recovered-lazy) costs O(delta):
+///      inserts append to `delta_inserts`, deletes of base rows append to
+///      `delta_tombstones`, and a delete of a still-pending insert simply
+///      erases it. Tombstones therefore always name base rows, each at
+///      most once — Serve() folds base + delta into the serving form under
+///      the cell latch, exactly once.
+///  M4. Compaction = fresh layout. When a cell's dead fraction reaches
+///      MutationOptions::compact_dead_fraction (or on Compacted()), the
+///      partition is rewritten live-rows-only with a freshly built index —
+///      byte-for-byte the layout a from-scratch build of the equivalent
+///      dataset gives that cell, so compaction is invisible to M2.
+///  M5. Checkpoint refuses mutated stores. A mutated generation's
+///      persisted segments are stale by construction, and Recover()
+///      validates against (and rebuilds from) the ORIGINAL build dataset;
+///      Checkpoint() therefore fails loudly (FailedPrecondition) until
+///      incremental checkpoints land (ROADMAP open item) — silent stale
+///      persistence is never an option.
 class CellStore {
  public:
   /// One cell's resident partition (see class comment). Everything but
   /// `segment.bytes`, `data` and `index` is immutable after Build/Recover;
   /// those three change exactly once — under `latch`, before `ready` is
   /// released — and are frozen from then on.
+  ///
+  /// The mutation layer NEVER mutates a partition reachable from a
+  /// published store: WithInsert/WithDelete copy the partition (under its
+  /// latch when unready), apply the op to the private copy, and install it
+  /// in the next generation's cell vector. A ready partition's serving
+  /// arrays may therefore differ from `segment` (appended rows, dead
+  /// rows); `segment.num_records` always counts the PERSISTED base rows.
   struct Partition {
     mapreduce::FlatSegment segment;    ///< persisted form; bytes released
                                        ///< once materialized
     reduce_core::CellData data;        ///< serving form (SoA), frozen
     reduce_core::CellGridIndex index;  ///< built eagerly with `data`, frozen
-    uint64_t record_count = 0;         ///< data objects in the cell
+    uint64_t record_count = 0;  ///< physical serving rows (live + dead)
+    uint64_t live_count = 0;    ///< rows not tombstoned
+    /// Tombstone state of a materialized partition: byte mask parallel to
+    /// `data` (empty ⇔ no deads) plus the dead indices the reduce cores
+    /// mask out per query (order irrelevant).
+    std::vector<uint8_t> dead;
+    std::vector<uint32_t> dead_rows;
+    /// Delta log of a NOT-yet-materialized partition (invariant M3),
+    /// folded into the serving form at first Serve touch.
+    std::vector<ShuffleObject> delta_inserts;
+    std::vector<ObjectId> delta_tombstones;
+    /// Fold-time compaction order (set when the dead fraction crossed the
+    /// threshold while the partition was unready); `record_count` is
+    /// already the post-compaction row count when this is set.
+    bool compact_on_fold = false;
     /// Materialization gate: acquire-load true ⇒ data/index are complete
     /// and immutable. The mutex serializes the one-time materialization
     /// (std::once_flag semantics, but re-armable on failure).
@@ -233,21 +305,68 @@ class CellStore {
   CellStore(const CellStore&) = delete;
   CellStore& operator=(const CellStore&) = delete;
 
+  /// Mutation knobs (one per derived generation; the engine fills them
+  /// from EngineOptions).
+  struct MutationOptions {
+    /// Compact a cell (drop tombstoned rows, rebuild its index) once its
+    /// dead fraction — dead rows over physical rows — reaches this value.
+    /// Values above 1.0 disable automatic compaction (Compacted() still
+    /// folds on demand).
+    double compact_dead_fraction = 0.3;
+  };
+
+  /// Derives a new store generation with `object` appended to its cell
+  /// (invariants M1–M4 above). The caller owns id uniqueness among live
+  /// objects (the engine's locator enforces it) and publication of the
+  /// returned generation; `this` is never modified and keeps serving.
+  StatusOr<std::unique_ptr<CellStore>> WithInsert(
+      const DataObject& object, const MutationOptions& options) const;
+
+  /// Derives a new store generation with the live row of `id` tombstoned.
+  /// `cell` is the object's single placement (the engine resolves it via
+  /// its id→position locator + grid.CellOf). NotFound when no live row of
+  /// that id exists in the cell.
+  StatusOr<std::unique_ptr<CellStore>> WithDelete(
+      ObjectId id, geo::CellId cell, const MutationOptions& options) const;
+
+  /// Derives a new store generation with every tombstone-bearing cell
+  /// compacted (materialized cells eagerly; unready cells at their first
+  /// Serve touch, invariant M4). The generation remains `mutated()` — the
+  /// logical dataset still differs from the build input, so invariant M5
+  /// keeps checkpoints refused.
+  StatusOr<std::unique_ptr<CellStore>> Compacted() const;
+
+  /// True once any mutation generation separates this store from its
+  /// build/recover dataset (never cleared — see invariant M5).
+  bool mutated() const { return mutated_; }
+  /// Mutation tallies, cumulative across the generation chain.
+  uint64_t inserts_applied() const { return inserts_applied_; }
+  uint64_t deletes_applied() const { return deletes_applied_; }
+  uint64_t cells_compacted() const { return cells_compacted_; }
+  /// Live (non-tombstoned) rows of one cell.
+  uint64_t live_record_count(geo::CellId cell) const {
+    return cells_[cell]->live_count;
+  }
+
   const geo::UniformGrid& grid() const { return grid_; }
   double max_radius() const { return max_radius_; }
   uint32_t num_cells() const { return static_cast<uint32_t>(cells_.size()); }
+  /// Logical (live) data objects: build count, plus inserts, minus
+  /// deletes along the generation chain.
   uint64_t data_objects() const { return data_objects_; }
   /// Stats of the one-time build job (map/shuffle cost queries no longer
   /// pay).
   const mapreduce::JobStats& build_stats() const { return build_stats_; }
+  /// Physical serving rows of one cell (live + tombstoned).
   uint64_t cell_record_count(geo::CellId cell) const {
-    return cells_[cell].record_count;
+    return cells_[cell]->record_count;
   }
   /// The cell's keyword summary, built once from the store input's
   /// features (valid for warm jobs over the same flattened dataset — the
-  /// engine contract). See CellTextSummary for the screening guarantees.
+  /// engine contract; data mutations never touch it, invariant M1). See
+  /// CellTextSummary for the screening guarantees.
   const CellTextSummary& text_summary(geo::CellId cell) const {
-    return text_summaries_[cell];
+    return (*text_summaries_)[cell];
   }
 
   /// Serving access for one reduce group: materializes the partition on
@@ -289,7 +408,32 @@ class CellStore {
 
  private:
   CellStore(geo::UniformGrid grid, double max_radius)
-      : grid_(grid), max_radius_(max_radius), cells_(grid.num_cells()) {}
+      : grid_(grid), max_radius_(max_radius) {}
+
+  /// Fresh partitions for every cell (Build/Recover; CloneShared assigns
+  /// the shared vector instead).
+  void AllocateCells();
+  /// New generation sharing every Partition and all store metadata with
+  /// this one (cell-level COW starting point for the mutation layer).
+  std::unique_ptr<CellStore> CloneShared() const;
+  /// Private copy of one cell's partition, safe against a concurrent
+  /// first-touch Serve on an older generation: a ready base is copied
+  /// lock-free in serving form (the copy stays ready); an unready base is
+  /// copied in persisted+delta form under the base latch.
+  std::shared_ptr<Partition> CowPartition(geo::CellId cell) const;
+  /// Applies the compaction policy to a freshly copied (private)
+  /// partition; returns true when the cell was (or will be, at fold time)
+  /// compacted.
+  static bool MaybeCompact(Partition& part, const MutationOptions& options);
+  /// Rewrites a materialized partition live-rows-only (no index rebuild;
+  /// Serve's fold path builds the index afterwards anyway).
+  static void DropDeadRows(Partition& part);
+  /// DropDeadRows + fresh index build — full compaction of a materialized
+  /// partition (invariant M4).
+  static void CompactPartition(Partition& part);
+  /// Folds a partition's delta log into its freshly decoded serving form
+  /// (Serve, under the cell latch; invariant M3).
+  static Status FoldDelta(Partition& part);
 
   /// The cell's persistable flat-segment image, from whichever form the
   /// partition is currently in (see Checkpoint doc). Empty for empty
@@ -304,12 +448,22 @@ class CellStore {
 
   geo::UniformGrid grid_;
   double max_radius_;
-  /// mutable: const Serve/Checkpoint perform the latched one-time
-  /// materialization (logical constness — a ready cell never changes).
-  mutable std::vector<Partition> cells_;
-  std::vector<CellTextSummary> text_summaries_;
+  /// shared_ptr per cell: generations share untouched partitions; the
+  /// pointee's first-touch materialization stays latched as before (a
+  /// ready cell never changes, so sharing is safe — see the class
+  /// comment's mutation-layer notes).
+  std::vector<std::shared_ptr<Partition>> cells_;
+  /// Shared across generations (immutable once built — feature-derived,
+  /// untouched by data mutations).
+  std::shared_ptr<const std::vector<CellTextSummary>> text_summaries_;
   uint64_t data_objects_ = 0;
   mapreduce::JobStats build_stats_;
+
+  // Mutation-layer state (invariant M5 + tallies; copied by CloneShared).
+  bool mutated_ = false;
+  uint64_t inserts_applied_ = 0;
+  uint64_t deletes_applied_ = 0;
+  uint64_t cells_compacted_ = 0;
 
   // Recovery state (set by Recover; empty/zero for built stores).
   dfs::MiniDfs* dfs_ = nullptr;

@@ -271,13 +271,19 @@ Status SpqEngine::BuildStore(double max_radius, uint32_t grid_size_override) {
   SPQ_ASSIGN_OR_RETURN(auto store,
                        CellStore::Build(input_, grid, max_radius, config));
   // RCU publication: in-flight warm queries keep serving the generation
-  // they pinned; new queries see this one.
+  // they pinned; new queries see this one. Under mutate_mu_ so a racing
+  // Insert/Delete cannot publish on top of a stale generation, and the
+  // locator (keyed to the pre-build logical dataset) is invalidated in
+  // the same critical section.
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  data_locator_.clear();
+  locator_ready_ = false;
   snapshot_.store(MakeSnapshot(std::move(store)), std::memory_order_release);
   return Status::OK();
 }
 
 std::shared_ptr<const StoreSnapshot> SpqEngine::MakeSnapshot(
-    std::unique_ptr<const CellStore> store) const {
+    std::unique_ptr<const CellStore> store, const StoreSnapshot* prev) const {
   // Warm queries share the store grid and cluster shape, so everything a
   // query would otherwise rederive — the balanced assignment (a
   // full-dataset scan) and the per-partition resident-data cell lists
@@ -290,14 +296,96 @@ std::shared_ptr<const StoreSnapshot> SpqEngine::MakeSnapshot(
   const geo::UniformGrid& grid = snap->store->grid();
   const uint32_t num_reduce_tasks =
       MakeClusterConfig(grid.num_cells(), "cellstore-wire").num_reduce_tasks;
-  snap->balanced = MakeBalancedCellAssignment(dataset_, options_, grid,
-                                              num_reduce_tasks);
+  if (prev != nullptr) {
+    // Mutation publish: the balanced assignment was computed over the
+    // construction-time dataset and is kept as-is rather than rescanning
+    // per mutation. Safe for bit-identity — reducer assignment decides
+    // only WHERE a group runs, never its results or counters (all SPQ
+    // counters are job-global sums, and the final merge imposes a strict
+    // total order) — but the resident-cell lists are recomputed below: a
+    // cell can gain its first or lose its last live row.
+    snap->balanced = prev->balanced;
+  } else {
+    snap->balanced = MakeBalancedCellAssignment(dataset_, options_, grid,
+                                                num_reduce_tasks);
+  }
   snap->data_cells = snap->store->DataCellsByPartition(
       [&snap](const CellKey& key, uint32_t parts) {
         return AssignedPartition(snap->balanced, key, parts);
       },
       num_reduce_tasks);
   return snap;
+}
+
+void SpqEngine::EnsureLocatorLocked() const {
+  if (locator_ready_) return;
+  data_locator_.clear();
+  data_locator_.reserve(dataset_.data.size());
+  for (const DataObject& object : dataset_.data) {
+    data_locator_.emplace(object.id, object.pos);
+  }
+  locator_ready_ = true;
+}
+
+Status SpqEngine::Insert(const DataObject& object) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::InvalidArgument(
+        "no resident CellStore: call BuildStore() before Insert()");
+  }
+  EnsureLocatorLocked();
+  if (data_locator_.count(object.id) != 0) {
+    return Status::InvalidArgument(
+        "Insert: data object id " + std::to_string(object.id) +
+        " is already live (delete it first, or use a fresh id)");
+  }
+  CellStore::MutationOptions mut;
+  mut.compact_dead_fraction = options_.compact_dead_fraction;
+  SPQ_ASSIGN_OR_RETURN(auto store, snap->store->WithInsert(object, mut));
+  data_locator_.emplace(object.id, object.pos);
+  snapshot_.store(MakeSnapshot(std::move(store), snap.get()),
+                  std::memory_order_release);
+  return Status::OK();
+}
+
+Status SpqEngine::Delete(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::InvalidArgument(
+        "no resident CellStore: call BuildStore() before Delete()");
+  }
+  EnsureLocatorLocked();
+  const auto it = data_locator_.find(id);
+  if (it == data_locator_.end()) {
+    return Status::NotFound("Delete: no live data object with id " +
+                            std::to_string(id));
+  }
+  // The locator pins the id->cell routing (the store's delta logs are
+  // per-cell); CellOf clamps exactly as the build map phase did, so an
+  // out-of-bounds insert is deleted from the same edge cell it landed in.
+  const geo::CellId cell = snap->store->grid().CellOf(it->second);
+  CellStore::MutationOptions mut;
+  mut.compact_dead_fraction = options_.compact_dead_fraction;
+  SPQ_ASSIGN_OR_RETURN(auto store, snap->store->WithDelete(id, cell, mut));
+  data_locator_.erase(it);
+  snapshot_.store(MakeSnapshot(std::move(store), snap.get()),
+                  std::memory_order_release);
+  return Status::OK();
+}
+
+Status SpqEngine::CompactStore() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) {
+    return Status::InvalidArgument(
+        "no resident CellStore: call BuildStore() before CompactStore()");
+  }
+  SPQ_ASSIGN_OR_RETURN(auto store, snap->store->Compacted());
+  snapshot_.store(MakeSnapshot(std::move(store), snap.get()),
+                  std::memory_order_release);
+  return Status::OK();
 }
 
 StatusOr<uint64_t> SpqEngine::CheckpointStore(dfs::MiniDfs& dfs,
@@ -314,6 +402,11 @@ StatusOr<uint64_t> SpqEngine::CheckpointStore(dfs::MiniDfs& dfs,
 
 Status SpqEngine::OpenStore(dfs::MiniDfs& dfs, const std::string& name) {
   SPQ_ASSIGN_OR_RETURN(auto store, CellStore::Recover(dfs, name, input_));
+  // Same publication/locator discipline as BuildStore: a recovered store
+  // holds the construction-time dataset, so prior mutations are gone.
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  data_locator_.clear();
+  locator_ready_ = false;
   snapshot_.store(MakeSnapshot(std::move(store)), std::memory_order_release);
   return Status::OK();
 }

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/statusor.h"
@@ -110,6 +112,13 @@ struct EngineOptions {
   /// only SpqRunInfo::cells_pruned / signature_checks are new. Off = the
   /// A/B reference.
   bool signature_prefilter = true;
+  /// Mutation-layer compaction threshold: after an Insert()/Delete(), the
+  /// touched cell is compacted (dead rows dropped, index rebuilt fresh)
+  /// once its tombstoned fraction reaches this share of its physical rows.
+  /// Values above 1.0 disable automatic compaction — dead rows then
+  /// accumulate until an explicit CompactStore() (the masked rows still
+  /// never influence results; see cell_store.h invariant M2).
+  double compact_dead_fraction = 0.3;
   /// Admission/batching front door knobs (used by SpqFrontDoor; plain
   /// Query()/QueryBatch() calls ignore them).
   ServingOptions serving;
@@ -245,12 +254,18 @@ struct SpqBatchResult {
 /// may swap in a new store generation WHILE queries are in flight: the
 /// swap is an atomic shared_ptr publication, in-flight queries finish on
 /// the generation they started on, and the old store is destroyed when
-/// its last pin drops. The only non-concurrent calls are the engine's
+/// its last pin drops. Mutations — Insert, Delete, CompactStore — are
+/// serialized on an internal mutex and publish through the same RCU
+/// path, so they are safe from any thread concurrently with queries and
+/// checkpoints (a checkpoint racing a mutation either persists the
+/// pre-mutation generation it pinned or fails FailedPrecondition — never
+/// a torn state). The only non-concurrent calls are the engine's
 /// construction/destruction and overlapping BuildStore/OpenStore calls
 /// racing EACH OTHER (last publication wins; serialize them if the
-/// winner matters). Warm jobs share one engine-owned worker pool, so
-/// concurrent queries contend for the same simulated cluster rather than
-/// multiplying threads.
+/// winner matters; both serialize against mutations internally). Warm
+/// jobs share one engine-owned worker pool, so concurrent queries
+/// contend for the same simulated cluster rather than multiplying
+/// threads.
 class SpqEngine {
  public:
   /// The dataset is copied into the engine (the engine owns its "HDFS").
@@ -302,6 +317,36 @@ class SpqEngine {
   StatusOr<SpqBatchResult> QueryBatch(const std::vector<core::Query>& queries,
                                       Algorithm algo) const;
 
+  /// Inserts one data object into the resident store and publishes the
+  /// mutated generation RCU-style: in-flight queries finish on the
+  /// snapshot they pinned; queries admitted afterwards see the insert.
+  /// Warm results over the mutated store are bit-identical to a fresh
+  /// BuildStore() over the logically-equivalent dataset (the survivors in
+  /// original order with the inserts appended) — see cell_store.h
+  /// invariant M2 and mutation_equivalence_test.cc. The object's id must
+  /// not collide with a live data object (InvalidArgument); its position
+  /// must be finite. Points outside the build bounds land in the clamped
+  /// edge cell, exactly where a rebuild would place them.
+  ///
+  /// Mutations are serialized internally (safe from any thread, including
+  /// concurrently with queries); BuildStore()/OpenStore() discard all
+  /// applied mutations and reset the logical dataset to the
+  /// construction-time dataset.
+  Status Insert(const DataObject& object);
+
+  /// Deletes the live data object with `id` (NotFound when absent):
+  /// tombstones it in its cell's delta log and publishes the mutated
+  /// generation. Same serialization, publication and equivalence contract
+  /// as Insert(). The cell compacts automatically when its dead fraction
+  /// reaches options().compact_dead_fraction.
+  Status Delete(ObjectId id);
+
+  /// Compacts every cell that carries tombstones, regardless of the dead
+  /// fraction, and publishes the result. Purely physical: results and
+  /// counters are unchanged (invariant M4). The store stays logically
+  /// mutated — CheckpointStore() still refuses it (invariant M5).
+  Status CompactStore();
+
   /// Persists the resident store under `<name>/` on `dfs`: checksummed
   /// per-cell images, an atomic manifest, and WAL begin/commit records
   /// (CellStore::Checkpoint — its class comment states the durability
@@ -351,12 +396,22 @@ class SpqEngine {
   /// Same for the per-job SPQ options (prefilter, join mode, kernel mode,
   /// signature screening).
   SpqJobOptions MakeJobOptions() const;
-  /// Post-store wiring shared by BuildStore and OpenStore: derives the
-  /// balanced cell assignment and per-partition resident-cell lists from
-  /// the store's grid and returns the complete generation, ready to
-  /// publish into snapshot_.
+  /// Post-store wiring shared by BuildStore, OpenStore and the mutation
+  /// path: derives the balanced cell assignment and per-partition
+  /// resident-cell lists from the store's grid and returns the complete
+  /// generation, ready to publish into snapshot_. When `prev` is given
+  /// (mutation publishes), its balanced assignment is reused instead of
+  /// rescanning the dataset — bit-identity-safe, because reducer
+  /// assignment never affects results or counters (all SPQ counters are
+  /// job-global sums and the merge order is a strict total order); the
+  /// resident-cell lists ARE recomputed (a cell can gain or lose its last
+  /// live row).
   std::shared_ptr<const StoreSnapshot> MakeSnapshot(
-      std::unique_ptr<const CellStore> store) const;
+      std::unique_ptr<const CellStore> store,
+      const StoreSnapshot* prev = nullptr) const;
+  /// Builds data_locator_ from the CURRENT logical dataset if it is not
+  /// ready. Caller holds mutate_mu_.
+  void EnsureLocatorLocked() const;
 
   Dataset dataset_;
   EngineOptions options_;
@@ -372,6 +427,18 @@ class SpqEngine {
   /// runs (JobConfig::worker_pool): concurrent queries contend for the
   /// same simulated cluster instead of spawning a pool per job.
   std::unique_ptr<ThreadPool> warm_pool_;
+  /// Serializes Insert/Delete/CompactStore against each other and against
+  /// BuildStore/OpenStore's locator invalidation. Never held while a
+  /// query runs — readers go through the lock-free snapshot() pin.
+  mutable std::mutex mutate_mu_;
+  /// id -> position of every LIVE data object in the current logical
+  /// dataset; the Delete() routing table (WithDelete needs the cell) and
+  /// the Insert() duplicate-id check. Built lazily on the first mutation
+  /// (a full dataset_.data scan), maintained incrementally afterwards,
+  /// invalidated by BuildStore/OpenStore (which reset the logical
+  /// dataset). Guarded by mutate_mu_.
+  mutable std::unordered_map<ObjectId, geo::Point> data_locator_;
+  mutable bool locator_ready_ = false;
 };
 
 /// Validates a query: k >= 1, radius >= 0 and finite. Empty q.W is legal

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -112,23 +113,51 @@ struct CellData {
 /// distance² is <= r² — the exact distance test stays with the caller.
 class CellGridIndex {
  public:
-  /// (Re)builds over `positions`. O(n) counting sort.
-  void Build(const std::vector<geo::Point>& positions) {
+  /// (Re)builds over `positions`, skipping the rows `dead` marks when it
+  /// is non-null. O(n) counting sort. The dead-masked form exists for the
+  /// mutable store's bit-identity contract (cell_store.h invariant M2):
+  /// the bucket geometry (bbox, side length) is derived from the LIVE
+  /// rows only, so every probe enumerates exactly the candidate set a
+  /// fresh build over the surviving rows would — candidate-superset size
+  /// feeds the pairs_tested counter, so geometry drift would be
+  /// observable. Items still hold the caller's physical row indices.
+  void Build(const std::vector<geo::Point>& positions,
+             const std::vector<uint8_t>* dead = nullptr) {
+    if (dead != nullptr && dead->empty()) dead = nullptr;
     pending_.clear();
     indexed_n_ = positions.size();
-    built_n_ = positions.size();
-    if (built_n_ == 0) return;
-    double min_x = positions[0].x, max_x = positions[0].x;
-    double min_y = positions[0].y, max_y = positions[0].y;
-    for (const geo::Point& p : positions) {
-      min_x = std::min(min_x, p.x);
-      max_x = std::max(max_x, p.x);
-      min_y = std::min(min_y, p.y);
-      max_y = std::max(max_y, p.y);
+    contiguous_ = dead == nullptr;
+    std::size_t live_n = 0;
+    double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (dead != nullptr && (*dead)[i]) continue;
+      const geo::Point& p = positions[i];
+      if (live_n == 0) {
+        min_x = max_x = p.x;
+        min_y = max_y = p.y;
+      } else {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+      }
+      ++live_n;
+    }
+    built_n_ = live_n;
+    if (live_n == 0) {
+      if (indexed_n_ == 0) return;
+      // All rows masked: serve an empty one-bucket index (probes find
+      // nothing), exactly what a fresh build over zero rows serves.
+      side_ = 1;
+      min_x_ = min_y_ = 0.0;
+      inv_w_ = inv_h_ = 0.0;
+      starts_.assign(2, 0);
+      items_.clear();
+      return;
     }
     min_x_ = min_x;
     min_y_ = min_y;
-    const double target = std::ceil(std::sqrt(static_cast<double>(built_n_)));
+    const double target = std::ceil(std::sqrt(static_cast<double>(live_n)));
     side_ = static_cast<uint32_t>(
         std::clamp(target, 1.0, static_cast<double>(kMaxSide)));
     const double w = max_x - min_x;
@@ -137,14 +166,19 @@ class CellGridIndex {
     inv_h_ = h > 0.0 ? static_cast<double>(side_) / h : 0.0;
 
     starts_.assign(static_cast<std::size_t>(side_) * side_ + 1, 0);
-    for (const geo::Point& p : positions) ++starts_[BucketOf(p) + 1];
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (dead != nullptr && (*dead)[i]) continue;
+      ++starts_[BucketOf(positions[i]) + 1];
+    }
     for (std::size_t b = 1; b < starts_.size(); ++b) {
       starts_[b] += starts_[b - 1];
     }
-    items_.resize(built_n_);
+    items_.resize(live_n);
     cursor_.assign(starts_.begin(), starts_.end() - 1);
-    for (uint32_t i = 0; i < built_n_; ++i) {
-      items_[cursor_[BucketOf(positions[i])]++] = i;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (dead != nullptr && (*dead)[i]) continue;
+      items_[cursor_[BucketOf(positions[i])]++] =
+          static_cast<uint32_t>(i);
     }
   }
 
@@ -197,6 +231,7 @@ class CellGridIndex {
     inv_w_ = inv_h_ = 0.0;
     built_n_ = 0;
     indexed_n_ = 0;
+    contiguous_ = true;
   }
 
   /// Invokes `fn(i)` for every data index i whose position can lie within
@@ -233,8 +268,11 @@ class CellGridIndex {
     out->clear();
     if (indexed_n_ == 0) return;
     const BucketRange range = ProbeRange(p, r);
-    if (range.x_lo == 0 && range.y_lo == 0 && range.x_hi == side_ - 1 &&
-        range.y_hi == side_ - 1) {
+    // The full-cover short-circuit assumes the indexed rows are exactly
+    // 0..n-1; a dead-masked build skips rows, so it takes the generic
+    // collect + sort path (same set, same ascending order).
+    if (contiguous_ && range.x_lo == 0 && range.y_lo == 0 &&
+        range.x_hi == side_ - 1 && range.y_hi == side_ - 1) {
       out->resize(indexed_n_);
       std::iota(out->begin(), out->end(), 0u);
       return;
@@ -306,11 +344,14 @@ class CellGridIndex {
     return static_cast<std::size_t>(MidIdx((p.y - min_y_) * inv_h_)) * side_ +
            MidIdx((p.x - min_x_) * inv_w_);
   }
-  /// Bucket of an in-bounds coordinate (clamped defensively).
+  /// Bucket of a coordinate, clamped onto the boundary buckets. The clamp
+  /// happens in the double domain BEFORE the integer cast: appended
+  /// positions may lie arbitrarily far outside the build bbox, and casting
+  /// a double >= 2^32 to uint32_t is undefined behavior.
   uint32_t MidIdx(double scaled) const {
     if (!(scaled > 0.0)) return 0;
-    const uint32_t c = static_cast<uint32_t>(scaled);
-    return c >= side_ ? side_ - 1 : c;
+    const double hi = static_cast<double>(side_ - 1);
+    return static_cast<uint32_t>(scaled < hi ? scaled : hi);
   }
   /// Probe range ends: floor, padded one bucket outward, clamped.
   uint32_t LowIdx(double scaled) const {
@@ -335,8 +376,11 @@ class CellGridIndex {
   /// Appended-but-unfolded entries as (bucket, data index); indices are
   /// exactly [built_n_, indexed_n_), in append (= ascending) order.
   std::vector<std::pair<uint32_t, uint32_t>> pending_;
-  std::size_t built_n_ = 0;    ///< positions folded into the CSR arrays
-  std::size_t indexed_n_ = 0;  ///< built_n_ + pending_.size()
+  std::size_t built_n_ = 0;    ///< rows folded into the CSR arrays
+  std::size_t indexed_n_ = 0;  ///< physical rows covered (incl. pending)
+  /// False after a dead-masked Build: items_ are then a strict subset of
+  /// 0..indexed_n_-1 and the full-cover iota short-circuit is invalid.
+  bool contiguous_ = true;
 };
 
 /// The reduce cores access cell state through one of two borrowed refs.
@@ -358,6 +402,8 @@ struct OwnedCellRef {
 
   const CellData& data() const { return *cell; }
   const CellGridIndex& idx() const { return *index; }
+  /// Owned groups stream records in; nothing is ever tombstoned.
+  const std::vector<uint32_t>* DeadRows() const { return nullptr; }
   template <typename X>
   void Add(const X& x) {
     cell->Add(x);
@@ -368,9 +414,18 @@ struct OwnedCellRef {
 struct FrozenCellRef {
   const CellData* cell;
   const CellGridIndex* index;
+  /// Row indices tombstoned by the mutable-store layer (nullptr or empty
+  /// when the partition is clean). The cores mask these out of their
+  /// per-query scratch BEFORE any pair is counted, which is provably
+  /// equivalent — for results and for every counter — to the rows being
+  /// physically absent (see the tombstone notes in RunPspq/RunEspqSco).
+  const std::vector<uint32_t>* dead_rows = nullptr;
 
   const CellData& data() const { return *cell; }
   const CellGridIndex& idx() const { return *index; }
+  const std::vector<uint32_t>* DeadRows() const {
+    return (dead_rows != nullptr && !dead_rows->empty()) ? dead_rows : nullptr;
+  }
   template <typename X>
   void Add(const X&) {
     // A data record in a frozen group would mean the warm map phase emitted
@@ -520,6 +575,16 @@ void RunPspq(const Query& query, const SpqJobOptions& options, CellRef& cell,
   const double r2 = query.radius * query.radius;
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
   scratch.scores.assign(cell.data().size(), 0.0);
+  // Tombstoned rows (mutable store): an infinite running best makes the
+  // `w <= scores[i]` gate skip the row BEFORE the pair counter, and a
+  // skipped row never enters the top-k list — bit-identical, results and
+  // counters both, to the row being physically absent. Jaccard scores are
+  // <= 1, so no live feature can ever pass the gate.
+  if (const std::vector<uint32_t>* dead = cell.DeadRows()) {
+    for (uint32_t i : *dead) {
+      scratch.scores[i] = std::numeric_limits<double>::infinity();
+    }
+  }
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
@@ -555,6 +620,12 @@ void RunEspqLen(const Query& query, const SpqJobOptions& options,
   const std::vector<text::TermId>& q_ids = query.keywords.ids();
   const std::size_t qlen = q_ids.size();
   scratch.scores.assign(cell.data().size(), 0.0);
+  // Tombstone masking; see the proof note in RunPspq.
+  if (const std::vector<uint32_t>* dead = cell.DeadRows()) {
+    for (uint32_t i : *dead) {
+      scratch.scores[i] = std::numeric_limits<double>::infinity();
+    }
+  }
   uint64_t examined = 0;
   uint64_t pairs = 0;
   while (values.Next()) {
@@ -596,6 +667,13 @@ void RunEspqSco(const Query& query, const SpqJobOptions& options,
   // (warm path); grows with Add on the owned path.
   std::vector<uint8_t>& reported = qscratch.reported;
   reported.assign(cell_ref.data().size(), 0);
+  // Tombstoned rows (mutable store) are pre-marked reported: both kernel
+  // modes consult `reported[i]` BEFORE counting a pair or emitting, and a
+  // pre-marked row never increments reported_count — bit-identical, for
+  // results and every counter, to the row being physically absent.
+  if (const std::vector<uint32_t>* dead = cell_ref.DeadRows()) {
+    for (uint32_t i : *dead) reported[i] = 1;
+  }
   std::vector<uint32_t>& probe_scratch = qscratch.sorted;
   internal::ProbeScratch& scratch = qscratch.probe;
   const double r2 = query.radius * query.radius;

@@ -15,8 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "datagen/generator.h"
 #include "datagen/workload.h"
 #include "dfs/mini_dfs.h"
+#include "geo/point.h"
 #include "spq/cell_store.h"
 #include "spq/engine.h"
 
@@ -236,6 +239,125 @@ TEST(ConcurrencyTest, QueriesServeAcrossCheckpointAndStoreSwap) {
 
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& thread : threads) thread.join();
+}
+
+// Mutation layer under live readers (tentpole contract, PR "Mutable
+// CellStore"): Insert/Delete/CompactStore publish new RCU generations
+// while reader threads hammer Query(). A reader pins whatever generation
+// is current when it starts and finishes on it untouched. The mutations
+// insert objects provably outside every query's influence — farther than
+// the store build radius from EVERY feature, so they can never score and
+// never enter any top-k — which makes the result ENTRIES
+// generation-invariant and comparable to the pre-mutation serial
+// baseline from any pinned generation (counters legitimately differ per
+// generation: extra resident rows change pairs_tested/groups). After the
+// churn deletes everything it inserted, the logical dataset equals the
+// original again and FULL bit-identity — counters included — must hold.
+TEST(ConcurrencyTest, ReadersStayBitIdenticalAcrossMutationPublishes) {
+  Dataset dataset = MakeConcurrencyDataset();
+  SpqEngine engine(dataset, MakeConcurrencyOptions());
+  ASSERT_TRUE(engine.BuildStore(kStoreRadius).ok());
+
+  const std::vector<Query> queries = MakeQueryMix(4);
+  std::vector<SpqResult> serial;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto result = engine.Query(queries[i], AlgoFor(i));
+    ASSERT_TRUE(result.ok());
+    serial.push_back(*std::move(result));
+  }
+
+  // Quiet positions: beyond the build radius (every query radius is
+  // smaller) from every feature.
+  std::vector<geo::Point> quiet;
+  const double safe2 = (1.05 * kStoreRadius) * (1.05 * kStoreRadius);
+  for (int gx = 0; gx < 40 && quiet.size() < 6; ++gx) {
+    for (int gy = 0; gy < 40 && quiet.size() < 6; ++gy) {
+      const geo::Point p{(gx + 0.5) / 40.0, (gy + 0.5) / 40.0};
+      double min2 = std::numeric_limits<double>::infinity();
+      for (const FeatureObject& f : dataset.features) {
+        min2 = std::min(min2, geo::Distance2(p, f.pos));
+      }
+      if (min2 > safe2) quiet.push_back(p);
+    }
+  }
+  ASSERT_FALSE(quiet.empty()) << "dataset has no feature-free region";
+
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t q = i++ % queries.size();
+        auto result = engine.Query(queries[q], AlgoFor(q));
+        if (!result.ok()) {
+          ADD_FAILURE() << "in-flight query " << q << ": "
+                        << result.status().ToString();
+          return;
+        }
+        const auto& want = serial[q].entries;
+        const auto& got = result->entries;
+        if (want.size() != got.size()) {
+          ADD_FAILURE() << "entry count drift under mutation, query " << q;
+          continue;
+        }
+        for (std::size_t e = 0; e < want.size(); ++e) {
+          EXPECT_EQ(want[e].id, got[e].id) << "query " << q << " @" << e;
+          EXPECT_EQ(want[e].score, got[e].score) << "query " << q << " @" << e;
+        }
+      }
+    });
+  }
+
+  // Mutator (this thread): waves of insert / compact / checkpoint-attempt
+  // / delete, each op an RCU publish under the readers.
+  dfs::MiniDfs dfs({.num_datanodes = 4, .block_size = 4096, .replication = 2});
+  constexpr int kWaves = 8;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<ObjectId> ids;
+    for (std::size_t j = 0; j < quiet.size(); ++j) {
+      DataObject object;
+      object.id = 90'000'000 + static_cast<ObjectId>(wave) * 100 + j;
+      object.pos = quiet[j];
+      ASSERT_TRUE(engine.Insert(object).ok());
+      ids.push_back(object.id);
+    }
+    if (wave % 3 == 1) {
+      ASSERT_TRUE(engine.CompactStore().ok());
+    }
+    // A checkpoint racing mutations either persists the clean generation
+    // it pinned or refuses loudly — never a torn state, never a crash.
+    auto epoch = engine.CheckpointStore(dfs, "mut-race");
+    EXPECT_TRUE(epoch.ok() || epoch.status().IsFailedPrecondition())
+        << epoch.status().ToString();
+    for (ObjectId id : ids) {
+      ASSERT_TRUE(engine.Delete(id).ok());
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+
+  // Logical dataset is back to the original: full bit-identity, counters
+  // included, against the pre-mutation baseline (invariant M2 — the store
+  // still carries tombstones, masked out of geometry and scratch).
+  EXPECT_TRUE(engine.store()->mutated());
+  EXPECT_EQ(engine.store()->data_objects(), dataset.data.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto result = engine.Query(queries[i], AlgoFor(i));
+    ASSERT_TRUE(result.ok());
+    ExpectSameResult(serial[i], *result,
+                     "post-churn query " + std::to_string(i));
+    EXPECT_EQ(serial[i].info.early_terminations,
+              result->info.early_terminations);
+    EXPECT_EQ(serial[i].info.cells_pruned, result->info.cells_pruned);
+    EXPECT_EQ(serial[i].info.signature_checks, result->info.signature_checks);
+  }
+  // And a mutated store keeps refusing checkpoints deterministically once
+  // no pre-mutation generation can be pinned.
+  auto refused = engine.CheckpointStore(dfs, "mut-final");
+  EXPECT_TRUE(refused.status().IsFailedPrecondition())
+      << refused.status().ToString();
 }
 
 }  // namespace

@@ -458,6 +458,59 @@ TEST(DurabilityTest, CheckpointWithoutStoreIsInvalidArgument) {
                   .IsInvalidArgument());
 }
 
+// Mutation invariant M5: a mutated store no longer matches any image the
+// checkpoint format can express against the engine's dataset fingerprint,
+// so Checkpoint must refuse loudly with FailedPrecondition — never persist
+// a drifted layout. The refusal is sticky across further mutations and
+// purely-physical compaction; only a fresh BuildStore clears it.
+TEST(DurabilityTest, MutatedStoreRefusesCheckpointUntilRebuilt) {
+  const EngineOptions options = MakeOptions(false, "mutated_refuse");
+  SpqEngine engine(TestDataset(), options);
+  ASSERT_TRUE(engine.BuildStore(kMaxRadius).ok());
+
+  dfs::MiniDfs dfs(SmallDfs());
+  ASSERT_TRUE(engine.CheckpointStore(dfs, "store").ok());  // pristine: fine
+
+  DataObject extra;
+  extra.id = 77'000'001;
+  extra.pos = {0.31, 0.62};
+  ASSERT_TRUE(engine.Insert(extra).ok());
+  EXPECT_TRUE(engine.store()->mutated());
+  EXPECT_TRUE(engine.CheckpointStore(dfs, "store").status()
+                  .IsFailedPrecondition());
+
+  // Deleting the insert restores the LOGICAL dataset, and compaction is
+  // purely physical — neither un-mutates the store, and both keep the
+  // engine-level refusal in force.
+  ASSERT_TRUE(engine.Delete(extra.id).ok());
+  ASSERT_TRUE(engine.CompactStore().ok());
+  EXPECT_TRUE(engine.store()->mutated());
+  EXPECT_TRUE(engine.CheckpointStore(dfs, "store").status()
+                  .IsFailedPrecondition());
+  // The store-level contract holds independently of the engine wrapper.
+  EXPECT_TRUE(engine.store()->Checkpoint(dfs, "store").status()
+                  .IsFailedPrecondition());
+
+  // A fresh build is checkpointable again and the new epoch round-trips.
+  ASSERT_TRUE(engine.BuildStore(kMaxRadius).ok());
+  const std::vector<SpqResult> baseline = RunSuite(engine);
+  auto epoch = engine.CheckpointStore(dfs, "store");
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+
+  SpqEngine reader(TestDataset(), options);
+  ASSERT_TRUE(reader.OpenStore(dfs, "store").ok());
+  ExpectSuitesIdentical(baseline, RunSuite(reader), "post-rebuild epoch");
+
+  // A RECOVERED store accepts mutations and serves them warm, but refuses
+  // checkpoint exactly like a locally-built-and-mutated one.
+  ASSERT_TRUE(reader.Insert(extra).ok());
+  auto r = reader.Query(SuiteQueries()[0], Algorithm::kPSPQ);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->info.warm_path);
+  EXPECT_TRUE(reader.CheckpointStore(dfs, "store").status()
+                  .IsFailedPrecondition());
+}
+
 // Whole checkpoint + recovery cycle under deterministic injected storage
 // faults (torn writes, short reads, bit flips on block replicas): every
 // fault is caught by the per-block CRC + length checks and absorbed by

@@ -422,5 +422,126 @@ TEST(CellGridIndexTest, InterleavedAppendAndProbeMatchesFreshBuild) {
   }
 }
 
+// Appends ARBITRARILY far outside the built bounding box: bucket
+// coordinates for such points overflow any naive double→int cast, so this
+// pins the clamp-before-cast contract (finite huge magnitudes land in a
+// boundary bucket, never UB) — the latent Append bug this suite fixed.
+// Probes at matching extreme coordinates must still cover the r-disk.
+TEST(CellGridIndexTest, ExtremeOutOfBboxAppendsStayClamped) {
+  Rng rng(4099);
+  std::vector<geo::Point> positions;
+  for (int i = 0; i < 80; ++i) {
+    positions.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  reduce_core::CellGridIndex incremental;
+  incremental.Sync(positions);
+
+  const double extremes[] = {1e12, -1e9, 3.5e15, -2.75e13};
+  for (double mag : extremes) {
+    positions.push_back({mag, mag * 0.5});
+    positions.push_back({-mag * 0.25, mag});
+  }
+  incremental.Sync(positions);
+  ASSERT_EQ(incremental.built_size(), positions.size());
+
+  std::vector<geo::Point> probes{{0.5, 0.5}, {1e12, 0.5e12}, {-1e9, 0.0},
+                                 {-2.5e14, -2.75e13},         {0.0, 3.5e15}};
+  for (const geo::Point& p : probes) {
+    for (double r : {0.0, 0.3, 1e10, 5e15}) {
+      const double r2 = r * r;
+      std::vector<uint32_t> got;
+      incremental.SortedCandidates(p, r, &got);
+      for (std::size_t i = 1; i < got.size(); ++i) {
+        ASSERT_LT(got[i - 1], got[i]) << "not ascending/unique";
+      }
+      std::vector<bool> is_candidate(positions.size(), false);
+      for (uint32_t i : got) {
+        ASSERT_LT(i, positions.size());
+        is_candidate[i] = true;
+      }
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (geo::Distance2(positions[i], p) <= r2) {
+          EXPECT_TRUE(is_candidate[i])
+              << "in-disk point " << i << " missing at extreme coordinates";
+        }
+      }
+    }
+  }
+
+  // A fresh Build over the same extreme set must agree with itself under
+  // a full-cover probe: every point, exactly once.
+  reduce_core::CellGridIndex fresh;
+  fresh.Build(positions);
+  std::vector<uint32_t> all;
+  fresh.SortedCandidates({0.0, 0.0}, 1e16, &all);
+  EXPECT_EQ(all.size(), positions.size());
+}
+
+// The dead-masked Build overload is the geometry backbone of mutation
+// invariant M2 (cell_store.h): an index built over physical rows with the
+// dead ones masked OUT must present EXACTLY the bucket geometry of a
+// fresh index built over the surviving rows alone — same bbox, same side,
+// same bucket assignment — with candidates reported as physical indices.
+// Because the live→physical mapping is strictly increasing, the masked
+// index's sorted candidates must equal the survivor-built index's
+// candidates mapped through it, element for element. Dead rows must never
+// surface, even when they would dominate the physical bounding box.
+TEST(CellGridIndexTest, DeadMaskedBuildMatchesFreshBuildOverSurvivors) {
+  Rng rng(6151);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng.NextUint32(250);
+    std::vector<geo::Point> positions;
+    std::vector<uint8_t> dead;
+    for (std::size_t i = 0; i < n; ++i) {
+      // A fifth of the rows — including dead ones — sit far outside the
+      // unit square, so a geometry leak (dead rows stretching the bbox)
+      // would shift every bucket boundary and fail the exact comparison.
+      const bool wild = rng.NextUint32(5) == 0;
+      const double spread = wild ? 40.0 : 1.0;
+      positions.push_back({rng.NextDouble() * spread - (wild ? 20.0 : 0.0),
+                           rng.NextDouble() * spread});
+      dead.push_back(rng.NextUint32(3) == 0 ? 1 : 0);
+    }
+
+    std::vector<geo::Point> survivors;
+    std::vector<uint32_t> live_phys;  // survivor slot -> physical row
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!dead[i]) {
+        survivors.push_back(positions[i]);
+        live_phys.push_back(static_cast<uint32_t>(i));
+      }
+    }
+
+    reduce_core::CellGridIndex masked;
+    masked.Build(positions, &dead);
+    reduce_core::CellGridIndex reference;
+    reference.Build(survivors);
+
+    for (int probe = 0; probe < 25; ++probe) {
+      const geo::Point p{rng.NextDouble(-0.5, 1.5), rng.NextDouble(-0.5, 1.5)};
+      const double r = rng.NextDouble() * 0.5;
+      std::vector<uint32_t> got;
+      masked.SortedCandidates(p, r, &got);
+      std::vector<uint32_t> want;
+      reference.SortedCandidates(p, r, &want);
+      for (uint32_t& slot : want) slot = live_phys[slot];
+      EXPECT_EQ(got, want) << "round " << round << " probe " << probe
+                           << ": masked geometry drifted from survivors";
+      for (uint32_t i : got) {
+        ASSERT_LT(i, n);
+        EXPECT_FALSE(dead[i]) << "dead row " << i << " surfaced";
+      }
+    }
+
+    // Everything-dead: the masked index must stay probe-safe and empty.
+    std::vector<uint8_t> all_dead(n, 1);
+    reduce_core::CellGridIndex empty;
+    empty.Build(positions, &all_dead);
+    std::vector<uint32_t> none{42};
+    empty.SortedCandidates({0.5, 0.5}, 100.0, &none);
+    EXPECT_TRUE(none.empty());
+  }
+}
+
 }  // namespace
 }  // namespace spq::core
