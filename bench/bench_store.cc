@@ -42,7 +42,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "datagen/generator.h"
 #include "datagen/workload.h"
 #include "dfs/mini_dfs.h"
@@ -260,7 +262,7 @@ int main() {
   uint64_t door_batches = 0;
   uint64_t door_coalesced = 0;
   {
-    using Clock = std::chrono::steady_clock;
+    using Clock = spq::metrics::Clock;
     constexpr std::size_t kTrace = 320;
     offered_qps = 3.0 * results[1].qps;
     std::mt19937_64 rng(20260808);
@@ -376,6 +378,73 @@ int main() {
                 "queries shared a job\n",
                 static_cast<unsigned long long>(door_batches),
                 static_cast<unsigned long long>(door_coalesced), kTrace);
+  }
+
+  // ---- observability: disabled-tracer overhead gate + traced capture -------
+  // The tracer's entire disabled cost is one relaxed load + branch per
+  // TRACE_SPAN site (checked at span construction only). Gate: that cost,
+  // multiplied by every span a warm query can open — the fixed
+  // query.warm/snapshot_pin/job.* chain plus one per map task, reduce
+  // task, and reduce group — must stay under 3% of the measured warm p50,
+  // i.e. unmeasurable. A coalesced front-door burst is then captured with
+  // tracing ON and archived as a chrome://tracing file next to
+  // BENCH_store.json.
+  double span_ns = 0.0;
+  double span_overhead_pct = 0.0;
+  uint64_t spans_per_query = 0;
+  uint64_t traced_events = 0;
+  uint64_t traced_batches = 0;
+  {
+    trace::SetEnabled(false);
+    constexpr uint64_t kSpanIters = 4'000'000;
+    Stopwatch span_watch;
+    for (uint64_t i = 0; i < kSpanIters; ++i) {
+      TRACE_SPAN("bench.disabled");
+    }
+    span_ns = static_cast<double>(span_watch.ElapsedNanos()) /
+              static_cast<double>(kSpanIters);
+
+    auto probe = engine.Query(queries[0], algo);
+    if (!probe.ok() || !probe->info.warm_path) {
+      std::fprintf(stderr, "observability probe query failed\n");
+      return 1;
+    }
+    spans_per_query = 6 + probe->info.job.map_task_seconds.size() +
+                      probe->info.job.reduce_task_seconds.size() +
+                      probe->info.reduce_groups;
+    const double overhead_ms =
+        span_ns * static_cast<double>(spans_per_query) / 1e6;
+    span_overhead_pct = overhead_ms / results[1].p50_ms * 100.0;
+
+    core::SpqFrontDoor door(engine);
+    trace::Clear();
+    trace::SetEnabled(true);
+    std::vector<std::future<StatusOr<core::SpqResult>>> futures;
+    for (std::size_t i = 0; i < kNumQueries; ++i) {
+      futures.push_back(door.Submit(queries[i], algo));
+    }
+    bool trace_failed = false;
+    for (auto& f : futures) {
+      auto r = f.get();
+      if (!r.ok() || !r->info.warm_path) trace_failed = true;
+    }
+    trace::SetEnabled(false);
+    door.Shutdown();
+    if (trace_failed) {
+      std::fprintf(stderr, "traced batch replay had failed queries\n");
+      return 1;
+    }
+    traced_events = trace::Collect().size();
+    traced_batches = door.stats().batches;
+    std::ofstream trace_file("BENCH_store_trace.json");
+    trace::ExportChromeTrace(trace_file);
+    std::printf("\nobservability: disabled span %.2f ns, est. %.4f%% of "
+                "warm p50 over %llu spans/query; traced capture: %llu spans "
+                "across %llu batch jobs -> BENCH_store_trace.json\n",
+                span_ns, span_overhead_pct,
+                static_cast<unsigned long long>(spans_per_query),
+                static_cast<unsigned long long>(traced_events),
+                static_cast<unsigned long long>(traced_batches));
   }
 
   // ---- durability: checkpoint + cell-granular recovery ---------------------
@@ -677,7 +746,33 @@ int main() {
        << ", \"warm_p50_ms_static\": " << churn_static_p50_ms
        << ", \"churned_vs_static_p50_ratio\": " << churn_ratio
        << ", \"work_parity\": " << (churn_work_parity ? "true" : "false")
-       << "}\n}\n";
+       << "},\n"
+       << "  \"observability\": {\"disabled_span_ns\": " << span_ns
+       << ", \"spans_per_query\": " << spans_per_query
+       << ", \"est_overhead_pct_of_warm_p50\": " << span_overhead_pct
+       << ", \"trace_events\": " << traced_events
+       << ", \"trace_file\": \"BENCH_store_trace.json\"},\n";
+  // The whole run's registry footprint (counters verbatim, histograms as
+  // count/p50/p99/max), so cross-PR tracking sees the serving-layer
+  // internals — queue waits, batch sizes, fold/compaction activity —
+  // next to the latency numbers they explain.
+  {
+    const metrics::RegistrySnapshot msnap = engine.MetricsSnapshot();
+    json << "  \"metrics\": {\n    \"counters\": {";
+    for (std::size_t i = 0; i < msnap.counters.size(); ++i) {
+      json << (i == 0 ? "" : ", ") << "\"" << msnap.counters[i].first
+           << "\": " << msnap.counters[i].second;
+    }
+    json << "},\n    \"histograms\": {";
+    for (std::size_t i = 0; i < msnap.histograms.size(); ++i) {
+      const auto& [name, hist] = msnap.histograms[i];
+      json << (i == 0 ? "" : ", ") << "\"" << name << "\": {\"count\": "
+           << hist.count << ", \"p50\": " << hist.Percentile(0.5)
+           << ", \"p99\": " << hist.Percentile(0.99)
+           << ", \"max\": " << hist.max << "}";
+    }
+    json << "}\n  }\n}\n";
+  }
   std::printf("\nWrote BENCH_store.json\n");
 
   // Acceptance bars: warm per-query throughput >= 3x cold (the store
@@ -711,8 +806,19 @@ int main() {
               "static): parity %s, %.2fx %s\n",
               churn_work_parity ? "yes" : "NO", churn_ratio,
               churn_pass ? "PASS" : "FAIL");
+  // The observability tentpole: instrumentation that is free when off.
+  // Estimated from the measured disabled-span cost times every span a
+  // warm query can open — a direct A/B of two warm passes would be
+  // dominated by this container's run-to-run noise, exactly because the
+  // real overhead sits orders of magnitude below it.
+  const bool obs_pass = span_overhead_pct <= 3.0 && traced_events > 0;
+  std::printf("acceptance (disabled tracing <= 3%% of warm p50, traced "
+              "capture non-empty): %.4f%%, %llu spans %s\n",
+              span_overhead_pct,
+              static_cast<unsigned long long>(traced_events),
+              obs_pass ? "PASS" : "FAIL");
   return speedup >= 3.0 && recovery_ratio < 0.10 && coalesce_pass &&
-                 churn_pass
+                 churn_pass && obs_pass
              ? 0
              : 1;
 }

@@ -9,8 +9,38 @@
 #        scripts/tier1.sh --label L    (default build, then only the
 #                                       ctest entries carrying label L,
 #                                       e.g. mutation | concurrency |
-#                                       faults)
+#                                       faults | observability)
+#        scripts/tier1.sh --metrics-dump
+#                                      (default build, then the store
+#                                       equivalence suite with tracing
+#                                       enabled; archives the chrome
+#                                       trace + Prometheus metrics dump
+#                                       under build/artifacts/)
 set -e
+
+if [ "$1" = "--metrics-dump" ]; then
+  cmake --preset default
+  cmake --build --preset default
+  mkdir -p build/artifacts
+  # SPQ_TRACE=1 turns the span rings on at process start; the two file
+  # variables make the process write its chrome://tracing export and the
+  # Prometheus text dump at exit (see EnvObservability in common/trace.cc).
+  SPQ_TRACE=1 \
+  SPQ_TRACE_FILE=build/artifacts/store_equivalence_trace.json \
+  SPQ_METRICS_FILE=build/artifacts/store_equivalence_metrics.prom \
+    ./build/tests/spq_tests --gtest_filter='*StoreEquivalence*'
+  for artifact in build/artifacts/store_equivalence_trace.json \
+                  build/artifacts/store_equivalence_metrics.prom; do
+    if [ ! -s "$artifact" ]; then
+      echo "metrics-dump: expected non-empty $artifact" >&2
+      exit 1
+    fi
+  done
+  echo "metrics-dump artifacts:"
+  ls -l build/artifacts/store_equivalence_trace.json \
+        build/artifacts/store_equivalence_metrics.prom
+  exit 0
+fi
 
 if [ "$1" = "--label" ]; then
   label="$2"

@@ -1,6 +1,8 @@
 #ifndef SPQ_COMMON_LOGGING_H_
 #define SPQ_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -25,6 +27,44 @@ class Logger {
 
   /// Emits one formatted line: "[LEVEL] message\n".
   static void Write(LogLevel level, const std::string& message);
+};
+
+/// \brief Every-Nth admission gate for noisy log sites (typically one
+/// static instance per site). Thread-safe and lock-free; occurrences the
+/// gate swallows are reported as a suppressed-count with the next
+/// admitted occurrence, so no signal is silently lost:
+///
+///   static LogRateLimiter limiter(/*every_n=*/64);
+///   uint64_t suppressed = 0;
+///   if (limiter.ShouldLog(&suppressed)) {
+///     SPQ_LOG_WARN << "... (" << suppressed << " similar suppressed)";
+///   }
+class LogRateLimiter {
+ public:
+  /// Admits the 1st, (N+1)th, (2N+1)th ... occurrence. every_n == 1
+  /// admits everything; 0 is treated as 1.
+  explicit LogRateLimiter(uint64_t every_n)
+      : every_n_(every_n == 0 ? 1 : every_n) {}
+
+  LogRateLimiter(const LogRateLimiter&) = delete;
+  LogRateLimiter& operator=(const LogRateLimiter&) = delete;
+
+  /// True when this occurrence should be logged. When true and
+  /// `suppressed` is non-null, it receives the number of occurrences
+  /// swallowed since the previously admitted one.
+  bool ShouldLog(uint64_t* suppressed = nullptr) {
+    const uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    if (n % every_n_ != 0) return false;
+    if (suppressed != nullptr) *suppressed = n == 0 ? 0 : every_n_ - 1;
+    return true;
+  }
+
+  /// Total occurrences observed (admitted + suppressed).
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint64_t every_n_;
+  std::atomic<uint64_t> count_{0};
 };
 
 namespace logging_internal {

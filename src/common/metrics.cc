@@ -1,0 +1,220 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace spq::metrics {
+
+double PercentileOfSamples(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return static_cast<double>(max);
+  // Nearest-rank walk over the cumulative bucket counts, then linear
+  // interpolation inside the rank's bucket (the estimate therefore lands
+  // in the same log₂ bucket as the true quantile).
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t in_bucket = buckets[i];
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      const double lo = static_cast<double>(Histogram::BucketLow(i));
+      const double hi = std::min(static_cast<double>(Histogram::BucketHigh(i)),
+                                 static_cast<double>(max) + 1.0);
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * within;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+namespace {
+
+/// Stable per-thread shard pick: threads are striped over shards
+/// round-robin at first touch, so shard collisions only appear beyond
+/// kNumShards concurrent recorders (and stay correct — shards are atomic).
+uint32_t ThreadShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = shards_[ThreadShardIndex() % kNumShards];
+  shard.buckets[static_cast<std::size_t>(BucketOf(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = shard.max.load(std::memory_order_relaxed);
+  while (value > prev && !shard.max.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Read() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const uint64_t n = shard.buckets[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+      snap.buckets[static_cast<std::size_t>(i)] += n;
+      snap.count += n;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t RegistrySnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+HistogramSnapshot RegistrySnapshot::HistogramValue(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return v;
+  }
+  return HistogramSnapshot{};
+}
+
+// std::map keeps iteration name-sorted (stable dump/snapshot order) and
+// never invalidates element addresses — the returned references survive
+// any later registration.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms) {
+    snap.histograms.emplace_back(name, histogram->Read());
+  }
+  return snap;
+}
+
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:]; everything else (the
+/// registry's dots) becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::DumpPrometheus(std::ostream& os) const {
+  const RegistrySnapshot snap = Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " counter\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " gauge\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string pname = PrometheusName(name);
+    os << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (hist.buckets[static_cast<std::size_t>(i)] == 0) continue;
+      cumulative += hist.buckets[static_cast<std::size_t>(i)];
+      os << pname << "_bucket{le=\"" << Histogram::BucketHigh(i) << "\"} "
+         << cumulative << "\n";
+    }
+    os << pname << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    os << pname << "_sum " << hist.sum << "\n";
+    os << pname << "_count " << hist.count << "\n";
+  }
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, counter] : impl_->counters) counter->Reset();
+  for (auto& [name, gauge] : impl_->gauges) gauge->Reset();
+  for (auto& [name, histogram] : impl_->histograms) histogram->Reset();
+}
+
+}  // namespace spq::metrics

@@ -1,29 +1,36 @@
 #ifndef SPQ_COMMON_STOPWATCH_H_
 #define SPQ_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "common/metrics.h"
 
 namespace spq {
 
 /// \brief Wall-clock stopwatch used for job/phase timing.
+///
+/// A thin convenience over the process's single steady-clock source
+/// (metrics::NowNanos — see common/metrics.h): stopwatch readings, span
+/// timestamps, histogram samples and the front door's admission clock all
+/// come from the same clock and are directly comparable.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(metrics::NowNanos()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = metrics::NowNanos(); }
 
   /// Elapsed time in seconds since construction or last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return metrics::SecondsSince(start_ns_); }
 
   /// Elapsed time in milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed time in nanoseconds (histogram-ready).
+  uint64_t ElapsedNanos() const { return metrics::NowNanos() - start_ns_; }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_ns_;
 };
 
 }  // namespace spq

@@ -1,0 +1,210 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spq::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+/// Per-thread span buffer. Writes come only from the owner thread;
+/// Collect()/Clear() read from any thread — the per-ring mutex covers
+/// that handoff (taken only when tracing is ON, so it never touches the
+/// disabled fast path).
+struct SpanRing {
+  static constexpr std::size_t kCapacity = 16384;
+
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<SpanEvent> events;
+  uint64_t dropped = 0;
+};
+
+/// Owns every ring ever created (shared_ptrs, so a ring outlives its
+/// thread and a capture can be drained after worker pools wind down).
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  uint32_t next_tid = 0;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* registry = new RingRegistry();  // never destroyed
+  return *registry;
+}
+
+SpanRing& ThreadRing() {
+  thread_local std::shared_ptr<SpanRing> ring = [] {
+    auto created = std::make_shared<SpanRing>();
+    RingRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    created->tid = registry.next_tid++;
+    created->events.reserve(SpanRing::kCapacity);
+    registry.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+namespace internal {
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  SpanRing& ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() >= SpanRing::kCapacity) {
+    ++ring.dropped;  // drop-newest: the capture window's head stays intact
+    return;
+  }
+  SpanEvent event;
+  event.name = name;
+  event.tid = ring.tid;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  ring.events.push_back(event);
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Clear() {
+  RingRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->dropped = 0;
+  }
+}
+
+std::vector<SpanEvent> Collect() {
+  std::vector<SpanEvent> out;
+  RingRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    out.insert(out.end(), ring->events.begin(), ring->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+uint64_t DroppedSpans() {
+  uint64_t dropped = 0;
+  RingRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    dropped += ring->dropped;
+  }
+  return dropped;
+}
+
+namespace {
+
+/// Span names are literals from our own TRACE_SPAN sites, but escape
+/// defensively so the export is valid JSON for any name.
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+void WriteChromeEvent(std::ostream& os, const SpanEvent& event) {
+  // Complete event ("ph":"X"); chrome://tracing wants microseconds.
+  os << "{\"name\":";
+  WriteJsonString(os, event.name);
+  os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
+     << ",\"ts\":" << static_cast<double>(event.start_ns) / 1e3
+     << ",\"dur\":" << static_cast<double>(event.dur_ns) / 1e3 << "}";
+}
+
+}  // namespace
+
+void ExportChromeTrace(std::ostream& os) {
+  const std::vector<SpanEvent> events = Collect();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n";
+    WriteChromeEvent(os, events[i]);
+  }
+  os << "\n]}\n";
+}
+
+void ExportJsonl(std::ostream& os) {
+  for (const SpanEvent& event : Collect()) {
+    os << "{\"name\":";
+    WriteJsonString(os, event.name);
+    os << ",\"tid\":" << event.tid << ",\"start_ns\":" << event.start_ns
+       << ",\"dur_ns\":" << event.dur_ns << "}\n";
+  }
+}
+
+namespace {
+
+/// Environment-driven capture, so any binary linking spq_core can be
+/// traced without code changes (scripts/tier1.sh --metrics-dump):
+///   SPQ_TRACE=1            start with tracing enabled
+///   SPQ_TRACE_FILE=p.json  write the chrome://tracing export at exit
+///   SPQ_METRICS_FILE=p     write the Prometheus metrics dump at exit
+struct EnvObservability {
+  EnvObservability() {
+    // Touch the never-destroyed globals BEFORE registering the atexit
+    // hook: handlers run in reverse registration order, so anything the
+    // hook reads must be constructed first.
+    Registry();
+    metrics::MetricsRegistry::Global();
+    const char* enabled = std::getenv("SPQ_TRACE");
+    if (enabled != nullptr && enabled[0] == '1') SetEnabled(true);
+    if (std::getenv("SPQ_TRACE_FILE") != nullptr ||
+        std::getenv("SPQ_METRICS_FILE") != nullptr) {
+      std::atexit(&DumpAtExit);
+    }
+  }
+
+  static void DumpAtExit() {
+    if (const char* path = std::getenv("SPQ_TRACE_FILE")) {
+      std::ofstream os(path);
+      if (os) ExportChromeTrace(os);
+    }
+    if (const char* path = std::getenv("SPQ_METRICS_FILE")) {
+      std::ofstream os(path);
+      if (os) metrics::MetricsRegistry::Global().DumpPrometheus(os);
+    }
+  }
+};
+
+const EnvObservability g_env_observability;
+
+}  // namespace
+
+}  // namespace spq::trace

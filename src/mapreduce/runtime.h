@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/statusor.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "mapreduce/job.h"
 #include "mapreduce/merge.h"
 
@@ -240,6 +242,7 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   JobStats& stats = result.stats;
   stats.input_records = input.size();
 
+  TRACE_SPAN("job.run");
   Stopwatch total_watch;
   const uint32_t num_maps = config.num_map_tasks;
   const uint32_t num_reduces = config.num_reduce_tasks;
@@ -273,7 +276,10 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   };
 
   Stopwatch map_watch;
+  {
+  TRACE_SPAN("job.map");
   ParallelFor(pool, num_maps, [&](std::size_t m) {
+    TRACE_SPAN("map.task");
     const std::size_t begin = input.size() * m / num_maps;
     const std::size_t end = input.size() * (m + 1) / num_maps;
     bool succeeded = false;
@@ -352,6 +358,7 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
           "map task " + std::to_string(m) + " exceeded max attempts"));
     }
   });
+  }  // TRACE_SPAN("job.map")
   stats.map_seconds = map_watch.ElapsedSeconds();
 
   // Spill files live until the job completes (reduce retries re-read them).
@@ -377,13 +384,16 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   // as shuffle traffic; in Hadoop these cross the network.
   std::vector<std::vector<const Segment*>> reduce_inputs(num_reduces);
   stats.reduce_input_records.assign(num_reduces, 0);
-  for (uint32_t r = 0; r < num_reduces; ++r) {
-    for (uint32_t m = 0; m < num_maps; ++m) {
-      const Segment& seg = segments[m][r];
-      if (seg.num_records == 0) continue;
-      reduce_inputs[r].push_back(&seg);
-      stats.shuffle_bytes += seg.byte_size;
-      stats.reduce_input_records[r] += seg.num_records;
+  {
+    TRACE_SPAN("job.shuffle");
+    for (uint32_t r = 0; r < num_reduces; ++r) {
+      for (uint32_t m = 0; m < num_maps; ++m) {
+        const Segment& seg = segments[m][r];
+        if (seg.num_records == 0) continue;
+        reduce_inputs[r].push_back(&seg);
+        stats.shuffle_bytes += seg.byte_size;
+        stats.reduce_input_records[r] += seg.num_records;
+      }
     }
   }
 
@@ -393,7 +403,10 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
   std::atomic<uint32_t> reduce_failures{0};
 
   Stopwatch reduce_watch;
+  {
+  TRACE_SPAN("job.reduce");
   ParallelFor(pool, num_reduces, [&](std::size_t r) {
+    TRACE_SPAN("reduce.task");
     bool succeeded = false;
     Stopwatch task_watch;
     for (int attempt = 0; attempt < config.max_task_attempts; ++attempt) {
@@ -442,6 +455,7 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
           "reduce task " + std::to_string(r) + " exceeded max attempts"));
     }
   });
+  }  // TRACE_SPAN("job.reduce")
   stats.reduce_seconds = reduce_watch.ElapsedSeconds();
   if (!first_error.ok()) return first_error;
 
@@ -455,6 +469,24 @@ StatusOr<JobOutput<Out>> RunJobWith(const JobSpec<In, K, V, Out>& spec,
                           std::make_move_iterator(outs.end()));
   }
   stats.total_seconds = total_watch.ElapsedSeconds();
+
+  // Job-phase latency histograms: one sample per job (never per record),
+  // so the registry answers "where do jobs spend their time" while the
+  // hot loops stay untouched. The references are resolved once per
+  // process (same named Histogram for every template instantiation).
+  {
+    auto& registry = metrics::MetricsRegistry::Global();
+    static metrics::Counter& jobs = registry.counter("spq.job.runs");
+    static metrics::Histogram& map_ns = registry.histogram("spq.job.map_ns");
+    static metrics::Histogram& reduce_ns =
+        registry.histogram("spq.job.reduce_ns");
+    static metrics::Histogram& total_ns =
+        registry.histogram("spq.job.total_ns");
+    jobs.Increment();
+    map_ns.Record(static_cast<uint64_t>(stats.map_seconds * 1e9));
+    reduce_ns.Record(static_cast<uint64_t>(stats.reduce_seconds * 1e9));
+    total_ns.Record(static_cast<uint64_t>(stats.total_seconds * 1e9));
+  }
 
   SPQ_LOG_DEBUG << config.job_name << ": " << stats.input_records
                 << " input, " << stats.map_output_records

@@ -8,6 +8,8 @@
 #include "common/buffer.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "spq/wal.h"
 #include "text/keyword_set.h"
 
@@ -52,6 +54,38 @@ ShuffleObject OwnView(const ShuffleObjectView& v) {
   }
   return o;
 }
+
+/// Store-lifecycle registry metrics (inventory in the class comment of
+/// cell_store.h). Counts and wall-clock only — never consulted by any
+/// serving decision, so results and SPQ counters stay bit-identical.
+struct StoreRegistryMetrics {
+  metrics::Counter& cells_materialized;
+  metrics::Counter& cells_restored;
+  metrics::Counter& cells_rebuilt;
+  metrics::Counter& delta_folds;
+  metrics::Counter& cells_compacted;
+  metrics::Counter& checkpoints;
+  metrics::Counter& recoveries;
+  metrics::Histogram& materialize_ns;
+  metrics::Histogram& checkpoint_ns;
+  metrics::Histogram& recover_ns;
+
+  static StoreRegistryMetrics& Get() {
+    static auto& registry = metrics::MetricsRegistry::Global();
+    static StoreRegistryMetrics metrics_{
+        registry.counter("spq.store.cells_materialized"),
+        registry.counter("spq.store.cells_restored"),
+        registry.counter("spq.store.cells_rebuilt"),
+        registry.counter("spq.store.delta_folds"),
+        registry.counter("spq.store.cells_compacted"),
+        registry.counter("spq.store.checkpoints"),
+        registry.counter("spq.store.recoveries"),
+        registry.histogram("spq.store.materialize_ns"),
+        registry.histogram("spq.store.checkpoint_ns"),
+        registry.histogram("spq.store.recover_ns")};
+    return metrics_;
+  }
+};
 
 }  // namespace
 
@@ -182,6 +216,12 @@ StatusOr<const CellStore::Partition*> CellStore::Serve(
     part.ready.store(true, std::memory_order_release);
     return &part;
   }
+  // First-touch materialization of a non-empty cell starts here (the
+  // ready fast path and the empty short-circuit above never reach this).
+  TRACE_SPAN("store.materialize");
+  metrics::ScopedLatencyTimer materialize_timer(
+      &StoreRegistryMetrics::Get().materialize_ns);
+  StoreRegistryMetrics::Get().cells_materialized.Increment();
   if (recovered() && part.segment.num_records > 0 &&
       part.segment.bytes.empty()) {
     // Cell-granular lazy recovery (class invariant 3): pull this cell's
@@ -193,6 +233,7 @@ StatusOr<const CellStore::Partition*> CellStore::Serve(
     if (image.ok()) {
       part.segment.bytes = *std::move(image);
       cells_restored_.fetch_add(1, std::memory_order_relaxed);
+      StoreRegistryMetrics::Get().cells_restored.Increment();
     } else {
       SPQ_LOG_WARN << "store cell " << cell
                    << ": checkpoint restore failed ("
@@ -200,6 +241,7 @@ StatusOr<const CellStore::Partition*> CellStore::Serve(
                    << "); rebuilding from dataset";
       SPQ_RETURN_NOT_OK(RebuildPartition(cell, part));
       cells_rebuilt_.fetch_add(1, std::memory_order_relaxed);
+      StoreRegistryMetrics::Get().cells_rebuilt.Increment();
     }
   }
   // Idempotent under reduce-attempt retries: a prior pass that failed
@@ -227,7 +269,13 @@ StatusOr<const CellStore::Partition*> CellStore::Serve(
   // Fold the delta log (no-op for clean partitions): append pending
   // inserts, mark base tombstones, and compact if the mutation layer
   // ordered it (invariants M2-M4).
-  SPQ_RETURN_NOT_OK(FoldDelta(part));
+  {
+    TRACE_SPAN("store.fold_delta");
+    if (!part.delta_inserts.empty() || !part.delta_tombstones.empty()) {
+      StoreRegistryMetrics::Get().delta_folds.Increment();
+    }
+    SPQ_RETURN_NOT_OK(FoldDelta(part));
+  }
   if (part.data.size() != part.record_count) {
     return Status::Internal("store partition fold left " +
                             std::to_string(part.data.size()) + " rows, " +
@@ -408,6 +456,10 @@ Status CellStore::RebuildPartition(geo::CellId cell, Partition& part) const {
 StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
     dfs::MiniDfs& dfs, const std::string& name,
     CheckpointCrash crash) const {
+  TRACE_SPAN("store.checkpoint");
+  metrics::ScopedLatencyTimer checkpoint_timer(
+      &StoreRegistryMetrics::Get().checkpoint_ns);
+  StoreRegistryMetrics::Get().checkpoints.Increment();
   if (mutated_) {
     // Invariant M5: the persisted segments describe the BUILD dataset and
     // Recover() validates/rebuilds against it — persisting them under a
@@ -550,6 +602,10 @@ StatusOr<CellStore::CheckpointInfo> CellStore::Checkpoint(
 StatusOr<std::unique_ptr<CellStore>> CellStore::Recover(
     dfs::MiniDfs& dfs, const std::string& name,
     const std::vector<ShuffleObject>& rebuild_input) {
+  TRACE_SPAN("store.recover");
+  metrics::ScopedLatencyTimer recover_timer(
+      &StoreRegistryMetrics::Get().recover_ns);
+  StoreRegistryMetrics::Get().recoveries.Increment();
   StoreWal wal(&dfs, WalPrefix(name));
   SPQ_ASSIGN_OR_RETURN(StoreWal::ReplayResult replay, wal.Replay());
   std::vector<uint64_t> committed;
@@ -787,6 +843,8 @@ void CellStore::DropDeadRows(Partition& part) {
 }
 
 void CellStore::CompactPartition(Partition& part) {
+  TRACE_SPAN("store.compact");
+  StoreRegistryMetrics::Get().cells_compacted.Increment();
   DropDeadRows(part);
   // A fresh Build gives exactly the structure a from-scratch store build
   // would serve for the surviving rows (invariant M4).

@@ -2,11 +2,14 @@
 
 #include <cmath>
 #include <memory>
+#include <ostream>
 #include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "geo/grid.h"
 #include "mapreduce/runtime.h"
 #include "spq/balanced_partitioner.h"
@@ -18,6 +21,53 @@
 namespace spq::core {
 
 namespace {
+
+/// Engine-level registry metrics, looked up once (see common/metrics.h
+/// for the usage contract; cell_store.h carries the full inventory).
+struct EngineRegistryMetrics {
+  metrics::Counter& cold_fallbacks;
+  metrics::Counter& slow_queries;
+  metrics::Counter& store_publishes;
+  metrics::Histogram& warm_query_ns;
+  metrics::Histogram& warm_batch_ns;
+
+  static EngineRegistryMetrics& Get() {
+    static auto& registry = metrics::MetricsRegistry::Global();
+    static EngineRegistryMetrics metrics_{
+        registry.counter("spq.query.cold_fallbacks"),
+        registry.counter("spq.query.slow"),
+        registry.counter("spq.store.publishes"),
+        registry.histogram("spq.query.warm_ns"),
+        registry.histogram("spq.query.warm_batch_ns")};
+    return metrics_;
+  }
+};
+
+/// Cold-fallback warnings are rate-limited (the fallback itself is the
+/// loud part of the contract, but a misconfigured client can hit it per
+/// query): one line per N occurrences, each admitted line carrying the
+/// suppressed count. The `spq.query.cold_fallbacks` counter sees EVERY
+/// occurrence, so the rate is observable without log scraping.
+constexpr uint64_t kColdFallbackWarnEveryN = 64;
+
+/// The slow-query log: a per-phase breakdown of one over-threshold call.
+/// Observational only — reads stats that the run already produced.
+void MaybeLogSlowQuery(const EngineOptions& options, const char* kind,
+                       Algorithm algo, double elapsed_ms,
+                       const mapreduce::JobStats& job) {
+  if (!(options.slow_query_ms > 0.0) || elapsed_ms < options.slow_query_ms) {
+    return;
+  }
+  EngineRegistryMetrics::Get().slow_queries.Increment();
+  SPQ_LOG_WARN << "slow " << kind << " (" << AlgorithmName(algo) << "): "
+               << elapsed_ms << " ms total (threshold "
+               << options.slow_query_ms << " ms) | map "
+               << job.map_seconds * 1e3 << " ms, reduce "
+               << job.reduce_seconds * 1e3 << " ms, "
+               << job.map_output_records << " map-output records, "
+               << job.shuffle_bytes << " shuffle bytes, "
+               << job.counters.Get(counter::kGroups) << " reduce groups";
+}
 
 /// Extension: LPT cell->reducer assignment from per-cell cost estimates
 /// (Section 7.2.4's imbalance countermeasure; see balanced_partitioner.h).
@@ -253,6 +303,7 @@ StatusOr<SpqBatchResult> SpqEngine::ExecuteBatch(
 }
 
 Status SpqEngine::BuildStore(double max_radius, uint32_t grid_size_override) {
+  TRACE_SPAN("store.build");
   if (!(max_radius >= 0.0) || !std::isfinite(max_radius)) {
     return Status::InvalidArgument("store max_radius must be finite and >= 0");
   }
@@ -278,8 +329,13 @@ Status SpqEngine::BuildStore(double max_radius, uint32_t grid_size_override) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   data_locator_.clear();
   locator_ready_ = false;
-  snapshot_.store(MakeSnapshot(std::move(store)), std::memory_order_release);
+  PublishSnapshot(MakeSnapshot(std::move(store)));
   return Status::OK();
+}
+
+void SpqEngine::PublishSnapshot(std::shared_ptr<const StoreSnapshot> next) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(next);
 }
 
 std::shared_ptr<const StoreSnapshot> SpqEngine::MakeSnapshot(
@@ -291,6 +347,8 @@ std::shared_ptr<const StoreSnapshot> SpqEngine::MakeSnapshot(
   // query. Shared by BuildStore and OpenStore: a recovered store carries
   // the same grid and record counts as the build it checkpointed, so the
   // derived wiring — and therefore warm behavior — is identical.
+  TRACE_SPAN("store.publish");
+  EngineRegistryMetrics::Get().store_publishes.Increment();
   auto snap = std::make_shared<StoreSnapshot>();
   snap->store = std::move(store);
   const geo::UniformGrid& grid = snap->store->grid();
@@ -344,8 +402,7 @@ Status SpqEngine::Insert(const DataObject& object) {
   mut.compact_dead_fraction = options_.compact_dead_fraction;
   SPQ_ASSIGN_OR_RETURN(auto store, snap->store->WithInsert(object, mut));
   data_locator_.emplace(object.id, object.pos);
-  snapshot_.store(MakeSnapshot(std::move(store), snap.get()),
-                  std::memory_order_release);
+  PublishSnapshot(MakeSnapshot(std::move(store), snap.get()));
   return Status::OK();
 }
 
@@ -370,8 +427,7 @@ Status SpqEngine::Delete(ObjectId id) {
   mut.compact_dead_fraction = options_.compact_dead_fraction;
   SPQ_ASSIGN_OR_RETURN(auto store, snap->store->WithDelete(id, cell, mut));
   data_locator_.erase(it);
-  snapshot_.store(MakeSnapshot(std::move(store), snap.get()),
-                  std::memory_order_release);
+  PublishSnapshot(MakeSnapshot(std::move(store), snap.get()));
   return Status::OK();
 }
 
@@ -383,8 +439,7 @@ Status SpqEngine::CompactStore() {
         "no resident CellStore: call BuildStore() before CompactStore()");
   }
   SPQ_ASSIGN_OR_RETURN(auto store, snap->store->Compacted());
-  snapshot_.store(MakeSnapshot(std::move(store), snap.get()),
-                  std::memory_order_release);
+  PublishSnapshot(MakeSnapshot(std::move(store), snap.get()));
   return Status::OK();
 }
 
@@ -407,16 +462,22 @@ Status SpqEngine::OpenStore(dfs::MiniDfs& dfs, const std::string& name) {
   std::lock_guard<std::mutex> lock(mutate_mu_);
   data_locator_.clear();
   locator_ready_ = false;
-  snapshot_.store(MakeSnapshot(std::move(store)), std::memory_order_release);
+  PublishSnapshot(MakeSnapshot(std::move(store)));
   return Status::OK();
 }
 
 StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
                                      Algorithm algo) const {
   SPQ_RETURN_NOT_OK(ValidateQuery(query));
+  TRACE_SPAN("query.warm");
+  Stopwatch watch;
   // Pin the current generation for the whole run: a concurrent
   // BuildStore/OpenStore swap cannot pull the store out from under us.
-  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  std::shared_ptr<const StoreSnapshot> snap;
+  {
+    TRACE_SPAN("query.snapshot_pin");
+    snap = snapshot();
+  }
   if (snap == nullptr) {
     return Status::InvalidArgument(
         "no resident CellStore: call BuildStore() before Query()");
@@ -428,13 +489,24 @@ StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
     // cannot be answered from the warm path. Execute() is const and works
     // off the engine's immutable flattened input — the fallback touches
     // no snapshot-mutable state, so concurrent oversized queries are safe.
-    SPQ_LOG_WARN << "Query radius " << query.radius
-                 << " exceeds the store build radius " << store.max_radius()
-                 << "; falling back to the cold single-shot path";
+    EngineRegistryMetrics::Get().cold_fallbacks.Increment();
+    static LogRateLimiter limiter(kColdFallbackWarnEveryN);
+    uint64_t suppressed = 0;
+    if (limiter.ShouldLog(&suppressed)) {
+      SPQ_LOG_WARN << "Query radius " << query.radius
+                   << " exceeds the store build radius " << store.max_radius()
+                   << "; falling back to the cold single-shot path ("
+                   << suppressed << " similar warnings suppressed; every "
+                   << "occurrence counts in spq.query.cold_fallbacks)";
+    }
     // No grid override: the store grid was sized for the build radius;
     // the cold path sizes its own grid for this (larger) radius.
     auto result = Execute(query, algo);
-    if (result.ok()) result->info.cold_fallback = true;
+    if (result.ok()) {
+      result->info.cold_fallback = true;
+      MaybeLogSlowQuery(options_, "cold-fallback query", algo,
+                        watch.ElapsedMillis(), result->info.job);
+    }
     return result;
   }
 
@@ -454,6 +526,9 @@ StatusOr<SpqResult> SpqEngine::Query(const core::Query& query,
                                    config.num_reduce_tasks,
                                    std::move(output));
   result.info.warm_path = true;
+  EngineRegistryMetrics::Get().warm_query_ns.Record(watch.ElapsedNanos());
+  MaybeLogSlowQuery(options_, "warm query", algo, watch.ElapsedMillis(),
+                    result.info.job);
   return result;
 }
 
@@ -462,7 +537,13 @@ StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
   if (queries.empty()) {
     return Status::InvalidArgument("empty query batch");
   }
-  const std::shared_ptr<const StoreSnapshot> snap = snapshot();
+  TRACE_SPAN("query.warm_batch");
+  Stopwatch watch;
+  std::shared_ptr<const StoreSnapshot> snap;
+  {
+    TRACE_SPAN("query.snapshot_pin");
+    snap = snapshot();
+  }
   if (snap == nullptr) {
     return Status::InvalidArgument(
         "no resident CellStore: call BuildStore() before QueryBatch()");
@@ -474,12 +555,23 @@ StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
     max_radius = std::max(max_radius, query.radius);
   }
   if (max_radius > store.max_radius()) {
-    SPQ_LOG_WARN << "QueryBatch max radius " << max_radius
-                 << " exceeds the store build radius " << store.max_radius()
-                 << "; falling back to the cold single-shot path";
+    EngineRegistryMetrics::Get().cold_fallbacks.Increment();
+    static LogRateLimiter limiter(kColdFallbackWarnEveryN);
+    uint64_t suppressed = 0;
+    if (limiter.ShouldLog(&suppressed)) {
+      SPQ_LOG_WARN << "QueryBatch max radius " << max_radius
+                   << " exceeds the store build radius " << store.max_radius()
+                   << "; falling back to the cold single-shot path ("
+                   << suppressed << " similar warnings suppressed; every "
+                   << "occurrence counts in spq.query.cold_fallbacks)";
+    }
     // As in Query(): let the cold path size its own grid for this radius.
     auto result = ExecuteBatch(queries, algo);
-    if (result.ok()) result->cold_fallback = true;
+    if (result.ok()) {
+      result->cold_fallback = true;
+      MaybeLogSlowQuery(options_, "cold-fallback batch", algo,
+                        watch.ElapsedMillis(), result->job);
+    }
     return result;
   }
 
@@ -496,7 +588,18 @@ StatusOr<SpqBatchResult> SpqEngine::QueryBatch(
                       job_options));
   SpqBatchResult result = MakeBatchResult(queries, std::move(output));
   result.warm_path = true;
+  EngineRegistryMetrics::Get().warm_batch_ns.Record(watch.ElapsedNanos());
+  MaybeLogSlowQuery(options_, "warm batch", algo, watch.ElapsedMillis(),
+                    result.job);
   return result;
+}
+
+metrics::RegistrySnapshot SpqEngine::MetricsSnapshot() const {
+  return metrics::MetricsRegistry::Global().Snapshot();
+}
+
+void SpqEngine::DumpMetrics(std::ostream& os) const {
+  metrics::MetricsRegistry::Global().DumpPrometheus(os);
 }
 
 }  // namespace spq::core

@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/statusor.h"
 #include "mapreduce/job.h"
 #include "spq/algorithms.h"
@@ -122,6 +124,12 @@ struct EngineOptions {
   /// Admission/batching front door knobs (used by SpqFrontDoor; plain
   /// Query()/QueryBatch() calls ignore them).
   ServingOptions serving;
+  /// Slow-query log threshold: a Query()/QueryBatch() call (warm or
+  /// cold-fallback) slower than this many milliseconds logs a one-line
+  /// per-phase breakdown (map/reduce seconds, shuffle bytes, groups) at
+  /// WARN and bumps the `spq.query.slow` counter. <= 0 disables the log.
+  /// Purely observational — never affects results or SPQ counters.
+  double slow_query_ms = 250.0;
 };
 
 /// \brief One immutable, fully wired generation of the warm serving
@@ -371,9 +379,16 @@ class SpqEngine {
   bool has_store() const { return snapshot() != nullptr; }
   /// Pins and returns the current warm serving generation (null before
   /// BuildStore()). Hold the shared_ptr for as long as the store is in
-  /// use — it is the RCU read-side pin.
+  /// use — it is the RCU read-side pin. The pin is one uncontended
+  /// mutex-protected shared_ptr copy: libstdc++'s
+  /// std::atomic<std::shared_ptr> spins on an internal lock bit anyway
+  /// (and its load() unlocks with a relaxed RMW, which leaves the plain
+  /// control-block pointer read racing with the next publisher's write
+  /// under the C++ memory model — ThreadSanitizer rightly flags it), so
+  /// an explicit mutex costs the same and is race-free by construction.
   std::shared_ptr<const StoreSnapshot> snapshot() const {
-    return snapshot_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
   }
   /// The resident store, or nullptr before BuildStore(). Convenience for
   /// single-threaded inspection: the raw pointer is valid only until the
@@ -386,6 +401,16 @@ class SpqEngine {
 
   const Dataset& dataset() const { return dataset_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Point-in-time copy of the process-wide metrics registry — the "what
+  /// is warm p99 right now" surface (e.g.
+  /// `MetricsSnapshot().HistogramValue("spq.query.warm_ns").Percentile(0.99)`).
+  /// The registry is process-global: engines sharing a process share it.
+  /// See common/metrics.h for the naming scheme and cell_store.h for the
+  /// full metric/span inventory.
+  metrics::RegistrySnapshot MetricsSnapshot() const;
+  /// Prometheus text exposition dump of the same registry.
+  void DumpMetrics(std::ostream& os) const;
 
  private:
   /// Shared cluster-shape derivation (workers / map / reduce task counts,
@@ -409,6 +434,10 @@ class SpqEngine {
   std::shared_ptr<const StoreSnapshot> MakeSnapshot(
       std::unique_ptr<const CellStore> store,
       const StoreSnapshot* prev = nullptr) const;
+  /// Swaps `next` in as the current generation (write side of
+  /// snapshot()'s pin). Callers hold mutate_mu_, so publishes are
+  /// serialized; snapshot_mu_ is taken only for the pointer swap.
+  void PublishSnapshot(std::shared_ptr<const StoreSnapshot> next);
   /// Builds data_locator_ from the CURRENT logical dataset if it is not
   /// ready. Caller holds mutate_mu_.
   void EnsureLocatorLocked() const;
@@ -421,8 +450,11 @@ class SpqEngine {
   /// once at construction and shared by every store generation.
   std::vector<ShuffleObject> feature_input_;
   /// Current warm serving generation; see StoreSnapshot. Readers pin via
-  /// snapshot(); BuildStore/OpenStore publish with a release store.
-  std::atomic<std::shared_ptr<const StoreSnapshot>> snapshot_;
+  /// snapshot(); BuildStore/OpenStore/mutations publish via
+  /// PublishSnapshot(). snapshot_mu_ guards ONLY the pointer swap/copy —
+  /// never held across a query or a build.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const StoreSnapshot> snapshot_;
   /// One persistent worker pool shared by every warm job this engine
   /// runs (JobConfig::worker_pool): concurrent queries contend for the
   /// same simulated cluster instead of spawning a pool per job.

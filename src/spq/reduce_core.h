@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/simd.h"
+#include "common/trace.h"
 #include "geo/point.h"
 #include "mapreduce/job.h"
 #include "spq/algorithms.h"
@@ -787,6 +788,10 @@ template <typename CellRef, typename Values, typename EmitFn>
 void RunReduce(Algorithm algo, const SpqJobOptions& options,
                const Query& query, CellRef& cell, QueryScratch& scratch,
                Values& values, mapreduce::Counters& counters, EmitFn&& emit) {
+  // Per-GROUP span, never per feature/pair: disabled tracing costs one
+  // relaxed load + branch here — unmeasurable against a group's join work
+  // (the bench_store overhead gate holds this line to its contract).
+  TRACE_SPAN("reduce.join");
   switch (algo) {
     case Algorithm::kPSPQ:
       RunPspq(query, options, cell, scratch, values, counters, emit);

@@ -3,11 +3,40 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/trace.h"
 #include "spq/cell_store.h"
 
 namespace spq::core {
 
 namespace {
+
+/// Process-wide mirrors of the per-door tallies (cross-door totals for
+/// DumpMetrics/Prometheus; the door's own Counters keep stats() exact
+/// per instance). Looked up once, cached for the process lifetime.
+struct DoorRegistryMetrics {
+  metrics::Counter& admitted;
+  metrics::Counter& rejected;
+  metrics::Counter& coalesced;
+  metrics::Counter& batches;
+  metrics::Counter& cold_routed;
+  metrics::Gauge& queue_depth;
+  metrics::Histogram& queue_wait_ns;
+  metrics::Histogram& batch_size;
+
+  static DoorRegistryMetrics& Get() {
+    static auto& registry = metrics::MetricsRegistry::Global();
+    static DoorRegistryMetrics metrics_{
+        registry.counter("spq.serving.admitted"),
+        registry.counter("spq.serving.rejected"),
+        registry.counter("spq.serving.coalesced"),
+        registry.counter("spq.serving.batches"),
+        registry.counter("spq.serving.cold_routed"),
+        registry.gauge("spq.serving.queue_depth"),
+        registry.histogram("spq.serving.queue_wait_ns"),
+        registry.histogram("spq.serving.batch_size")};
+    return metrics_;
+  }
+};
 
 /// Defensive normalization so the executor loop can assume sane knobs.
 ServingOptions Normalize(ServingOptions opts) {
@@ -58,18 +87,19 @@ SpqFrontDoor::~SpqFrontDoor() { Shutdown(); }
 
 std::future<StatusOr<SpqResult>> SpqFrontDoor::Submit(const core::Query& query,
                                                       Algorithm algo) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  TRACE_SPAN("door.admit");
   Pending pending;
   pending.query = query;
   pending.algo = algo;
-  pending.admitted_at = std::chrono::steady_clock::now();
+  pending.admitted_at = metrics::Clock::now();
   std::future<StatusOr<SpqResult>> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || queue_.size() >= opts_.queue_capacity) {
       // Backpressure is a loud, immediate, counted rejection — never an
       // unbounded buffer, never a silent drop.
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.Increment();
+      DoorRegistryMetrics::Get().rejected.Increment();
       pending.promise.set_value(Status::Unavailable(
           stopping_ ? "serving front door is shut down"
                     : "admission queue full (" +
@@ -78,7 +108,9 @@ std::future<StatusOr<SpqResult>> SpqFrontDoor::Submit(const core::Query& query,
     }
     queue_.push_back(std::move(pending));
   }
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  admitted_.Increment();
+  DoorRegistryMetrics::Get().admitted.Increment();
+  DoorRegistryMetrics::Get().queue_depth.Add(1);
   queue_cv_.notify_one();
   return future;
 }
@@ -95,13 +127,16 @@ void SpqFrontDoor::ExecutorLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
+      // The batch-close span covers the coalescing window: from an
+      // executor picking up queued work to the batch leaving the queue.
+      TRACE_SPAN("door.batch_close");
       // Latency budget: hold the batch open until it fills or the OLDEST
       // admitted query has waited max_wait_ms. Shutdown closes it early —
       // admitted queries are served, just without further coalescing.
       if (opts_.max_wait_ms > 0.0) {
         const auto deadline =
             queue_.front().admitted_at +
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration_cast<metrics::Clock::duration>(
                 std::chrono::duration<double, std::milli>(opts_.max_wait_ms));
         queue_cv_.wait_until(lock, deadline, [this] {
           return stopping_ || queue_.size() >= opts_.max_batch;
@@ -111,11 +146,18 @@ void SpqFrontDoor::ExecutorLoop() {
       // One batch = one algorithm: drain the same-algorithm prefix so a
       // mixed queue closes at the algorithm boundary (order preserved).
       const Algorithm algo = queue_.front().algo;
+      const auto drained_at = metrics::Clock::now();
       while (!queue_.empty() && batch.size() < opts_.max_batch &&
              queue_.front().algo == algo) {
+        DoorRegistryMetrics::Get().queue_wait_ns.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                drained_at - queue_.front().admitted_at)
+                .count()));
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      DoorRegistryMetrics::Get().queue_depth.Add(
+          -static_cast<int64_t>(batch.size()));
       if (!queue_.empty()) queue_cv_.notify_one();  // more work for a peer
     }
     ServeBatch(std::move(batch));
@@ -123,6 +165,7 @@ void SpqFrontDoor::ExecutorLoop() {
 }
 
 void SpqFrontDoor::ServeBatch(std::vector<Pending> batch) {
+  TRACE_SPAN("door.serve_batch");
   const Algorithm algo = batch.front().algo;
   // Oversized radii ride engine.Query()'s loud cold fallback individually,
   // so one out-of-contract query cannot drag its batchmates onto the cold
@@ -135,7 +178,8 @@ void SpqFrontDoor::ServeBatch(std::vector<Pending> batch) {
   warm.reserve(batch.size());
   for (Pending& pending : batch) {
     if (snap != nullptr && pending.query.radius > max_radius) {
-      cold_routed_.fetch_add(1, std::memory_order_relaxed);
+      cold_routed_.Increment();
+      DoorRegistryMetrics::Get().cold_routed.Increment();
       pending.promise.set_value(engine_.Query(pending.query, algo));
     } else {
       warm.push_back(std::move(pending));
@@ -143,14 +187,17 @@ void SpqFrontDoor::ServeBatch(std::vector<Pending> batch) {
   }
   if (warm.empty()) return;
 
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batch_size_hist_[warm.size()].fetch_add(1, std::memory_order_relaxed);
+  batches_.Increment();
+  batch_size_hist_[warm.size()].Increment();
+  DoorRegistryMetrics::Get().batches.Increment();
+  DoorRegistryMetrics::Get().batch_size.Record(warm.size());
   if (warm.size() == 1) {
     warm.front().promise.set_value(engine_.Query(warm.front().query, algo));
     return;
   }
 
-  coalesced_.fetch_add(warm.size(), std::memory_order_relaxed);
+  coalesced_.Increment(warm.size());
+  DoorRegistryMetrics::Get().coalesced.Increment(warm.size());
   std::vector<core::Query> queries;
   queries.reserve(warm.size());
   for (const Pending& pending : warm) queries.push_back(pending.query);
@@ -180,15 +227,19 @@ void SpqFrontDoor::Shutdown() {
 
 ServingStats SpqFrontDoor::stats() const {
   ServingStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.admitted = admitted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  stats.cold_routed = cold_routed_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.Value();
+  stats.rejected = rejected_.Value();
+  // Derived, not stored: every Submit() bumps exactly one of the two
+  // outcome counters, so this decomposition is consistent for any
+  // interleaving — the old third `submitted` tally could be observed
+  // incremented before either outcome was (the torn-read window).
+  stats.submitted = stats.admitted + stats.rejected;
+  stats.coalesced = coalesced_.Value();
+  stats.batches = batches_.Value();
+  stats.cold_routed = cold_routed_.Value();
   stats.batch_size_hist.reserve(batch_size_hist_.size());
-  for (const std::atomic<uint64_t>& bucket : batch_size_hist_) {
-    stats.batch_size_hist.push_back(bucket.load(std::memory_order_relaxed));
+  for (const metrics::Counter& bucket : batch_size_hist_) {
+    stats.batch_size_hist.push_back(bucket.Value());
   }
   return stats;
 }

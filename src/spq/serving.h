@@ -1,7 +1,6 @@
 #ifndef SPQ_SPQ_SERVING_H_
 #define SPQ_SPQ_SERVING_H_
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -12,17 +11,24 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/statusor.h"
 #include "spq/engine.h"
 
 namespace spq::core {
 
-/// \brief Aggregate measurements of the front door since construction.
-/// Every counter is tallied with relaxed atomics (monotonic tallies read
-/// for reporting — no counter ever gates control flow, so no ordering is
-/// needed); stats() returns a consistent-enough plain copy.
+/// \brief Aggregate measurements of the front door since construction —
+/// a thin point-in-time VIEW assembled by stats() from the door's
+/// metrics::Counter tallies (the same primitives the process-wide
+/// registry serves; the door mirrors every tally into the registry's
+/// `spq.serving.*` metrics, so DumpMetrics() sees cross-door totals).
+/// `submitted` is DERIVED as admitted + rejected at read time: a Submit()
+/// in flight is counted in neither yet, so the decomposition
+/// submitted == admitted + rejected holds for every read — there is no
+/// torn window where a submission is visible in `submitted` but in
+/// neither outcome counter.
 struct ServingStats {
-  uint64_t submitted = 0;  ///< Submit() calls (admitted + rejected)
+  uint64_t submitted = 0;  ///< Submit() calls (== admitted + rejected)
   uint64_t admitted = 0;   ///< accepted into the admission queue
   uint64_t rejected = 0;   ///< bounced with Unavailable (queue full/stopped)
   /// Admitted queries that shared their batch job with at least one other
@@ -101,7 +107,10 @@ class SpqFrontDoor {
     core::Query query;
     Algorithm algo = Algorithm::kPSPQ;
     std::promise<StatusOr<SpqResult>> promise;
-    std::chrono::steady_clock::time_point admitted_at;
+    /// Admission timestamp on the process clock (metrics::Clock — the
+    /// queue-wait histogram and the batch-close deadline read the same
+    /// source).
+    metrics::Clock::time_point admitted_at;
   };
 
   void ExecutorLoop();
@@ -118,16 +127,19 @@ class SpqFrontDoor {
   /// Serializes concurrent Shutdown() calls (destructor vs explicit).
   std::mutex shutdown_mu_;
 
-  // Counter contract: see ServingStats. batch_size_hist_ is sized once
-  // in the constructor (max_batch + 1 slots), so executors index it
-  // without locks.
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> admitted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> coalesced_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> cold_routed_{0};
-  std::vector<std::atomic<uint64_t>> batch_size_hist_;
+  // Counter contract: see ServingStats. Per-door metrics::Counter tallies
+  // (stats() stays exact per door even when several doors share the
+  // process); every increment is mirrored into the global registry's
+  // spq.serving.* metrics. There is no submitted_ tally — stats()
+  // derives it, which is what closes the torn-read window.
+  // batch_size_hist_ is sized once in the constructor (max_batch + 1
+  // slots), so executors index it without locks.
+  metrics::Counter admitted_;
+  metrics::Counter rejected_;
+  metrics::Counter coalesced_;
+  metrics::Counter batches_;
+  metrics::Counter cold_routed_;
+  std::vector<metrics::Counter> batch_size_hist_;
 
   std::vector<std::thread> executors_;
 };

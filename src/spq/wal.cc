@@ -6,6 +6,8 @@
 #include "common/buffer.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace spq::core {
 
@@ -13,6 +15,28 @@ namespace {
 
 /// WAL frame magic ("SPQW").
 constexpr uint32_t kWalMagic = 0x53505157;
+
+/// WAL I/O registry metrics (inventory in cell_store.h).
+struct WalRegistryMetrics {
+  metrics::Counter& appends;
+  metrics::Counter& replays;
+  metrics::Counter& records_replayed;
+  metrics::Counter& torn_records;
+  metrics::Histogram& append_ns;
+  metrics::Histogram& replay_ns;
+
+  static WalRegistryMetrics& Get() {
+    static auto& registry = metrics::MetricsRegistry::Global();
+    static WalRegistryMetrics metrics_{
+        registry.counter("spq.wal.appends"),
+        registry.counter("spq.wal.replays"),
+        registry.counter("spq.wal.records_replayed"),
+        registry.counter("spq.wal.torn_records"),
+        registry.histogram("spq.wal.append_ns"),
+        registry.histogram("spq.wal.replay_ns")};
+    return metrics_;
+  }
+};
 
 }  // namespace
 
@@ -85,6 +109,9 @@ Status StoreWal::AppendImage(const std::vector<uint8_t>& image) {
 }
 
 Status StoreWal::Append(const WalRecord& record) {
+  TRACE_SPAN("wal.append");
+  metrics::ScopedLatencyTimer timer(&WalRegistryMetrics::Get().append_ns);
+  WalRegistryMetrics::Get().appends.Increment();
   return AppendImage(EncodeFrame(record));
 }
 
@@ -97,6 +124,9 @@ Status StoreWal::AppendTorn(const WalRecord& record) {
 }
 
 StatusOr<StoreWal::ReplayResult> StoreWal::Replay() {
+  TRACE_SPAN("wal.replay");
+  metrics::ScopedLatencyTimer timer(&WalRegistryMetrics::Get().replay_ns);
+  WalRegistryMetrics::Get().replays.Increment();
   ReplayResult result;
   uint64_t seq = 1;
   for (;; ++seq) {
@@ -124,6 +154,8 @@ StatusOr<StoreWal::ReplayResult> StoreWal::Replay() {
   // Position the writer at the first free slot. Torn frames before it
   // keep their burned sequence numbers.
   next_seq_ = seq;
+  WalRegistryMetrics::Get().records_replayed.Increment(result.records.size());
+  WalRegistryMetrics::Get().torn_records.Increment(result.torn_records);
   return result;
 }
 

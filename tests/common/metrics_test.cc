@@ -1,0 +1,244 @@
+// Tests for the process-wide metrics layer (common/metrics.h), run under
+// the "observability" ctest label and the tsan preset:
+//   - log₂-bucket quantile estimates agree with a sorted-sample reference
+//     within the documented factor-2 bucket bound (and land in the same
+//     power-of-two bucket as the truth);
+//   - concurrent recorders across the per-thread shards lose nothing:
+//     count, sum, and max are exact after an 8-thread hammer;
+//   - registry lookups are identity-stable and ResetForTest() keeps
+//     cached references valid;
+//   - Prometheus text exposition carries every registered series;
+//   - LogRateLimiter admits the 1st/(N+1)th/... occurrence and reports
+//     the suppressed count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace spq::metrics {
+namespace {
+
+TEST(MetricsTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 0);
+  EXPECT_EQ(Histogram::BucketOf(2), 1);
+  EXPECT_EQ(Histogram::BucketOf(3), 1);
+  EXPECT_EQ(Histogram::BucketOf(4), 2);
+  EXPECT_EQ(Histogram::BucketOf(1023), 9);
+  EXPECT_EQ(Histogram::BucketOf(1024), 10);
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), 63);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketOf(Histogram::BucketLow(i)), i) << i;
+    if (i < 63) {
+      EXPECT_EQ(Histogram::BucketOf(Histogram::BucketHigh(i) - 1), i) << i;
+    }
+  }
+}
+
+TEST(MetricsTest, ExactAggregatesSmall) {
+  Histogram hist;
+  hist.Record(1);
+  hist.Record(100);
+  hist.Record(7);
+  const HistogramSnapshot snap = hist.Read();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 108u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 36.0);
+  EXPECT_EQ(snap.buckets[Histogram::BucketOf(1)], 1u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketOf(7)], 1u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketOf(100)], 1u);
+  // q == 1 is exact: the tracked maximum, not a bucket bound.
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 100.0);
+}
+
+TEST(MetricsTest, EmptyHistogramIsZero) {
+  Histogram hist;
+  const HistogramSnapshot snap = hist.Read();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+// The estimator contract against the exact reference: for a large
+// log-normal-ish sample (latencies), each estimated quantile must fall in
+// the same log₂ bucket as the true quantile — which bounds the ratio
+// between estimate and truth by 2 in either direction.
+TEST(MetricsTest, QuantilesMatchSortedReference) {
+  std::mt19937_64 rng(20260808);
+  std::lognormal_distribution<double> dist(10.0, 1.5);  // ~e^10 ns center
+  Histogram hist;
+  std::vector<double> samples;
+  samples.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<uint64_t>(dist(rng));
+    hist.Record(v);
+    samples.push_back(static_cast<double>(v));
+  }
+  const HistogramSnapshot snap = hist.Read();
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double truth = PercentileOfSamples(samples, q);
+    const double estimate = snap.Percentile(q);
+    EXPECT_EQ(Histogram::BucketOf(static_cast<uint64_t>(truth)),
+              Histogram::BucketOf(static_cast<uint64_t>(estimate)))
+        << "q=" << q << " truth=" << truth << " estimate=" << estimate;
+    EXPECT_GE(estimate, truth / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, truth * 2.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsTest, PercentileOfSamplesReference) {
+  // 1..100: the q-quantile with linear interpolation is 1 + 99q.
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(i);
+  EXPECT_DOUBLE_EQ(PercentileOfSamples(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSamples(samples, 0.5), 50.5);
+  EXPECT_DOUBLE_EQ(PercentileOfSamples(samples, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSamples({42.0}, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSamples({}, 0.5), 0.0);
+}
+
+// 8 threads × 100k records across the striped shards: the merged view
+// must be exact on count/sum/max — shard stripes may split any way, but
+// nothing is lost (the tsan preset re-runs this for the race proof).
+TEST(MetricsTest, ConcurrentRecordingIsLossless) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snap = hist.Read();
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.sum, kTotal * (kTotal + 1) / 2);  // 1..kTotal, each once
+  EXPECT_EQ(snap.max, kTotal);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(MetricsTest, CountersAndGaugesConcurrent) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("test.hits");
+  Gauge& depth = registry.gauge("test.depth");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.Increment();
+        depth.Add(1);
+        depth.Add(-1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hits.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(depth.Value(), 0);
+}
+
+TEST(MetricsTest, RegistryLookupIsIdentityStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.same");
+  Counter& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.Value(), 3u);
+
+  Histogram& h1 = registry.histogram("test.lat_ns");
+  Histogram& h2 = registry.histogram("test.lat_ns");
+  EXPECT_EQ(&h1, &h2);
+
+  // ResetForTest zeroes values in place; cached references stay valid.
+  h1.Record(9);
+  registry.ResetForTest();
+  EXPECT_EQ(a.Value(), 0u);
+  EXPECT_EQ(b.Value(), 0u);
+  EXPECT_EQ(h2.Read().count, 0u);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndSparse) {
+  MetricsRegistry registry;
+  registry.counter("test.b").Increment(2);
+  registry.counter("test.a").Increment(1);
+  registry.gauge("test.g").Set(-5);
+  registry.histogram("test.h_ns").Record(1024);
+
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "test.a");  // name-sorted
+  EXPECT_EQ(snap.counters[1].first, "test.b");
+  EXPECT_EQ(snap.CounterValue("test.a"), 1u);
+  EXPECT_EQ(snap.CounterValue("test.b"), 2u);
+  EXPECT_EQ(snap.CounterValue("test.absent"), 0u);  // sparse: 0, not a throw
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -5);
+  EXPECT_EQ(snap.HistogramValue("test.h_ns").count, 1u);
+  EXPECT_EQ(snap.HistogramValue("test.absent").count, 0u);
+}
+
+TEST(MetricsTest, PrometheusDumpCarriesEverySeries) {
+  MetricsRegistry registry;
+  registry.counter("test.dump.hits").Increment(7);
+  registry.gauge("test.dump.depth").Set(3);
+  registry.histogram("test.dump.lat_ns").Record(100);
+  registry.histogram("test.dump.lat_ns").Record(5000);
+
+  std::ostringstream os;
+  registry.DumpPrometheus(os);
+  const std::string text = os.str();
+  // Names are sanitized to the Prometheus charset (dots → underscores).
+  EXPECT_NE(text.find("test_dump_hits 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_dump_depth 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_dump_lat_ns_count 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_dump_lat_ns_sum 5100"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_dump_lat_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find('.'), std::string::npos)
+      << "unsanitized dot in: " << text;
+}
+
+TEST(LogRateLimiterTest, AdmitsFirstAndEveryNth) {
+  spq::LogRateLimiter limiter(4);
+  uint64_t suppressed = 123;
+  EXPECT_TRUE(limiter.ShouldLog(&suppressed));  // 1st
+  EXPECT_EQ(suppressed, 0u);
+  EXPECT_FALSE(limiter.ShouldLog());  // 2nd
+  EXPECT_FALSE(limiter.ShouldLog());  // 3rd
+  EXPECT_FALSE(limiter.ShouldLog());  // 4th
+  EXPECT_TRUE(limiter.ShouldLog(&suppressed));  // 5th = 1 + N
+  EXPECT_EQ(suppressed, 3u);
+  EXPECT_EQ(limiter.Count(), 5u);
+}
+
+TEST(LogRateLimiterTest, EveryOneNeverSuppresses) {
+  spq::LogRateLimiter limiter(1);
+  for (int i = 0; i < 5; ++i) {
+    uint64_t suppressed = 99;
+    EXPECT_TRUE(limiter.ShouldLog(&suppressed)) << i;
+    EXPECT_EQ(suppressed, 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace spq::metrics

@@ -1,0 +1,201 @@
+#ifndef SPQ_TESTS_TESTING_JSON_LITE_H_
+#define SPQ_TESTS_TESTING_JSON_LITE_H_
+
+// Minimal recursive-descent JSON parser used by the observability tests
+// to prove the trace exports are machine-loadable (chrome://tracing JSON,
+// JSONL). Strict enough to reject what real consumers reject — trailing
+// garbage, unterminated strings, bare words — and no more; it is a test
+// validator, not a production parser.
+
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spq::testing {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+
+  /// Pointer to the member value, nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonLite {
+ public:
+  /// Parses `text` as exactly one JSON document (trailing whitespace OK,
+  /// trailing garbage is an error). Returns false on any syntax error.
+  static bool Parse(const std::string& text, JsonValue* out) {
+    JsonLite parser(text);
+    if (!parser.ParseValue(out)) return false;
+    parser.SkipWhitespace();
+    return parser.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonLite(const std::string& text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return ConsumeLiteral("true");
+    }
+    if (c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return ConsumeLiteral("false");
+    }
+    if (c == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return ConsumeLiteral("null");
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      SkipWhitespace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              const bool hex = (h >= '0' && h <= '9') ||
+                               (h >= 'a' && h <= 'f') || (h >= 'A' && h <= 'F');
+              if (!hex) return false;
+            }
+            pos_ += 4;
+            out->push_back('?');  // tests only check validity, not decoding
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spq::testing
+
+#endif  // SPQ_TESTS_TESTING_JSON_LITE_H_
